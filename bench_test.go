@@ -1,0 +1,299 @@
+package wavetile_test
+
+// Benchmark harness: one benchmark family per table/figure of the paper's
+// evaluation, runnable with
+//
+//	go test -bench=. -benchmem
+//
+// Grid sizes default to host-friendly values (the paper uses 512³ on Xeon
+// testbeds); the cmd/ tools expose the full-size runs and the simulated
+// Broadwell/Skylake predictions. Every benchmark reports the paper's
+// throughput metric, GPoints/s, as a custom metric.
+
+import (
+	"fmt"
+	"testing"
+
+	"wavetile/internal/bench"
+	"wavetile/internal/cachesim"
+	"wavetile/internal/core"
+	"wavetile/internal/dist"
+	"wavetile/internal/grid"
+	"wavetile/internal/model"
+	"wavetile/internal/roofline"
+	"wavetile/internal/sparse"
+	"wavetile/internal/tiling"
+	"wavetile/internal/trace"
+	"wavetile/internal/wavelet"
+)
+
+const (
+	benchN     = 96 // grid edge for kernel benchmarks
+	benchSteps = 8  // timesteps per benchmark iteration
+)
+
+func buildProblem(b *testing.B, model string, so int, spec func(*bench.Spec)) *bench.Problem {
+	b.Helper()
+	s := bench.Spec{Model: model, SO: so, N: benchN, Steps: benchSteps}
+	if spec != nil {
+		spec(&s)
+	}
+	p, err := s.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func reportGPts(b *testing.B, p *bench.Problem) {
+	pts := float64(p.PointsPerStep) * float64(benchSteps) * float64(b.N)
+	b.ReportMetric(pts/b.Elapsed().Seconds()/1e9, "GPts/s")
+}
+
+// --- Figure 9: WTB vs spatially-blocked throughput, per model × order ----
+
+func benchSpatial(b *testing.B, model string, so int) {
+	p := buildProblem(b, model, so, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Reset()
+		tiling.RunSpatial(p.Prop, 8, 8, false) // unfused Listing-1 baseline
+	}
+	reportGPts(b, p)
+}
+
+func benchWTB(b *testing.B, model string, so int, cfg tiling.Config) {
+	p := buildProblem(b, model, so, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Reset()
+		if err := tiling.RunWTB(p.Prop, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportGPts(b, p)
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for _, model := range []string{"acoustic", "elastic", "tti"} {
+		for _, so := range []int{4, 8, 12} {
+			cfg := tiling.Config{TT: 8, TileX: 32, TileY: 32, BlockX: 8, BlockY: 8}
+			if so == 12 {
+				cfg.TileX, cfg.TileY = 48, 48
+			}
+			b.Run(fmt.Sprintf("%s/SO%d/spatial", model, so), func(b *testing.B) {
+				benchSpatial(b, model, so)
+			})
+			b.Run(fmt.Sprintf("%s/SO%d/wtb", model, so), func(b *testing.B) {
+				benchWTB(b, model, so, cfg)
+			})
+		}
+	}
+}
+
+// --- Table I: tile/block shape ablation (autotune sweep points) ----------
+
+func BenchmarkTableITileShapes(b *testing.B) {
+	for _, cfg := range []tiling.Config{
+		{TT: 8, TileX: 16, TileY: 16, BlockX: 8, BlockY: 8},
+		{TT: 8, TileX: 32, TileY: 32, BlockX: 8, BlockY: 8},
+		{TT: 8, TileX: 64, TileY: 64, BlockX: 8, BlockY: 8},
+		{TT: 16, TileX: 32, TileY: 32, BlockX: 8, BlockY: 8},
+		{TT: 32, TileX: 32, TileY: 32, BlockX: 8, BlockY: 8},
+		{TT: 8, TileX: 32, TileY: 32, BlockX: 4, BlockY: 4},
+		{TT: 8, TileX: 32, TileY: 32, BlockX: 16, BlockY: 16},
+	} {
+		b.Run(cfg.String(), func(b *testing.B) {
+			benchWTB(b, "acoustic", 8, cfg)
+		})
+	}
+}
+
+// --- Figure 10: source-count corner cases --------------------------------
+
+func BenchmarkFig10Sources(b *testing.B) {
+	for _, layout := range []string{"plane", "dense"} {
+		for _, nsrc := range []int{1, 64, 1024} {
+			b.Run(fmt.Sprintf("%s/%d/wtb", layout, nsrc), func(b *testing.B) {
+				p := buildProblem(b, "acoustic", 4, func(s *bench.Spec) {
+					s.NSrc, s.SrcLayout = nsrc, layout
+				})
+				cfg := tiling.Config{TT: 8, TileX: 32, TileY: 32, BlockX: 8, BlockY: 8}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.Reset()
+					if err := tiling.RunWTB(p.Prop, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+				reportGPts(b, p)
+			})
+		}
+	}
+}
+
+// --- Figure 11 / simulator: traced DRAM traffic of the two schedules -----
+
+func BenchmarkFig11TraceSim(b *testing.B) {
+	for _, sched := range []string{"spatial", "wtb"} {
+		b.Run("acoustic/SO4/"+sched, func(b *testing.B) {
+			src := sparse.Single(sparse.Coord{250, 250, 250})
+			sup, err := src.Supports(64, 64, 64, 10, 10, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sh := trace.Shape{Nx: 64, Ny: 64, Nz: 64, SO: 4, Nt: 4, SrcSupports: sup}
+			var dram uint64
+			for i := 0; i < b.N; i++ {
+				h := cachesim.New(roofline.Broadwell().Cache.Scaled(1.0 / 64))
+				p := trace.NewAcoustic(sh, h)
+				if sched == "spatial" {
+					tiling.RunSpatial(p, 0, 0, false)
+				} else {
+					if err := tiling.RunWTB(p, tiling.Config{TT: 4, TileX: 16, TileY: 16, BlockX: 16, BlockY: 16}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				dram = h.Snapshot("t").DRAMBytes
+			}
+			b.ReportMetric(float64(dram)/1e6, "DRAM-MB/run")
+		})
+	}
+}
+
+// --- Scheme overhead (paper §II: "negligible overhead") ------------------
+
+// BenchmarkInjection compares the cost of the paper's Listing-1 scattered
+// injection against the fused, compressed injection of Listing 5, per
+// timestep over the full grid.
+func BenchmarkInjection(b *testing.B) {
+	const n = 128
+	src := sparse.PlaneSlice(256, 300, 100, 1100, 100, 1100)
+	sup, err := src.Supports(n, n, n, 10, 10, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := grid.New(n, n, n, 2)
+	amps := make([]float32, len(sup))
+	for i := range amps {
+		amps[i] = 1
+	}
+	one := func(x, y, z int) float32 { return 1 }
+
+	b.Run("listing1-offgrid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sparse.Inject(u, sup, amps, one)
+		}
+	})
+
+	m := core.BuildMasks(n, n, n, sup)
+	wav := make([][]float32, len(sup))
+	for i := range wav {
+		wav[i] = []float32{1}
+	}
+	dcmp, err := m.DecomposeWavelets(sup, wav, 1, one)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("listing5-fused", func(b *testing.B) {
+		full := grid.FullRegion(n, n)
+		for i := 0; i < b.N; i++ {
+			m.InjectRegion(u, full, dcmp[0])
+		}
+	})
+}
+
+// BenchmarkPrecompute measures the one-off cost of the scheme itself: mask
+// construction and wavefield decomposition for a 512-source survey over a
+// full-length time axis.
+func BenchmarkPrecompute(b *testing.B) {
+	const n, nt = 128, 512
+	src := sparse.DenseVolume(512, 100, 1100, 100, 1100, 100, 1100)
+	sup, err := src.Supports(n, n, n, 10, 10, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wav := make([][]float32, len(sup))
+	for i := range wav {
+		wav[i] = make([]float32, nt)
+	}
+	one := func(x, y, z int) float32 { return 1 }
+	b.Run("BuildMasks", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.BuildMasks(n, n, n, sup)
+		}
+	})
+	m := core.BuildMasks(n, n, n, sup)
+	b.Run("DecomposeWavelets", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.DecomposeWavelets(sup, wav, nt, one); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Kernel microbenchmarks ----------------------------------------------
+
+func BenchmarkKernelStep(b *testing.B) {
+	for _, c := range []struct {
+		model string
+		so    int
+	}{
+		{"acoustic", 4}, {"acoustic", 8}, {"acoustic", 12},
+		{"tti", 4}, {"elastic", 4},
+	} {
+		b.Run(fmt.Sprintf("%s/SO%d", c.model, c.so), func(b *testing.B) {
+			p := buildProblem(b, c.model, c.so, nil)
+			nx, ny := p.Prop.GridShape()
+			off := p.Prop.MaxPhaseOffset()
+			raw := grid.Region{X0: 0, X1: nx + off, Y0: 0, Y1: ny + off}
+			p.Prop.SetBlocks(8, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Prop.Step(i%benchSteps, raw, true)
+			}
+			pts := float64(p.PointsPerStep) * float64(b.N)
+			b.ReportMetric(pts/b.Elapsed().Seconds()/1e9, "GPts/s")
+		})
+	}
+}
+
+// --- Distributed decomposition: communication-avoiding deep halos --------
+
+// BenchmarkDistExchangeModes compares per-step halo exchange against the
+// communication-avoiding deep-halo mode (WTB inside each rank, one exchange
+// per Depth steps). The custom metric reports halo exchanges per run.
+func BenchmarkDistExchangeModes(b *testing.B) {
+	g := model.Geometry{Nx: 96, Ny: 64, Nz: 64, Hx: 10, Hy: 10, Hz: 10, NBL: 6}
+	dt := g.CriticalDtAcoustic(4, 3000, model.DefaultCFL)
+	g.Dt, g.Nt = dt, 16
+	vp := model.Layered(960, 1500, 2500, 3000)
+	src := sparse.Single(sparse.Coord{475.5, 315.2, 115.7})
+	wav := [][]float32{wavelet.RickerSeries(10, g.Nt, g.Dt, 1)}
+
+	for _, c := range []struct {
+		name string
+		cfg  dist.Config
+	}{
+		{"perstep", dist.Config{Ranks: 2, Mode: dist.PerStep, BlockX: 8, BlockY: 8}},
+		{"deephalo8", dist.Config{Ranks: 2, Mode: dist.DeepHalo, Depth: 8, TileY: 32, BlockX: 8, BlockY: 8}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var ex int
+			for i := 0; i < b.N; i++ {
+				cl, err := dist.NewAcousticCluster(c.cfg, g, 4, vp, src, wav)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := cl.Run(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				ex = cl.Exchanges()
+			}
+			b.ReportMetric(float64(ex), "exchanges/run")
+		})
+	}
+}

@@ -1,0 +1,75 @@
+// Command autotune regenerates Table I of the paper: the optimal WTB
+// tile/block shapes per kernel, found by sweeping the parameter space on
+// short timed runs (§IV-C) on this host.
+//
+// Example:
+//
+//	autotune -n 128 -tunesteps 8 -models acoustic,elastic,tti -orders 4,8,12 -top 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wavetile/internal/bench"
+)
+
+func main() {
+	n := flag.Int("n", 128, "grid edge (paper: 512)")
+	tuneSteps := flag.Int("tunesteps", 8, "timesteps per measurement")
+	repeats := flag.Int("repeats", 2, "measurements per candidate (best-of)")
+	models := flag.String("models", "acoustic,elastic,tti", "comma-separated models")
+	orders := flag.String("orders", "4,8,12", "comma-separated space orders")
+	tts := flag.String("tt", "8,16,32", "time-tile depths to sweep")
+	top := flag.Int("top", 1, "report the best k configurations per kernel")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	var ttList []int
+	for _, s := range strings.Split(*tts, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fatal(err)
+		}
+		ttList = append(ttList, v)
+	}
+
+	table := &bench.Table{
+		Title: fmt.Sprintf("Table I — optimal WTB tile/block shapes (host, %d³ grid, %d tuning steps)",
+			*n, *tuneSteps),
+		Header: []string{"Problem", "rank", "TT", "tile_x", "tile_y", "block_x", "block_y", "GPts/s"},
+	}
+	for _, m := range strings.Split(*models, ",") {
+		for _, o := range strings.Split(*orders, ",") {
+			so, err := strconv.Atoi(strings.TrimSpace(o))
+			if err != nil {
+				fatal(err)
+			}
+			spec := bench.Spec{Model: strings.TrimSpace(m), SO: so, N: *n}
+			results, err := bench.TuneWTB(spec, *tuneSteps, *repeats, ttList)
+			if err != nil {
+				fatal(err)
+			}
+			for i := 0; i < *top && i < len(results); i++ {
+				r := results[i]
+				table.Add(spec.Name(), i+1, r.Cfg.TT, r.Cfg.TileX, r.Cfg.TileY,
+					r.Cfg.BlockX, r.Cfg.BlockY, r.GPts)
+			}
+			fmt.Fprintf(os.Stderr, "tuned %s: %d candidates, best %v\n",
+				spec.Name(), len(results), results[0].Cfg)
+		}
+	}
+	if *csv {
+		table.FprintCSV(os.Stdout)
+	} else {
+		table.Fprint(os.Stdout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "autotune:", err)
+	os.Exit(1)
+}

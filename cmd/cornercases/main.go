@@ -1,0 +1,79 @@
+// Command cornercases regenerates Figure 10 of the paper: the WTB speedup
+// of the acoustic space-order-4 operator over an increasing number of
+// off-the-grid sources, placed either sparsely (on an x–y plane slice) or
+// densely (uniformly over the volume) — §IV-E.
+//
+// Example:
+//
+//	cornercases -mode sim -counts 1,16,64,256,1024,4096
+//	cornercases -mode wall -n 128 -steps 16 -counts 1,64,1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wavetile/internal/bench"
+	"wavetile/internal/roofline"
+	"wavetile/internal/tiling"
+)
+
+func main() {
+	mode := flag.String("mode", "sim", "sim or wall")
+	n := flag.Int("n", 128, "grid edge for wall mode")
+	steps := flag.Int("steps", 16, "timesteps for wall mode")
+	tracen := flag.Int("tracen", 64, "trace grid edge for sim mode")
+	counts := flag.String("counts", "1,16,64,256,1024,4096", "source counts")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	var cs []int
+	for _, s := range strings.Split(*counts, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fatal(err)
+		}
+		cs = append(cs, v)
+	}
+
+	var rows []bench.CornerRow
+	var err error
+	switch *mode {
+	case "sim":
+		o := bench.SimOptions{TraceN: *tracen, TraceNt: 8}
+		if *tracen < 96 {
+			// Small traces cannot exceed the real LLC; use scaled-cache mode.
+			o.RefN = 512
+		}
+		rows, err = bench.Fig10Sim(roofline.Broadwell(), cs, o)
+	case "wall":
+		cfg := tiling.Config{TT: 8, TileX: 32, TileY: 32, BlockX: 8, BlockY: 8}
+		rows, err = bench.Fig10Wall(*n, *steps, cs, cfg, 2)
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	table := &bench.Table{
+		Title:  "Fig. 10 — acoustic O(2,4) speedup vs number of sources",
+		Header: []string{"placement", "sources", "speedup", "mode"},
+	}
+	for _, r := range rows {
+		table.Add(r.Layout, r.NSrc, r.Speedup, r.Mode)
+	}
+	if *csv {
+		table.FprintCSV(os.Stdout)
+	} else {
+		table.Fprint(os.Stdout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cornercases:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command roofline regenerates Figure 11 of the paper: the cache-aware
+// roofline of the isotropic acoustic model on Broadwell, with one point per
+// space order (4, 8, 12) and schedule (spatially-blocked vs WTB). The
+// output table carries per-level arithmetic intensities and the predicted
+// GFLOP/s, i.e. the coordinates of the paper's plot markers plus the
+// ceilings, in reconstructable form.
+//
+// Example:
+//
+//	roofline -machine broadwell -orders 4,8,12 -tracen 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wavetile/internal/bench"
+	"wavetile/internal/roofline"
+)
+
+func main() {
+	machine := flag.String("machine", "broadwell", "broadwell or skylake")
+	orders := flag.String("orders", "4,8,12", "space orders")
+	tracen := flag.Int("tracen", 64, "trace grid edge")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	var m roofline.Machine
+	switch strings.ToLower(*machine) {
+	case "broadwell":
+		m = roofline.Broadwell()
+	case "skylake":
+		m = roofline.Skylake()
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *machine))
+	}
+
+	var so []int
+	for _, s := range strings.Split(*orders, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fatal(err)
+		}
+		so = append(so, v)
+	}
+
+	pts, err := bench.Fig11(m, so, bench.SimOptions{TraceN: *tracen, TraceNt: 8})
+	if err != nil {
+		fatal(err)
+	}
+	table := bench.Fig11Table(m, pts)
+	if *csv {
+		table.FprintCSV(os.Stdout)
+	} else {
+		table.Fprint(os.Stdout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "roofline:", err)
+	os.Exit(1)
+}

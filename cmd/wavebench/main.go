@@ -1,0 +1,104 @@
+// Command wavebench regenerates Figure 9 of the paper: throughput speedup
+// of wave-front temporal blocking over the spatially-blocked baseline for
+// the isotropic acoustic, isotropic elastic and anisotropic acoustic (TTI)
+// propagators at space orders 4, 8 and 12.
+//
+// Two modes:
+//
+//	-mode sim   (default) replays both schedules' access traces through the
+//	            cache hierarchies of the paper's Broadwell and Skylake
+//	            machines (scaled to the trace grid) and predicts throughput
+//	            with the cache-aware roofline model — the reproduction
+//	            vehicle for the paper's machines.
+//	-mode wall  measures actual wall-clock on this host (Go scalar kernels;
+//	            see EXPERIMENTS.md for why absolute speedups differ).
+//
+// Examples:
+//
+//	wavebench -mode sim -tracen 64 -models acoustic,elastic,tti -orders 4,8,12
+//	wavebench -mode wall -n 128 -steps 32 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wavetile/internal/bench"
+	"wavetile/internal/roofline"
+)
+
+func main() {
+	mode := flag.String("mode", "sim", "sim (cache-simulated Broadwell/Skylake) or wall (host wall-clock)")
+	n := flag.Int("n", 128, "grid edge for wall-clock runs (paper: 512)")
+	steps := flag.Int("steps", 32, "timesteps for wall-clock runs (0 = paper's 512 ms)")
+	tracen := flag.Int("tracen", 160, "grid edge for simulated traces")
+	tracent := flag.Int("tracent", 6, "timesteps for simulated traces")
+	models := flag.String("models", "acoustic,elastic,tti", "comma-separated models")
+	orders := flag.String("orders", "4,8,12", "comma-separated space orders")
+	tuneSteps := flag.Int("tunesteps", 8, "timesteps per autotune measurement (wall mode)")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	var specs []bench.Spec
+	for _, m := range strings.Split(*models, ",") {
+		for _, o := range strings.Split(*orders, ",") {
+			so, err := strconv.Atoi(strings.TrimSpace(o))
+			if err != nil {
+				fatal(err)
+			}
+			specs = append(specs, bench.Spec{Model: strings.TrimSpace(m), SO: so, N: *n, Steps: *steps})
+		}
+	}
+
+	var table *bench.Table
+	switch *mode {
+	case "sim":
+		rows, err := bench.Fig9Sim(specs,
+			[]roofline.Machine{roofline.Broadwell(), roofline.Skylake()},
+			bench.SimOptions{TraceN: *tracen, TraceNt: *tracent})
+		if err != nil {
+			fatal(err)
+		}
+		table = &bench.Table{
+			Title: fmt.Sprintf("Fig. 9 (simulated) — WTB vs spatially-blocked, trace %d³×%d steps", *tracen, *tracent),
+			Header: []string{"kernel", "machine", "spatial GPts/s", "spatial bound",
+				"WTB GPts/s", "WTB bound", "speedup", "best WTB cfg",
+				"spatial DRAM MB", "WTB DRAM MB"},
+		}
+		for _, r := range rows {
+			table.Add(r.Spec.Name(), r.Machine,
+				r.Spatial.GPointsPS, r.Spatial.Bound,
+				r.WTB.GPointsPS, r.WTB.Bound,
+				r.Speedup, r.BestWTB.String(),
+				r.SpatialT.DRAMBytes>>20, r.WTBT.DRAMBytes>>20)
+		}
+	case "wall":
+		rows, err := bench.Fig9Wall(specs, *tuneSteps, 2, []int{8, 16})
+		if err != nil {
+			fatal(err)
+		}
+		table = &bench.Table{
+			Title:  fmt.Sprintf("Fig. 9 (host wall-clock) — %d³ grid, %d steps", *n, *steps),
+			Header: []string{"kernel", "spatial GPts/s", "WTB GPts/s", "speedup", "best WTB cfg"},
+		}
+		for _, r := range rows {
+			table.Add(r.Spec.Name(), r.SpatialGP, r.WTBGP, r.Speedup, r.Best.String())
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	if *csv {
+		table.FprintCSV(os.Stdout)
+	} else {
+		table.Fprint(os.Stdout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wavebench:", err)
+	os.Exit(1)
+}

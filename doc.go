@@ -1,0 +1,11 @@
+// Package wavetile reproduces Bisbas et al., "Temporal blocking of
+// finite-difference stencil operators with sparse 'off-the-grid' sources"
+// (IPDPS 2021): finite-difference wave propagators with off-the-grid
+// sources/receivers, the sparse-operator precomputation scheme that makes
+// wave-front temporal blocking legal for them, a trace-driven cache
+// simulator standing in for the paper's Xeon testbeds, and harnesses that
+// regenerate every table and figure of the paper's evaluation.
+//
+// The public API lives in the wavesim subpackage; see README.md for the
+// repository layout and EXPERIMENTS.md for paper-vs-measured results.
+package wavetile

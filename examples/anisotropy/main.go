@@ -1,0 +1,113 @@
+// Anisotropy: run the isotropic acoustic and the TTI propagator on the same
+// homogeneous background and show the anisotropic wavefront distortion — in
+// a VTI/TTI medium with ε > 0 the wave travels √(1+2ε)× faster along the
+// symmetry plane than along the axis, so the snapshot wavefront is an
+// ellipse. The example measures the wavefront extent along x (in-plane) and
+// z (symmetry axis) through the source and compares the two propagators.
+//
+//	go run ./examples/anisotropy
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"wavetile/wavesim"
+)
+
+const (
+	n   = 56
+	h   = 10.0
+	nbl = 6
+)
+
+// extents measures how far (in cells) the wavefront reaches from the grid
+// centre along +x and +z, using a common relative threshold against the
+// global field maximum.
+func extents(sim *wavesim.Simulation) (xr, zr int) {
+	c := n / 2
+	globalMax := 0.0
+	profileX := make([]float64, n) // |u| along x through the centre
+	profileZ := make([]float64, n) // |u| along z through the centre
+	for z := 0; z < n; z++ {
+		sl := sim.WavefieldSlice(z)
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				v := math.Abs(float64(sl[x][y]))
+				if v > globalMax {
+					globalMax = v
+				}
+				if z == c && y == c {
+					profileX[x] = v
+				}
+				if x == c && y == c {
+					profileZ[z] = v
+				}
+			}
+		}
+	}
+	thr := 0.02 * globalMax
+	for r := 1; r < n/2-1; r++ {
+		if profileX[c+r] > thr {
+			xr = r
+		}
+		if profileZ[c+r] > thr {
+			zr = r
+		}
+	}
+	return xr, zr
+}
+
+func main() {
+	center := float64(n-1) * h / 2
+	src := []wavesim.Coord{{center, center, center}}
+
+	base := wavesim.Options{
+		SpaceOrder: 8,
+		Shape:      [3]int{n, n, n},
+		Spacing:    [3]float64{h, h, h},
+		NBL:        nbl,
+		Steps:      54,
+		Vp:         wavesim.Homogeneous(2000),
+		SourceF0:   22,
+		SourceAmp:  1e3,
+		Sources:    src,
+	}
+	sched := wavesim.WTB{TimeTile: 8, TileX: 16, TileY: 16, BlockX: 8, BlockY: 8}
+
+	iso := base
+	iso.Physics = wavesim.Acoustic
+	isoSim, err := wavesim.New(iso)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := isoSim.Run(sched); err != nil {
+		log.Fatal(err)
+	}
+	isoX, isoZ := extents(isoSim)
+
+	tti := base
+	tti.Physics = wavesim.TTI
+	tti.Epsilon = wavesim.Homogeneous(0.33) // strong ellipticity
+	tti.Delta = wavesim.Homogeneous(0.1)
+	tti.Theta = wavesim.Homogeneous(0) // symmetry axis along z
+	tti.Phi = wavesim.Homogeneous(0)
+	ttiSim, err := wavesim.New(tti)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ttiSim.Run(sched); err != nil {
+		log.Fatal(err)
+	}
+	ttiX, ttiZ := extents(ttiSim)
+
+	fmt.Println("wavefront extent from the source (grid cells):")
+	fmt.Printf("  isotropic acoustic: x=%d z=%d (x/z ratio %.2f)\n", isoX, isoZ, float64(isoX)/float64(isoZ))
+	fmt.Printf("  TTI (ε=0.33, θ=0):  x=%d z=%d (x/z ratio %.2f)\n", ttiX, ttiZ, float64(ttiX)/float64(ttiZ))
+	fmt.Printf("\nwith ε = 0.33 the in-plane velocity is √(1+2ε) ≈ %.2f× the axial one,\n", math.Sqrt(1+2*0.33))
+	fmt.Println("so the TTI wavefront is horizontally stretched while the isotropic one is round.")
+	if float64(ttiX)/float64(ttiZ) <= float64(isoX)/float64(isoZ) {
+		log.Fatal("anisotropic stretching not observed")
+	}
+}

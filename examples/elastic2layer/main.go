@@ -1,0 +1,94 @@
+// Elastic two-layer: the velocity–stress propagator over a sediment/basement
+// interface, recording vertical particle velocity at the surface. Shows the
+// multi-grid (two-phase) wavefront temporal blocking on the nine-field
+// elastic system and picks the direct P arrival against theory.
+//
+//	go run ./examples/elastic2layer
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"wavetile/wavesim"
+)
+
+func main() {
+	const (
+		n   = 56
+		h   = 10.0
+		nbl = 8
+	)
+	extent := float64(n-1) * h
+	center := extent / 2
+	iface := 0.55 * extent // interface depth
+
+	vp := func(x, y, z float64) float64 {
+		if z < iface {
+			return 1800
+		}
+		return 3200
+	}
+	vs := func(x, y, z float64) float64 {
+		if z < iface {
+			return 900
+		}
+		return 1800
+	}
+
+	sim, err := wavesim.New(wavesim.Options{
+		Physics:    wavesim.Elastic,
+		SpaceOrder: 4,
+		Shape:      [3]int{n, n, n},
+		Spacing:    [3]float64{h, h, h},
+		NBL:        nbl,
+		TMax:       0.16,
+		Vp:         vp,
+		Vs:         vs,
+		Rho:        wavesim.Homogeneous(2000),
+		SourceF0:   16,
+		SourceAmp:  1e3,
+		Sources:    []wavesim.Coord{{center + 1.3, center - 2.7, float64(nbl+4) * h}},
+		Receivers: wavesim.LineCoords(16,
+			wavesim.Coord{center + 60, center, float64(nbl+2) * h},
+			wavesim.Coord{center + 210, center, float64(nbl+2) * h}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, _, dt, nt := sim.Geometry()
+	fmt.Printf("elastic O(1,4), %d³ grid, %d steps (dt=%.3f ms)\n", n, nt, dt*1e3)
+
+	res, err := sim.Run(wavesim.WTB{TimeTile: 8, TileX: 16, TileY: 16, BlockX: 8, BlockY: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("WTB run: %v (%.3f GPts/s), 9 wavefields, two-phase wavefronts\n",
+		res.Elapsed.Round(1e6), res.GPointsPerSec)
+
+	// Direct P-wave arrival check on the vz record: pick the first sample
+	// above threshold per receiver and compare with offset/vp.
+	srcZ := float64(nbl+4) * h
+	recZ := float64(nbl+2) * h
+	fmt.Println("\noffset(m)  picked(ms)  direct-P theory(ms)")
+	for r := 0; r < 16; r += 3 {
+		offset := 60 + 150*float64(r)/15.0
+		dist := math.Hypot(offset, srcZ-recZ)
+		peak := 0.0
+		for t := range res.Receivers {
+			if v := math.Abs(float64(res.Receivers[t][r])); v > peak {
+				peak = v
+			}
+		}
+		pick := -1.0
+		for t := range res.Receivers {
+			if math.Abs(float64(res.Receivers[t][r])) > 0.02*peak {
+				pick = float64(t+1) * dt * 1e3
+				break
+			}
+		}
+		fmt.Printf("%9.0f  %10.1f  %19.1f\n", offset, pick, dist/1800*1e3)
+	}
+	fmt.Println("\n(picks trail theory slightly: the Ricker onset precedes its peak)")
+}

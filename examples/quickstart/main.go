@@ -1,0 +1,86 @@
+// Quickstart: propagate a single Ricker source through a layered acoustic
+// model, first under the spatially-blocked baseline and then under
+// wave-front temporal blocking, verify both produce identical receiver
+// data, and print the shot record's strongest arrivals.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"wavetile/wavesim"
+)
+
+func main() {
+	const (
+		n   = 72   // grid points per edge (absorbing layers included)
+		h   = 10.0 // metres
+		nbl = 8
+	)
+	center := float64(n-1) * h / 2
+
+	sim, err := wavesim.New(wavesim.Options{
+		Physics:    wavesim.Acoustic,
+		SpaceOrder: 8,
+		Shape:      [3]int{n, n, n},
+		Spacing:    [3]float64{h, h, h},
+		NBL:        nbl,
+		TMax:       0.12, // seconds
+		Vp:         wavesim.Layered(float64(n)*h, 1500, 2200, 3000),
+		SourceF0:   18,
+		SourceAmp:  1,
+		// One off-the-grid source near the surface...
+		Sources: []wavesim.Coord{{center + 3.7, center - 2.1, float64(nbl+3) * h}},
+		// ...and a receiver cable across the model.
+		Receivers: wavesim.LineCoords(24,
+			wavesim.Coord{float64(nbl+1) * h, center, float64(nbl+2) * h},
+			wavesim.Coord{float64(n-nbl-2) * h, center, float64(nbl+2) * h}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, _, dt, nt := sim.Geometry()
+	fmt.Printf("acoustic O(2,8) on %d³ grid: dt=%.3f ms, %d timesteps\n", n, dt*1e3, nt)
+
+	spatial, err := sim.Run(wavesim.Spatial{BlockX: 8, BlockY: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wtb, err := sim.Run(wavesim.WTB{TimeTile: 16, TileX: 24, TileY: 24, BlockX: 8, BlockY: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spatial blocking: %8v  (%.3f GPts/s)\n", spatial.Elapsed.Round(1e6), spatial.GPointsPerSec)
+	fmt.Printf("temporal blocking: %7v  (%.3f GPts/s)\n", wtb.Elapsed.Round(1e6), wtb.GPointsPerSec)
+
+	// The paper's correctness property: the precomputed sparse operators
+	// make the two schedules bitwise identical.
+	for t := range spatial.Receivers {
+		for r := range spatial.Receivers[t] {
+			if spatial.Receivers[t][r] != wtb.Receivers[t][r] {
+				log.Fatalf("schedules disagree at t=%d receiver %d", t, r)
+			}
+		}
+	}
+	fmt.Println("receiver records from the two schedules are bitwise identical ✓")
+
+	// First-arrival picks: the wave moves out from the centre, so arrival
+	// time grows with receiver offset.
+	fmt.Println("\nreceiver  first-arrival (ms)  peak amplitude")
+	for r := 0; r < len(spatial.Receivers[0]); r += 4 {
+		peak, arrival := 0.0, -1
+		for t := range spatial.Receivers {
+			v := math.Abs(float64(spatial.Receivers[t][r]))
+			if v > peak {
+				peak = v
+			}
+			if arrival < 0 && v > 1e-6 {
+				arrival = t
+			}
+		}
+		fmt.Printf("%8d  %19.1f  %14.3g\n", r, float64(arrival)*dt*1e3, peak)
+	}
+}

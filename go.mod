@@ -1,0 +1,3 @@
+module wavetile
+
+go 1.22

@@ -1,0 +1,104 @@
+// Package autotune sweeps the wave-front temporal-blocking parameter space
+// — time-tile depth, tile shape, block shape — and picks the fastest
+// configuration, reproducing the paper's §IV-C procedure ("we swept over
+// the whole parameter space to find the global performance maxima") that
+// yields the optimal tile/block shapes of Table I.
+package autotune
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wavetile/internal/tiling"
+)
+
+// Result records one measured configuration.
+type Result struct {
+	Cfg     tiling.Config
+	Elapsed time.Duration
+	GPts    float64 // GPoints/s over the tuning run
+}
+
+// Candidates builds the sweep grid: tiles from the dependency margin up to
+// the domain edge in powers of two, the paper's block shapes, and the given
+// time-tile depths. Illegal combinations (tile below margin) are dropped.
+func Candidates(nx, ny, minTile int, tts []int) []tiling.Config {
+	tileSizes := []int{16, 32, 40, 48, 56, 64, 128, 256}
+	blockSizes := []int{4, 8, 12, 16}
+	var out []tiling.Config
+	for _, tt := range tts {
+		for _, tx := range tileSizes {
+			if tx < minTile || tx > nx {
+				continue
+			}
+			for _, ty := range tileSizes {
+				if ty < minTile || ty > ny {
+					continue
+				}
+				for _, bx := range blockSizes {
+					if bx > tx {
+						continue
+					}
+					for _, by := range blockSizes {
+						if by > ty {
+							continue
+						}
+						out = append(out, tiling.Config{TT: tt, TileX: tx, TileY: ty, BlockX: bx, BlockY: by})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Runner builds a fresh (or reset) propagator limited to nt timesteps for
+// one tuning measurement.
+type Runner func(nt int) (tiling.Propagator, error)
+
+// Tune measures every candidate over tuneSteps timesteps (repeats times,
+// best-of) and returns all results sorted fastest-first. points is the
+// number of grid points updated per timestep (for GPts/s).
+func Tune(run Runner, tuneSteps, repeats int, points int, cands []tiling.Config) ([]Result, error) {
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("autotune: no candidates")
+	}
+	if repeats < 1 {
+		repeats = 1
+	}
+	results := make([]Result, 0, len(cands))
+	for _, cfg := range cands {
+		best := time.Duration(0)
+		for r := 0; r < repeats; r++ {
+			p, err := run(tuneSteps)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if err := tiling.RunWTB(p, cfg); err != nil {
+				return nil, err
+			}
+			el := time.Since(start)
+			if best == 0 || el < best {
+				best = el
+			}
+		}
+		results = append(results, Result{
+			Cfg:     cfg,
+			Elapsed: best,
+			GPts:    float64(points) * float64(tuneSteps) / best.Seconds() / 1e9,
+		})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Elapsed < results[j].Elapsed })
+	return results, nil
+}
+
+// Best is a convenience wrapper returning only the winning configuration.
+func Best(run Runner, tuneSteps, repeats, points int, cands []tiling.Config) (tiling.Config, error) {
+	res, err := Tune(run, tuneSteps, repeats, points, cands)
+	if err != nil {
+		return tiling.Config{}, err
+	}
+	return res[0].Cfg, nil
+}

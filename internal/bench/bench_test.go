@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"wavetile/internal/roofline"
+	"wavetile/internal/tiling"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{Title: "demo", Header: []string{"a", "bb"}}
+	tb.Add("x", 1.23456)
+	tb.Add("longer", 2)
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "# demo") || !strings.Contains(out, "1.235") {
+		t.Fatalf("bad table output:\n%s", out)
+	}
+	var csv strings.Builder
+	tb.FprintCSV(&csv)
+	if !strings.Contains(csv.String(), "a,bb") || !strings.Contains(csv.String(), "longer,2") {
+		t.Fatalf("bad csv output:\n%s", csv.String())
+	}
+}
+
+func TestSpecBuildAllModels(t *testing.T) {
+	for _, m := range []string{"acoustic", "tti", "elastic"} {
+		s := Spec{Model: m, SO: 4, N: 28, Steps: 3}
+		p, err := s.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if p.Prop == nil || p.FlopsPerPoint <= 0 || len(p.SrcSupports) != 1 {
+			t.Fatalf("%s: incomplete problem %+v", m, p)
+		}
+		if p.FlopsPerPoint != flopsPerPoint(m, 4) {
+			t.Fatalf("%s: flop formulas disagree: %d vs %d", m, p.FlopsPerPoint, flopsPerPoint(m, 4))
+		}
+		// Paper naming.
+		want := map[string]string{"acoustic": "Acoustic O(2,4)", "tti": "TTI O(2,4)", "elastic": "Elastic O(1,4)"}[m]
+		if p.Spec.Name() != want {
+			t.Fatalf("name %q want %q", p.Spec.Name(), want)
+		}
+	}
+	if _, err := (Spec{Model: "bogus", SO: 4, N: 24}).Build(); err == nil {
+		t.Fatal("bogus model accepted")
+	}
+}
+
+func TestSpecTimestepCounts(t *testing.T) {
+	// §IV-B: 512 ms of propagation; dt from CFL. With our layered 1.5–3.5
+	// km/s model the counts land in the few-hundred range like the paper's
+	// (228 acoustic / 436 elastic / 587 TTI at their unspecified vmax).
+	for _, c := range []struct {
+		model    string
+		min, max int
+	}{
+		{"acoustic", 150, 700},
+		{"elastic", 200, 1200},
+		{"tti", 150, 900},
+	} {
+		s := Spec{Model: c.model, SO: 8, N: 64}
+		p, err := s.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Geom.Nt < c.min || p.Geom.Nt > c.max {
+			t.Fatalf("%s: nt=%d outside plausible band [%d,%d]", c.model, p.Geom.Nt, c.min, c.max)
+		}
+		t.Logf("%s 512ms → nt=%d (dt=%.3gms)", c.model, p.Geom.Nt, p.Geom.Dt*1e3)
+	}
+}
+
+func TestMeasureSchedules(t *testing.T) {
+	s := Spec{Model: "acoustic", SO: 4, N: 32, Steps: 4}
+	p, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := MeasureSpatial(p, 8, 8, 1, false)
+	if err != nil || sp <= 0 {
+		t.Fatalf("spatial: %v %v", sp, err)
+	}
+	wt, err := MeasureWTB(p, tiling.Config{TT: 4, TileX: 16, TileY: 16, BlockX: 8, BlockY: 8}, 1)
+	if err != nil || wt <= 0 {
+		t.Fatalf("wtb: %v %v", wt, err)
+	}
+}
+
+func TestFig9SimSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	// Scaled-cache smoke mode: a 48³ trace against caches shrunk by the
+	// row-count ratio, so the DRAM-pressure regime of the full-size run is
+	// reproduced cheaply.
+	o := SimOptions{TraceN: 48, TraceNt: 6, RefN: 512}
+	specs := []Spec{{Model: "acoustic", SO: 4}}
+	rows, err := Fig9Sim(specs, []roofline.Machine{roofline.Broadwell()}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	t.Logf("%s on %s: spatial %.2f GPts/s (%s), wtb %.2f GPts/s (%s), speedup %.2fx (cfg %v)",
+		r.Spec.Name(), r.Machine, r.Spatial.GPointsPS, r.Spatial.Bound,
+		r.WTB.GPointsPS, r.WTB.Bound, r.Speedup, r.BestWTB)
+	if r.Speedup < 1.0 {
+		t.Fatalf("simulated WTB slower than spatial: %.2f", r.Speedup)
+	}
+	if r.WTBT.DRAMBytes >= r.SpatialT.DRAMBytes {
+		t.Fatalf("WTB did not reduce DRAM traffic: %d vs %d", r.WTBT.DRAMBytes, r.SpatialT.DRAMBytes)
+	}
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"wavetile/internal/roofline"
+	"wavetile/internal/tiling"
+)
+
+// Figure 10: speedup of the acoustic SO-4 operator over an increasing
+// number of sources, for the two placements of §IV-E — sparse (an x–y
+// plane slice) and dense (uniform over the volume).
+
+// CornerRow is one Figure-10 measurement.
+type CornerRow struct {
+	Layout  string
+	NSrc    int
+	Speedup float64 // WTB vs spatial (wall-clock or predicted)
+	Mode    string  // "wall" or machine name
+}
+
+// Fig10Wall measures the host wall-clock speedup as the source count grows.
+func Fig10Wall(n, steps int, counts []int, cfg tiling.Config, repeats int) ([]CornerRow, error) {
+	var rows []CornerRow
+	for _, layout := range []string{"plane", "dense"} {
+		for _, nsrc := range counts {
+			s := Spec{Model: "acoustic", SO: 4, N: n, Steps: steps,
+				NSrc: nsrc, SrcLayout: layout}
+			p, err := s.Build()
+			if err != nil {
+				return nil, err
+			}
+			sp, err := MeasureSpatial(p, 8, 8, repeats, false)
+			if err != nil {
+				return nil, err
+			}
+			wt, err := MeasureWTB(p, cfg, repeats)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, CornerRow{
+				Layout: layout, NSrc: nsrc,
+				Speedup: float64(sp) / float64(wt), Mode: "wall",
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig10Sim predicts the speedup-vs-source-count curves on a simulated
+// machine: the injection structures grow with the number of affected
+// points, adding traffic that the fused WTB path must absorb.
+func Fig10Sim(m roofline.Machine, counts []int, o SimOptions) ([]CornerRow, error) {
+	o.defaults()
+	var rows []CornerRow
+	for _, layout := range []string{"plane", "dense"} {
+		for _, nsrc := range counts {
+			s := Spec{Model: "acoustic", SO: 4, NSrc: nsrc, SrcLayout: layout, N: o.TraceN}
+			res, err := Fig9Sim([]Spec{s}, []roofline.Machine{m}, o)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, CornerRow{
+				Layout: layout, NSrc: nsrc,
+				Speedup: res[0].Speedup, Mode: m.Name,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"fmt"
+
+	"wavetile/internal/roofline"
+)
+
+// Figure 11: the cache-aware roofline of the isotropic acoustic model on
+// Broadwell, space orders 4, 8 and 12, with one point per (space order,
+// schedule). The paper plots cumulative-traffic arithmetic intensity
+// against achieved GFLOP/s; here the coordinates come from the simulated
+// traffic and the roofline prediction, and the table carries the per-level
+// AI so the full CARM plot can be reconstructed.
+
+// RooflinePoint is one marker of the Figure-11 plot.
+type RooflinePoint struct {
+	Spec     Spec
+	Schedule string
+	Pred     roofline.Prediction
+}
+
+// Fig11 generates the roofline points for the acoustic model at the given
+// space orders.
+func Fig11(m roofline.Machine, orders []int, o SimOptions) ([]RooflinePoint, error) {
+	o.defaults()
+	var pts []RooflinePoint
+	for _, so := range orders {
+		s := Spec{Model: "acoustic", SO: so, N: o.TraceN}
+		rows, err := Fig9Sim([]Spec{s}, []roofline.Machine{m}, o)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts,
+			RooflinePoint{Spec: s, Schedule: "spatial", Pred: rows[0].Spatial},
+			RooflinePoint{Spec: s, Schedule: "wtb", Pred: rows[0].WTB},
+		)
+	}
+	return pts, nil
+}
+
+// Fig11Table formats the points with the machine's ceilings.
+func Fig11Table(m roofline.Machine, pts []RooflinePoint) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Fig. 11 — cache-aware roofline, acoustic, %s (peak %.0f GF/s, DRAM %.0f GB/s)",
+			m.Name, m.PeakGFlops, m.BWGBs[len(m.BWGBs)-1]),
+		Header: []string{"kernel", "schedule", "AI_L1 (F/B)", "AI_L2 (F/B)", "AI_DRAM (F/B)", "GFLOP/s", "bound"},
+	}
+	for _, p := range pts {
+		t.Add(p.Spec.Name(), p.Schedule,
+			p.Pred.AIs[0], p.Pred.AIs[1], p.Pred.AIs[2],
+			p.Pred.GFlops, p.Pred.Bound)
+	}
+	return t
+}

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+
+	"wavetile/internal/model"
+	"wavetile/internal/sparse"
+	"wavetile/internal/tiling"
+	"wavetile/internal/wave"
+	"wavetile/internal/wavelet"
+)
+
+// Spec describes one benchmark problem, mirroring the paper's test-case
+// setup (§IV-B): a cubic velocity model with absorbing layers, a Ricker
+// source wavelet (a single localized source by default; plane/dense layouts
+// for the §IV-E corner cases) and a line of receivers.
+type Spec struct {
+	Model string // "acoustic", "tti", "elastic"
+	SO    int    // space order: 4, 8, 12
+	N     int    // cubic grid edge (absorbing layers included)
+	NBL   int    // absorbing layer width
+	Steps int    // timesteps (0 → the paper's 512 ms of wave propagation)
+
+	NSrc      int    // number of sources (default 1)
+	SrcLayout string // "single" (default), "plane", "dense"
+	NRec      int    // receivers on a line (default 32)
+}
+
+// Name labels the spec like the paper's kernels, e.g. "Acoustic O(2,8)".
+func (s Spec) Name() string {
+	order := 2
+	if s.Model == "elastic" {
+		order = 1
+	}
+	label := map[string]string{"acoustic": "Acoustic", "tti": "TTI", "elastic": "Elastic"}[s.Model]
+	return fmt.Sprintf("%s O(%d,%d)", label, order, s.SO)
+}
+
+// Problem is an instantiated spec.
+type Problem struct {
+	Spec Spec
+	Geom model.Geometry
+	Prop tiling.Propagator
+	// FlopsPerPoint and PointsPerStep feed the roofline model.
+	FlopsPerPoint int
+	PointsPerStep int
+	// SrcSupports feed the trace generators.
+	SrcSupports []sparse.Support
+	Reset       func()
+}
+
+// spacing follows the paper: 10 m for acoustic/elastic, 20 m for TTI.
+func (s Spec) spacing() float64 {
+	if s.Model == "tti" {
+		return 20
+	}
+	return 10
+}
+
+// sources builds the source layout inside the physical box.
+func (s Spec) sources(g model.Geometry) *sparse.Points {
+	lo, hi := g.PhysicalBox()
+	n := s.NSrc
+	if n <= 0 {
+		n = 1
+	}
+	switch s.SrcLayout {
+	case "plane":
+		return sparse.PlaneSlice(n, lo[2]+0.2*(hi[2]-lo[2]), lo[0], hi[0], lo[1], hi[1])
+	case "dense":
+		return sparse.DenseVolume(n, lo[0], hi[0], lo[1], hi[1], lo[2], hi[2])
+	default:
+		c := g.Center()
+		return sparse.Single(sparse.Coord{c[0] + 0.37*g.Hx, c[1] - 0.21*g.Hy, lo[2] + 2.3*g.Hz})
+	}
+}
+
+// Build instantiates the problem: earth model, CFL time axis, sources,
+// receivers, propagator.
+func (s Spec) Build() (*Problem, error) {
+	if s.N <= 0 {
+		return nil, fmt.Errorf("bench: grid size not set")
+	}
+	if s.NBL == 0 {
+		s.NBL = 10
+	}
+	if s.NRec == 0 {
+		s.NRec = 32
+	}
+	h := s.spacing()
+	g := model.Geometry{Nx: s.N, Ny: s.N, Nz: s.N, Hx: h, Hy: h, Hz: h, NBL: s.NBL}
+	// The paper's layer-cake stand-in for the unspecified velocity model.
+	vp := model.Layered(float64(s.N)*h, 1500, 2000, 2500, 3000, 3500)
+	const vmax = 3500
+
+	var dt float64
+	switch s.Model {
+	case "acoustic":
+		dt = g.CriticalDtAcoustic(s.SO, vmax, model.DefaultCFL)
+	case "tti":
+		dt = g.CriticalDtTTI(s.SO, vmax, 0.24, model.DefaultCFL)
+	case "elastic":
+		dt = g.CriticalDtElastic(s.SO, vmax, model.DefaultCFL)
+	default:
+		return nil, fmt.Errorf("bench: unknown model %q", s.Model)
+	}
+	if s.Steps > 0 {
+		g.Dt, g.Nt = dt, s.Steps
+	} else {
+		g.SetTime(0.512, dt) // the paper models 512 ms
+	}
+
+	src := s.sources(g)
+	wavs := make([][]float32, src.N())
+	for i := range wavs {
+		wavs[i] = wavelet.RickerSeries(10, g.Nt, g.Dt, 1)
+	}
+	lo, hi := g.PhysicalBox()
+	rec := sparse.Line(s.NRec,
+		sparse.Coord{lo[0], (lo[1] + hi[1]) / 2, lo[2] + g.Hz},
+		sparse.Coord{hi[0], (lo[1] + hi[1]) / 2, lo[2] + g.Hz})
+
+	p := &Problem{Spec: s, Geom: g, PointsPerStep: g.Nx * g.Ny * g.Nz}
+	sup, err := src.Supports(g.Nx, g.Ny, g.Nz, g.Hx, g.Hy, g.Hz)
+	if err != nil {
+		return nil, err
+	}
+	p.SrcSupports = sup
+
+	halo := s.SO / 2
+	switch s.Model {
+	case "acoustic":
+		params := model.NewAcoustic(g, halo, vp)
+		a, err := wave.NewAcoustic(wave.AcousticOpts{Params: params, SO: s.SO, Src: src, SrcWav: wavs, Rec: rec})
+		if err != nil {
+			return nil, err
+		}
+		p.Prop, p.FlopsPerPoint, p.Reset = a, a.FlopsPerPoint(), a.Reset
+	case "tti":
+		params := model.NewTTI(g, halo, vp,
+			model.Homogeneous(0.24), model.Homogeneous(0.12),
+			func(x, y, z float64) float64 { return 0.35 },
+			func(x, y, z float64) float64 { return 0.25 })
+		w, err := wave.NewTTI(wave.TTIOpts{Params: params, SO: s.SO, Src: src, SrcWav: wavs, Rec: rec})
+		if err != nil {
+			return nil, err
+		}
+		p.Prop, p.FlopsPerPoint, p.Reset = w, w.FlopsPerPoint(), w.Reset
+	case "elastic":
+		params := model.NewElastic(g, halo, vp,
+			func(x, y, z float64) float64 { return vp(x, y, z) / 1.9 },
+			model.Homogeneous(1800))
+		e, err := wave.NewElastic(wave.ElasticOpts{Params: params, SO: s.SO, Src: src, SrcWav: wavs, Rec: rec})
+		if err != nil {
+			return nil, err
+		}
+		p.Prop, p.FlopsPerPoint, p.Reset = e, e.FlopsPerPoint(), e.Reset
+	}
+	return p, nil
+}
+
+// PaperSpecs returns the nine kernels of the paper's evaluation at the
+// given grid size (the paper uses N=512; smaller sizes keep host runs
+// tractable) and step budget.
+func PaperSpecs(n, steps int) []Spec {
+	var out []Spec
+	for _, m := range []string{"acoustic", "elastic", "tti"} {
+		for _, so := range []int{4, 8, 12} {
+			out = append(out, Spec{Model: m, SO: so, N: n, Steps: steps})
+		}
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+// Package cachesim is the hardware substrate substitute for the paper's
+// Xeon testbeds: a trace-driven, multi-level cache-hierarchy simulator.
+//
+// The paper's speedups come from wave-front temporal blocking reducing the
+// traffic a stencil sweep pushes through the slower cache levels and DRAM.
+// Since this reproduction runs in Go on whatever host is available (with no
+// SIMD or cache pinning control), absolute wall-clock numbers cannot match
+// the paper's; the simulator instead replays the exact memory-access pattern
+// of each schedule against the cache configurations of the paper's two
+// machines (Broadwell E5-2673 v4, Skylake 8171M) and reports per-level
+// traffic. internal/roofline turns that traffic into predicted throughput,
+// reproducing the shape of Figures 9 and 11.
+//
+// The model: inclusive set-associative caches with true-LRU replacement,
+// write-back + write-allocate, 64-byte lines, and a single access stream
+// (the per-socket shared LLC sees the union of all cores' traffic; for
+// traffic-ratio purposes a single-stream replay of the full iteration space
+// is the appropriate model).
+package cachesim
+
+import "fmt"
+
+// LineSize is the cache line size in bytes for all levels.
+const LineSize = 64
+
+// Level describes one cache level.
+type Level struct {
+	Name       string
+	SizeBytes  int
+	Assoc      int
+	nsets      int
+	tags       []uint64 // nsets × assoc; 0 = invalid
+	dirty      []bool
+	lru        []uint8 // age per way: 0 = MRU
+	Accesses   uint64  // lookups arriving at this level
+	Misses     uint64
+	WriteBacks uint64
+}
+
+// Hierarchy is a stack of levels backed by DRAM.
+type Hierarchy struct {
+	Levels []*Level
+	// DRAMReads/DRAMWrites count lines transferred to/from memory.
+	DRAMReads, DRAMWrites uint64
+}
+
+// Config identifies a machine's cache configuration.
+type Config struct {
+	Name   string
+	Levels []LevelSpec
+}
+
+// LevelSpec sizes one level.
+type LevelSpec struct {
+	Name      string
+	SizeBytes int
+	Assoc     int
+}
+
+// Broadwell returns the cache configuration of the paper's first system:
+// Intel Broadwell E5-2673 v4 — L1 32 KB, L2 256 KB private, 50 MB shared L3.
+func Broadwell() Config {
+	return Config{Name: "Broadwell", Levels: []LevelSpec{
+		{"L1", 32 << 10, 8},
+		{"L2", 256 << 10, 8},
+		{"L3", 50 << 20, 20},
+	}}
+}
+
+// Skylake returns the cache configuration of the paper's second system:
+// Intel Skylake Platinum 8171M — L1 32 KB, L2 1 MB private, 35.75 MB L3.
+func Skylake() Config {
+	return Config{Name: "Skylake", Levels: []LevelSpec{
+		{"L1", 32 << 10, 8},
+		{"L2", 1 << 20, 16},
+		{"L3", 35750 << 10, 11},
+	}}
+}
+
+// Scaled returns c with every cache level scaled by factor f (> 0). The
+// trace generators run on reduced grids to keep simulation time reasonable;
+// scaling the caches by the same working-set ratio preserves the
+// fits/doesn't-fit structure that drives the traffic ratios.
+func (c Config) Scaled(f float64) Config {
+	out := Config{Name: c.Name, Levels: make([]LevelSpec, len(c.Levels))}
+	for i, l := range c.Levels {
+		sz := int(float64(l.SizeBytes) * f)
+		if sz < LineSize*l.Assoc {
+			sz = LineSize * l.Assoc
+		}
+		out.Levels[i] = LevelSpec{l.Name, sz, l.Assoc}
+	}
+	return out
+}
+
+// New builds a hierarchy from a configuration.
+func New(c Config) *Hierarchy {
+	h := &Hierarchy{}
+	for _, spec := range c.Levels {
+		nsets := spec.SizeBytes / (LineSize * spec.Assoc)
+		if nsets <= 0 {
+			panic(fmt.Sprintf("cachesim: level %s too small", spec.Name))
+		}
+		l := &Level{
+			Name:      spec.Name,
+			SizeBytes: spec.SizeBytes,
+			Assoc:     spec.Assoc,
+			nsets:     nsets,
+			tags:      make([]uint64, nsets*spec.Assoc),
+			dirty:     make([]bool, nsets*spec.Assoc),
+			lru:       make([]uint8, nsets*spec.Assoc),
+		}
+		// Ages within a set must form a permutation 0..assoc-1 for the
+		// relative-aging update in touch to stay consistent.
+		for i := range l.lru {
+			l.lru[i] = uint8(i % spec.Assoc)
+		}
+		h.Levels = append(h.Levels, l)
+	}
+	return h
+}
+
+// lookup probes one level for a line; on hit it refreshes LRU and returns
+// true. On miss it returns false; the caller inserts via insert.
+func (l *Level) lookup(line uint64) bool {
+	set := int(line % uint64(l.nsets))
+	base := set * l.Assoc
+	for w := 0; w < l.Assoc; w++ {
+		if l.tags[base+w] == line+1 { // +1: 0 means invalid
+			l.touch(base, w)
+			return true
+		}
+	}
+	return false
+}
+
+// touch makes way w of the set at base the MRU entry.
+func (l *Level) touch(base, w int) {
+	age := l.lru[base+w]
+	for i := 0; i < l.Assoc; i++ {
+		if l.lru[base+i] < age {
+			l.lru[base+i]++
+		}
+	}
+	l.lru[base+w] = 0
+}
+
+// insert places a line, evicting the LRU way; returns the victim line and
+// whether it was dirty (needs write-back), with present=false if the way
+// was empty.
+func (l *Level) insert(line uint64, dirty bool) (victim uint64, victimDirty, present bool) {
+	set := int(line % uint64(l.nsets))
+	base := set * l.Assoc
+	w := 0
+	for i := 0; i < l.Assoc; i++ {
+		if l.tags[base+i] == 0 {
+			w = i
+			present = false
+			goto place
+		}
+		if l.lru[base+i] > l.lru[base+w] {
+			w = i
+		}
+	}
+	if l.tags[base+w] != 0 {
+		victim = l.tags[base+w] - 1
+		victimDirty = l.dirty[base+w]
+		present = true
+	}
+place:
+	l.tags[base+w] = line + 1
+	l.dirty[base+w] = dirty
+	l.touch(base, w)
+	return victim, victimDirty, present
+}
+
+// markDirty sets the dirty bit of a resident line (after a write hit).
+func (l *Level) markDirty(line uint64) {
+	set := int(line % uint64(l.nsets))
+	base := set * l.Assoc
+	for w := 0; w < l.Assoc; w++ {
+		if l.tags[base+w] == line+1 {
+			l.dirty[base+w] = true
+			return
+		}
+	}
+}
+
+// Access performs one load (write=false) or store (write=true) of the line
+// containing byte address addr.
+func (h *Hierarchy) Access(addr uint64, write bool) {
+	line := addr / LineSize
+	// Probe down the hierarchy.
+	hitLevel := len(h.Levels)
+	for i, l := range h.Levels {
+		l.Accesses++
+		if l.lookup(line) {
+			hitLevel = i
+			break
+		}
+		l.Misses++
+	}
+	if hitLevel == len(h.Levels) {
+		h.DRAMReads++
+	}
+	// Fill the line into every level above the hit (write-allocate), with
+	// evictions cascading to the next level down.
+	for i := hitLevel - 1; i >= 0; i-- {
+		victim, vd, present := h.Levels[i].insert(line, false)
+		if present && vd {
+			h.writeBackFrom(i, victim)
+		}
+	}
+	if write {
+		h.Levels[0].markDirty(line)
+	}
+}
+
+// writeBackFrom pushes a dirty victim from level i to level i+1 (or DRAM).
+func (h *Hierarchy) writeBackFrom(i int, line uint64) {
+	h.Levels[i].WriteBacks++
+	if i+1 >= len(h.Levels) {
+		h.DRAMWrites++
+		return
+	}
+	nxt := h.Levels[i+1]
+	if nxt.lookup(line) {
+		nxt.markDirty(line)
+		return
+	}
+	// Inclusive fill of the dirty line.
+	victim, vd, present := nxt.insert(line, true)
+	if present && vd {
+		h.writeBackFrom(i+1, victim)
+	}
+}
+
+// Traffic summarizes the bytes crossing each boundary of the hierarchy.
+type Traffic struct {
+	Name string
+	// Boundary[i] counts lines crossing the boundary below level i in
+	// either direction: Boundary[0] is L2↔L1 traffic (L1 fills +
+	// write-backs), Boundary[1] is L3↔L2, and the last entry is DRAM↔LLC.
+	Boundary []uint64
+	// DRAMBytes is the last boundary in bytes (reads + write-backs).
+	DRAMBytes uint64
+	// Accesses is the total number of L1 lookups.
+	Accesses uint64
+}
+
+// Snapshot extracts the traffic counters.
+func (h *Hierarchy) Snapshot(name string) Traffic {
+	t := Traffic{Name: name, Boundary: make([]uint64, len(h.Levels))}
+	if len(h.Levels) > 0 {
+		t.Accesses = h.Levels[0].Accesses
+	}
+	for i, l := range h.Levels {
+		if i == len(h.Levels)-1 {
+			t.Boundary[i] = h.DRAMReads + h.DRAMWrites
+			continue
+		}
+		t.Boundary[i] = l.Misses + l.WriteBacks
+	}
+	t.DRAMBytes = (h.DRAMReads + h.DRAMWrites) * LineSize
+	return t
+}
+
+// BytesAt returns the byte traffic crossing the boundary below level idx
+// (0 = L2↔L1, 1 = L3↔L2, last = DRAM).
+func (t Traffic) BytesAt(idx int) uint64 {
+	if idx >= len(t.Boundary) {
+		return t.DRAMBytes
+	}
+	return t.Boundary[idx] * LineSize
+}

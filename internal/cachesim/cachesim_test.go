@@ -1,0 +1,158 @@
+package cachesim
+
+import "testing"
+
+// tiny returns a hierarchy with one small L1 (4 sets × 2 ways = 8 lines)
+// and a larger L2 for focused behavioural tests.
+func tiny() *Hierarchy {
+	return New(Config{Name: "tiny", Levels: []LevelSpec{
+		{"L1", 4 * 2 * LineSize, 2},
+		{"L2", 64 * 4 * LineSize, 4},
+	}})
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := tiny()
+	h.Access(0, false)
+	if h.Levels[0].Misses != 1 || h.DRAMReads != 1 {
+		t.Fatalf("cold access: L1 misses %d, DRAM reads %d", h.Levels[0].Misses, h.DRAMReads)
+	}
+	h.Access(4, false) // same line
+	if h.Levels[0].Misses != 1 {
+		t.Fatal("same-line access missed")
+	}
+	if h.Levels[0].Accesses != 2 {
+		t.Fatalf("accesses %d", h.Levels[0].Accesses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	h := tiny() // L1: 4 sets, 2 ways; lines mapping to set 0: 0, 4, 8, ...
+	l := uint64(LineSize)
+	h.Access(0*l*4, false) // set 0
+	h.Access(1*l*4, false) // set 0 (line 4)
+	h.Access(0*l*4, false) // refresh line 0 → MRU
+	h.Access(2*l*4, false) // set 0: evicts line 4 (LRU)
+	m := h.Levels[0].Misses
+	h.Access(0*l*4, false) // line 0 must still be resident
+	if h.Levels[0].Misses != m {
+		t.Fatal("MRU line was evicted")
+	}
+	h.Access(1*l*4, false) // line 4 was evicted → miss
+	if h.Levels[0].Misses != m+1 {
+		t.Fatal("LRU line was not evicted")
+	}
+}
+
+func TestEvictedLineHitsL2(t *testing.T) {
+	h := tiny()
+	l := uint64(LineSize)
+	// Fill set 0 of L1 beyond capacity.
+	for i := uint64(0); i < 3; i++ {
+		h.Access(i*4*l, false)
+	}
+	d := h.DRAMReads
+	h.Access(0, false) // evicted from L1, but resident in L2
+	if h.DRAMReads != d {
+		t.Fatal("L2 did not retain evicted line")
+	}
+}
+
+func TestWriteBackOnDirtyEviction(t *testing.T) {
+	h := tiny()
+	l := uint64(LineSize)
+	h.Access(0, true) // dirty line in set 0
+	h.Access(1*4*l, false)
+	h.Access(2*4*l, false) // evicts dirty line 0 from L1 → write-back to L2
+	if h.Levels[0].WriteBacks != 1 {
+		t.Fatalf("L1 write-backs %d, want 1", h.Levels[0].WriteBacks)
+	}
+	if h.DRAMWrites != 0 {
+		t.Fatal("write-back went to DRAM though L2 holds the line")
+	}
+}
+
+func TestDirtyLineReachesDRAMWhenCapacityExceeded(t *testing.T) {
+	// Stream writes over a footprint far larger than both levels: every
+	// line must eventually be written back to DRAM.
+	h := tiny()
+	nl := 4096
+	for i := 0; i < nl; i++ {
+		h.Access(uint64(i)*LineSize, true)
+	}
+	// Sweep again with reads to force the dirty lines out.
+	for i := nl; i < 2*nl; i++ {
+		h.Access(uint64(i)*LineSize, false)
+	}
+	if h.DRAMWrites == 0 {
+		t.Fatal("no dirty lines reached DRAM")
+	}
+	if h.DRAMReads != uint64(2*nl) {
+		t.Fatalf("DRAM reads %d, want %d (streaming, no reuse)", h.DRAMReads, 2*nl)
+	}
+}
+
+func TestWorkingSetFitsNoSteadyStateMisses(t *testing.T) {
+	h := tiny()
+	// Working set: 6 distinct lines spread over different sets (< 8-line L1).
+	lines := []uint64{0, 1, 2, 3, 4, 5}
+	for pass := 0; pass < 3; pass++ {
+		for _, ln := range lines {
+			h.Access(ln*LineSize, false)
+		}
+	}
+	if h.Levels[0].Misses != uint64(len(lines)) {
+		t.Fatalf("steady-state misses: %d total, want %d cold only", h.Levels[0].Misses, len(lines))
+	}
+}
+
+func TestSnapshotTrafficAccounting(t *testing.T) {
+	h := tiny()
+	for i := 0; i < 100; i++ {
+		h.Access(uint64(i)*LineSize, false)
+	}
+	tr := h.Snapshot("t")
+	// All 100 lines missed L1 and L2 → 100 lines crossed every boundary.
+	if tr.DRAMBytes != 100*LineSize {
+		t.Fatalf("DRAM bytes %d, want %d", tr.DRAMBytes, 100*LineSize)
+	}
+	if tr.Boundary[0] != 100 || tr.Boundary[1] != 100 {
+		t.Fatalf("boundaries %v, want 100 lines each", tr.Boundary)
+	}
+	// Re-stream: everything hits L2 (fits) but misses L1 (too small) — the
+	// L2→L1 boundary doubles, DRAM stays.
+	for i := 0; i < 100; i++ {
+		h.Access(uint64(i)*LineSize, false)
+	}
+	tr = h.Snapshot("t")
+	if tr.Boundary[0] != 200 {
+		t.Fatalf("L2→L1 lines %d, want 200 after second sweep", tr.Boundary[0])
+	}
+	if tr.DRAMBytes != 100*LineSize {
+		t.Fatalf("DRAM grew on cached sweep: %d", tr.DRAMBytes)
+	}
+}
+
+func TestConfigsAndScaling(t *testing.T) {
+	b, s := Broadwell(), Skylake()
+	if b.Levels[2].SizeBytes != 50<<20 {
+		t.Fatal("Broadwell L3 size wrong")
+	}
+	if s.Levels[1].SizeBytes != 1<<20 {
+		t.Fatal("Skylake L2 size wrong")
+	}
+	sc := b.Scaled(1.0 / 64)
+	if sc.Levels[2].SizeBytes != (50<<20)/64 {
+		t.Fatalf("scaled L3 %d", sc.Levels[2].SizeBytes)
+	}
+	// Scaling never collapses a level below one full set of ways.
+	tinyScale := b.Scaled(1e-9)
+	for _, l := range tinyScale.Levels {
+		if l.SizeBytes < LineSize*l.Assoc {
+			t.Fatalf("level %s scaled below minimum", l.Name)
+		}
+	}
+	// Scaled configs still construct.
+	New(sc)
+	New(tinyScale)
+}

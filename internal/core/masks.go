@@ -1,0 +1,219 @@
+// Package core implements the paper's primary contribution: the
+// precomputation scheme that aligns sparse off-the-grid operators (source
+// injection, receiver measurement interpolation) with the computational
+// grid, so that their effect can be fused into the stencil loop nest and
+// temporal blocking becomes legal (paper §II-A, Listings 2–5, Figs. 5–6).
+//
+// The pipeline is:
+//
+//  1. Iterate the sources' coordinates and record the indices of affected
+//     grid points (Listing 2) — BuildMasks.
+//  2. Generate a sparse binary mask (SM) and unique ascending IDs (SID) for
+//     every affected point (Fig. 5b/5c) — Masks.
+//  3. Decompose the off-the-grid wavefields into per-affected-point,
+//     grid-aligned wavefields src_dcmp[t][id] (Listing 3, Fig. 5d) —
+//     DecomposeWavelets.
+//  4. Fuse the injection into the kernel's iteration space (Listing 4) —
+//     InjectRegion, called by the propagators inside their blocked loops.
+//  5. Reduce the iteration space with nnz_mask and Sp_SID so only affected
+//     z entries are visited (Listing 5, Fig. 6) — the compressed layout is
+//     what InjectRegion iterates.
+//
+// Receivers get the symmetric treatment: Sampler records the wavefield value
+// at every affected grid point while it is live inside a space-time tile;
+// the receiver traces are gathered from the recorded point wavefields after
+// the time loop (GatherReceivers).
+package core
+
+import (
+	"fmt"
+
+	"wavetile/internal/grid"
+	"wavetile/internal/sparse"
+)
+
+// Masks holds the grid-aligned description of a set of off-the-grid points:
+// the unique affected grid points (npts of them, identified by ascending IDs
+// in x→y→z scan order, the paper's SID) and the compressed per-column
+// iteration structures nnz_mask and Sp_SID of Listing 5.
+type Masks struct {
+	Nx, Ny, Nz int
+	Npts       int
+
+	// PointX/Y/Z give the grid coordinates of each ID (the inverse of SID).
+	PointX, PointY, PointZ []int32
+
+	// NNZ is the paper's nnz_mask: NNZ[x*Ny+y] counts the affected z
+	// entries in column (x, y).
+	NNZ []int32
+	// MaxNNZ is the deepest column; SpZ/SpID are rectangular with this depth.
+	MaxNNZ int
+	// SpZ is the paper's Sp_SID: SpZ[(x*Ny+y)*MaxNNZ + j] is the z index of
+	// the j-th affected entry of column (x, y), for j < NNZ[x*Ny+y].
+	SpZ []int32
+	// SpID carries the matching unique ID, so the fused loop reads the
+	// decomposed wavefield with a single indirection.
+	SpID []int32
+
+	idOf map[int64]int32 // (x,y,z) key → ID; npts entries
+}
+
+func key(nx, ny, nz int, x, y, z int32) int64 {
+	return (int64(x)*int64(ny)+int64(y))*int64(nz) + int64(z)
+}
+
+// BuildMasks performs steps 1–2 and 5 of the scheme for the given supports
+// (one per off-the-grid point, from sparse.Points.Supports). Duplicate grid
+// points — "it is quite common to encounter points being affected by more
+// than one source" — collapse onto a single ID. IDs ascend in x→y→z scan
+// order as in Fig. 5c.
+func BuildMasks(nx, ny, nz int, sups []sparse.Support) *Masks {
+	m := &Masks{
+		Nx: nx, Ny: ny, Nz: nz,
+		NNZ:  make([]int32, nx*ny),
+		idOf: make(map[int64]int32),
+	}
+	// Step 1–2: mark affected points in a transient bitset (the SM binary
+	// mask; kept packed since only its nonzero structure matters from here
+	// on).
+	bits := make([]uint64, (nx*ny*nz+63)/64)
+	for i := range sups {
+		sp := &sups[i]
+		for c := 0; c < 8; c++ {
+			k := key(nx, ny, nz, sp.X[c], sp.Y[c], sp.Z[c])
+			bits[k>>6] |= 1 << uint(k&63)
+		}
+	}
+	// Scan in ascending order, assigning IDs and column counts.
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			col := (int64(x)*int64(ny) + int64(y)) * int64(nz)
+			for z := 0; z < nz; z++ {
+				k := col + int64(z)
+				if bits[k>>6]&(1<<uint(k&63)) == 0 {
+					continue
+				}
+				id := int32(m.Npts)
+				m.idOf[k] = id
+				m.PointX = append(m.PointX, int32(x))
+				m.PointY = append(m.PointY, int32(y))
+				m.PointZ = append(m.PointZ, int32(z))
+				m.NNZ[x*ny+y]++
+				m.Npts++
+			}
+		}
+	}
+	// Step 5: compressed per-column z lists (nnz_mask already built).
+	for _, c := range m.NNZ {
+		if int(c) > m.MaxNNZ {
+			m.MaxNNZ = int(c)
+		}
+	}
+	if m.MaxNNZ > 0 {
+		m.SpZ = make([]int32, nx*ny*m.MaxNNZ)
+		m.SpID = make([]int32, nx*ny*m.MaxNNZ)
+		fill := make([]int32, nx*ny)
+		for id := 0; id < m.Npts; id++ {
+			x, y, z := m.PointX[id], m.PointY[id], m.PointZ[id]
+			col := int(x)*ny + int(y)
+			j := fill[col]
+			m.SpZ[col*m.MaxNNZ+int(j)] = z
+			m.SpID[col*m.MaxNNZ+int(j)] = int32(id)
+			fill[col] = j + 1
+		}
+	}
+	return m
+}
+
+// ID returns the unique ID of grid point (x, y, z) and whether the point is
+// affected at all.
+func (m *Masks) ID(x, y, z int) (int32, bool) {
+	id, ok := m.idOf[key(m.Nx, m.Ny, m.Nz, int32(x), int32(y), int32(z))]
+	return id, ok
+}
+
+// DenseSM materializes the binary mask SM of Fig. 5b (1 at affected points).
+// Intended for tests and illustration on small grids.
+func (m *Masks) DenseSM() []uint8 {
+	sm := make([]uint8, m.Nx*m.Ny*m.Nz)
+	for id := 0; id < m.Npts; id++ {
+		sm[(int(m.PointX[id])*m.Ny+int(m.PointY[id]))*m.Nz+int(m.PointZ[id])] = 1
+	}
+	return sm
+}
+
+// DenseSID materializes the ID grid of Fig. 5c, with -1 at unaffected
+// points. Intended for tests and illustration on small grids.
+func (m *Masks) DenseSID() []int32 {
+	sid := make([]int32, m.Nx*m.Ny*m.Nz)
+	for i := range sid {
+		sid[i] = -1
+	}
+	for id := 0; id < m.Npts; id++ {
+		sid[(int(m.PointX[id])*m.Ny+int(m.PointY[id]))*m.Nz+int(m.PointZ[id])] = int32(id)
+	}
+	return sid
+}
+
+// DecomposeWavelets is Listing 3: it converts per-source wavelets
+// (wav[s][t], one series per off-the-grid point whose support is sups[s])
+// into per-affected-grid-point wavefields src_dcmp[t][id], folding in the
+// interpolation weight and the per-point injection scale (e.g. dt²/m).
+// After this step the sources are grid-aligned (Fig. 5d) and the injection
+// at time t reduces to u[pt] += src_dcmp[t][SID[pt]].
+func (m *Masks) DecomposeWavelets(sups []sparse.Support, wav [][]float32, nt int, scale sparse.ScaleFunc) ([][]float32, error) {
+	if len(sups) != len(wav) {
+		return nil, fmt.Errorf("core: %d supports but %d wavelets", len(sups), len(wav))
+	}
+	dcmp := make([][]float32, nt)
+	buf := make([]float32, nt*m.Npts)
+	for t := range dcmp {
+		dcmp[t], buf = buf[:m.Npts:m.Npts], buf[m.Npts:]
+	}
+	for s := range sups {
+		sp := &sups[s]
+		if len(wav[s]) < nt {
+			return nil, fmt.Errorf("core: wavelet %d has %d samples, need %d", s, len(wav[s]), nt)
+		}
+		for c := 0; c < 8; c++ {
+			x, y, z := int(sp.X[c]), int(sp.Y[c]), int(sp.Z[c])
+			id, ok := m.ID(x, y, z)
+			if !ok {
+				return nil, fmt.Errorf("core: support point (%d,%d,%d) missing from masks", x, y, z)
+			}
+			w := float32(sp.W[c]) * scale(x, y, z)
+			for t := 0; t < nt; t++ {
+				dcmp[t][id] += w * wav[s][t]
+			}
+		}
+	}
+	return dcmp, nil
+}
+
+// InjectRegion is the fused, compressed source injection of Listing 5,
+// restricted to the x–y region reg (which the schedules guarantee is visited
+// exactly once per timestep): for every affected point in the region,
+// u[x,y,z] += src[id]. src is one time-slice of the decomposed wavefield,
+// src_dcmp[t].
+//
+// Distinct regions touch distinct grid points and distinct IDs, so parallel
+// calls on the disjoint blocks of a schedule are race-free.
+func (m *Masks) InjectRegion(u *grid.Grid, reg grid.Region, src []float32) {
+	if m.Npts == 0 {
+		return
+	}
+	for x := reg.X0; x < reg.X1; x++ {
+		rowBase := x * m.Ny
+		for y := reg.Y0; y < reg.Y1; y++ {
+			cnt := int(m.NNZ[rowBase+y])
+			if cnt == 0 {
+				continue
+			}
+			sp := (rowBase + y) * m.MaxNNZ
+			row := u.Row(x, y)
+			for j := 0; j < cnt; j++ {
+				row[m.SpZ[sp+j]] += src[m.SpID[sp+j]]
+			}
+		}
+	}
+}

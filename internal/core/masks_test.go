@@ -1,0 +1,261 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wavetile/internal/grid"
+	"wavetile/internal/sparse"
+)
+
+func supportsFor(t *testing.T, pts *sparse.Points, n int, h float64) []sparse.Support {
+	t.Helper()
+	sup, err := pts.Supports(n, n, n, h, h, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sup
+}
+
+func TestBuildMasksSingleSource(t *testing.T) {
+	n, h := 8, 10.0
+	pts := sparse.Single(sparse.Coord{23, 34, 45}) // strictly off-grid in all dims
+	m := BuildMasks(n, n, n, supportsFor(t, pts, n, h))
+	if m.Npts != 8 {
+		t.Fatalf("Npts = %d, want 8", m.Npts)
+	}
+	// IDs ascend in x→y→z scan order (Fig. 5c).
+	for id := 1; id < m.Npts; id++ {
+		a := (int(m.PointX[id-1])*n+int(m.PointY[id-1]))*n + int(m.PointZ[id-1])
+		b := (int(m.PointX[id])*n+int(m.PointY[id]))*n + int(m.PointZ[id])
+		if b <= a {
+			t.Fatalf("IDs not ascending in scan order at %d", id)
+		}
+	}
+	// nnz_mask: columns (2,3),(2,4),(3,3),(3,4) hold 2 affected z each.
+	for _, c := range [][2]int{{2, 3}, {2, 4}, {3, 3}, {3, 4}} {
+		if got := m.NNZ[c[0]*n+c[1]]; got != 2 {
+			t.Fatalf("NNZ[%v] = %d, want 2", c, got)
+		}
+	}
+	if m.MaxNNZ != 2 {
+		t.Fatalf("MaxNNZ = %d", m.MaxNNZ)
+	}
+}
+
+func TestBuildMasksOverlappingSources(t *testing.T) {
+	// Two sources sharing grid points collapse onto unique IDs ("quite
+	// common to encounter points being affected by more than one source").
+	n, h := 8, 10.0
+	pts := &sparse.Points{Coords: []sparse.Coord{{23, 34, 45}, {26, 34, 45}}}
+	m := BuildMasks(n, n, n, supportsFor(t, pts, n, h))
+	// x supports: {2,3} and {2,3} → same; total unique = 8, not 16.
+	if m.Npts != 8 {
+		t.Fatalf("Npts = %d, want 8 (deduplicated)", m.Npts)
+	}
+}
+
+func TestDenseSMAndSID(t *testing.T) {
+	n, h := 6, 10.0
+	pts := sparse.Single(sparse.Coord{12.5, 21, 33})
+	m := BuildMasks(n, n, n, supportsFor(t, pts, n, h))
+	sm, sid := m.DenseSM(), m.DenseSID()
+	ones, ids := 0, 0
+	for i := range sm {
+		if sm[i] == 1 {
+			ones++
+		}
+		if sid[i] >= 0 {
+			ids++
+			if sm[i] != 1 {
+				t.Fatal("SID set where SM is 0")
+			}
+		}
+	}
+	if ones != m.Npts || ids != m.Npts {
+		t.Fatalf("SM ones %d, SID ids %d, want %d", ones, ids, m.Npts)
+	}
+	// ID lookup is consistent with the dense SID.
+	for id := 0; id < m.Npts; id++ {
+		x, y, z := int(m.PointX[id]), int(m.PointY[id]), int(m.PointZ[id])
+		got, ok := m.ID(x, y, z)
+		if !ok || got != int32(id) {
+			t.Fatalf("ID(%d,%d,%d) = %d,%v; want %d", x, y, z, got, ok, id)
+		}
+		if sid[(x*n+y)*n+z] != int32(id) {
+			t.Fatal("dense SID disagrees with ID lookup")
+		}
+	}
+	if _, ok := m.ID(0, 0, 0); ok {
+		t.Fatal("untouched point has an ID")
+	}
+}
+
+func TestCompressedStructureConsistency(t *testing.T) {
+	// SpZ/SpID agree with per-column scans of the dense SID for a messy
+	// multi-source layout.
+	n, h := 10, 5.0
+	pts := sparse.DenseVolume(17, 2, 43, 2, 43, 2, 43)
+	m := BuildMasks(n, n, n, supportsFor(t, pts, n, h))
+	sid := m.DenseSID()
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			var zs []int32
+			for z := 0; z < n; z++ {
+				if sid[(x*n+y)*n+z] >= 0 {
+					zs = append(zs, int32(z))
+				}
+			}
+			cnt := int(m.NNZ[x*n+y])
+			if cnt != len(zs) {
+				t.Fatalf("col (%d,%d): NNZ %d, want %d", x, y, cnt, len(zs))
+			}
+			for j := 0; j < cnt; j++ {
+				z := m.SpZ[(x*n+y)*m.MaxNNZ+j]
+				id := m.SpID[(x*n+y)*m.MaxNNZ+j]
+				if z != zs[j] {
+					t.Fatalf("col (%d,%d) entry %d: z %d, want %d", x, y, j, z, zs[j])
+				}
+				if sid[(x*n+y)*n+int(z)] != id {
+					t.Fatalf("col (%d,%d) entry %d: id mismatch", x, y, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposePreservesTotalInjection(t *testing.T) {
+	// Injecting the decomposed wavefield must equal the direct off-grid
+	// injection (Listing 3 ≡ Listing 1, up to FP association).
+	n, h, nt := 9, 10.0, 6
+	pts := &sparse.Points{Coords: []sparse.Coord{{23, 34, 45}, {26.2, 34, 45}, {61.7, 13.3, 57.9}}}
+	sup := supportsFor(t, pts, n, h)
+	m := BuildMasks(n, n, n, sup)
+
+	wav := make([][]float32, len(sup))
+	for s := range wav {
+		wav[s] = make([]float32, nt)
+		for t2 := range wav[s] {
+			wav[s][t2] = float32(s+1) * float32(t2*t2+1)
+		}
+	}
+	scale := func(x, y, z int) float32 { return float32(1+x) * 0.25 }
+	dcmp, err := m.DecomposeWavelets(sup, wav, nt, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for tt := 0; tt < nt; tt++ {
+		direct := grid.New(n, n, n, 0)
+		amps := make([]float32, len(sup))
+		for s := range amps {
+			amps[s] = wav[s][tt]
+		}
+		sparse.Inject(direct, sup, amps, scale)
+
+		fused := grid.New(n, n, n, 0)
+		m.InjectRegion(fused, grid.FullRegion(n, n), dcmp[tt])
+
+		d, x, y, z := direct.MaxAbsDiff(fused)
+		if d > 1e-3 {
+			t.Fatalf("t=%d: direct vs decomposed differ by %g at (%d,%d,%d)", tt, d, x, y, z)
+		}
+	}
+}
+
+func TestInjectRegionRespectsRegion(t *testing.T) {
+	n, h := 8, 10.0
+	pts := sparse.Single(sparse.Coord{23, 34, 45}) // support x ∈ {2,3}
+	sup := supportsFor(t, pts, n, h)
+	m := BuildMasks(n, n, n, sup)
+	wav := [][]float32{{1}}
+	dcmp, _ := m.DecomposeWavelets(sup, wav, 1, func(x, y, z int) float32 { return 1 })
+
+	u := grid.New(n, n, n, 0)
+	m.InjectRegion(u, grid.Region{X0: 0, X1: 3, Y0: 0, Y1: n}, dcmp[0]) // only x<3
+	for x := 3; x < n; x++ {
+		for y := 0; y < n; y++ {
+			for z := 0; z < n; z++ {
+				if u.At(x, y, z) != 0 {
+					t.Fatalf("injection leaked outside region at (%d,%d,%d)", x, y, z)
+				}
+			}
+		}
+	}
+	// Two disjoint regions = full injection.
+	m.InjectRegion(u, grid.Region{X0: 3, X1: n, Y0: 0, Y1: n}, dcmp[0])
+	total := 0.0
+	for _, v := range u.Data {
+		total += float64(v)
+	}
+	if math.Abs(total-1) > 1e-6 {
+		t.Fatalf("total injected %g, want 1", total)
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	n, h := 8, 10.0
+	pts := sparse.Single(sparse.Coord{23, 34, 45})
+	sup := supportsFor(t, pts, n, h)
+	m := BuildMasks(n, n, n, sup)
+	if _, err := m.DecomposeWavelets(sup, nil, 4, func(x, y, z int) float32 { return 1 }); err == nil {
+		t.Fatal("mismatched wavelet count accepted")
+	}
+	if _, err := m.DecomposeWavelets(sup, [][]float32{{1, 2}}, 4, func(x, y, z int) float32 { return 1 }); err == nil {
+		t.Fatal("short wavelet accepted")
+	}
+	// Supports not present in the masks are rejected.
+	other := supportsFor(t, sparse.Single(sparse.Coord{61, 61, 61}), n, h)
+	if _, err := m.DecomposeWavelets(other, [][]float32{{1, 2, 3, 4}}, 4, func(x, y, z int) float32 { return 1 }); err == nil {
+		t.Fatal("foreign support accepted")
+	}
+}
+
+func TestEmptyMasks(t *testing.T) {
+	m := BuildMasks(5, 5, 5, nil)
+	if m.Npts != 0 || m.MaxNNZ != 0 {
+		t.Fatalf("empty masks: Npts=%d MaxNNZ=%d", m.Npts, m.MaxNNZ)
+	}
+	u := grid.New(5, 5, 5, 0)
+	m.InjectRegion(u, grid.FullRegion(5, 5), nil) // must not panic
+	if u.MaxAbs() != 0 {
+		t.Fatal("empty injection wrote data")
+	}
+}
+
+// Property: Npts equals the number of distinct support corners, and the sum
+// of NNZ equals Npts, for random source clouds.
+func TestMasksCountsProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		n, h := 11, 10.0
+		cnt := int(seed%9) + 1
+		pts := sparse.DenseVolume(cnt, 1, float64(n-1)*h-1, 1, float64(n-1)*h-1, 1, float64(n-1)*h-1)
+		// Perturb deterministically by seed so clouds differ.
+		for i := range pts.Coords {
+			pts.Coords[i][0] = math.Mod(pts.Coords[i][0]+float64(seed%97), float64(n-1)*h)
+		}
+		sup, err := pts.Supports(n, n, n, h, h, h)
+		if err != nil {
+			return false
+		}
+		m := BuildMasks(n, n, n, sup)
+		distinct := map[[3]int32]bool{}
+		for i := range sup {
+			for c := 0; c < 8; c++ {
+				distinct[[3]int32{sup[i].X[c], sup[i].Y[c], sup[i].Z[c]}] = true
+			}
+		}
+		if m.Npts != len(distinct) {
+			return false
+		}
+		total := int32(0)
+		for _, v := range m.NNZ {
+			total += v
+		}
+		return int(total) == m.Npts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

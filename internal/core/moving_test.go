@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"wavetile/internal/grid"
+	"wavetile/internal/sparse"
+)
+
+func movingSups(t *testing.T, n int, h float64, nt int) [][]sparse.Support {
+	t.Helper()
+	out := make([][]sparse.Support, nt)
+	for tt := 0; tt < nt; tt++ {
+		pts := &sparse.Points{Coords: []sparse.Coord{
+			{20 + 3*float64(tt) + 0.4, 30, 25},
+			{50, 20 + 2*float64(tt) + 0.7, 35},
+		}}
+		sup, err := pts.Supports(n, n, n, h, h, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[tt] = sup
+	}
+	return out
+}
+
+func TestBuildMovingMasksUnion(t *testing.T) {
+	n, h, nt := 12, 10.0, 5
+	sups := movingSups(t, n, h, nt)
+	m := BuildMovingMasks(n, n, n, sups)
+	// Every support corner of every step must have an ID.
+	for tt := range sups {
+		for s := range sups[tt] {
+			sp := &sups[tt][s]
+			for c := 0; c < 8; c++ {
+				if _, ok := m.ID(int(sp.X[c]), int(sp.Y[c]), int(sp.Z[c])); !ok {
+					t.Fatalf("t=%d corner (%d,%d,%d) missing", tt, sp.X[c], sp.Y[c], sp.Z[c])
+				}
+			}
+		}
+	}
+	// A moving source covers more unique points than a static one.
+	if m.Npts <= 16 {
+		t.Fatalf("union Npts = %d, want > 16", m.Npts)
+	}
+}
+
+func TestDecomposeMovingMatchesPerStepScatter(t *testing.T) {
+	n, h, nt := 12, 10.0, 5
+	sups := movingSups(t, n, h, nt)
+	m := BuildMovingMasks(n, n, n, sups)
+	wav := [][]float32{
+		{1, 2, 3, 4, 5},
+		{10, 20, 30, 40, 50},
+	}
+	scale := func(x, y, z int) float32 { return 0.5 }
+	dcmp, err := m.DecomposeMovingWavelets(sups, wav, nt, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < nt; tt++ {
+		direct := grid.New(n, n, n, 0)
+		amps := []float32{wav[0][tt], wav[1][tt]}
+		sparse.Inject(direct, sups[tt], amps, scale)
+		fused := grid.New(n, n, n, 0)
+		m.InjectRegion(fused, grid.FullRegion(n, n), dcmp[tt])
+		d, x, y, z := direct.MaxAbsDiff(fused)
+		if d > 1e-4*math.Max(direct.MaxAbs(), 1) {
+			t.Fatalf("t=%d diff %g at (%d,%d,%d)", tt, d, x, y, z)
+		}
+	}
+}
+
+func TestDecomposeMovingErrors(t *testing.T) {
+	n, h, nt := 12, 10.0, 4
+	sups := movingSups(t, n, h, nt)
+	m := BuildMovingMasks(n, n, n, sups)
+	one := func(x, y, z int) float32 { return 1 }
+	if _, err := m.DecomposeMovingWavelets(sups[:2], [][]float32{{1}, {1}}, nt, one); err == nil {
+		t.Fatal("short support list accepted")
+	}
+	if _, err := m.DecomposeMovingWavelets(sups, [][]float32{{1, 2, 3, 4}}, nt, one); err == nil {
+		t.Fatal("wavelet count mismatch accepted")
+	}
+	if _, err := m.DecomposeMovingWavelets(sups, [][]float32{{1}, {1}}, nt, one); err == nil {
+		t.Fatal("short wavelets accepted")
+	}
+}

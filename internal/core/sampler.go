@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"wavetile/internal/grid"
+	"wavetile/internal/sparse"
+)
+
+// Sampler is the receiver-side counterpart of the injection scheme: the
+// paper's "measurement interpolation" (Fig. 3b) fused into the grid loops.
+//
+// Inside a space-time tile a wavefield value u[t][x,y,z] is transient — it
+// is overwritten two (or one) timesteps later — so a receiver cannot simply
+// interpolate after the time loop. The Sampler records the value of u at
+// every receiver-affected grid point at the moment the point's update for
+// timestep t is finalized inside the tile. The per-point recordings
+// Data[t][id] are the receiver analogue of src_dcmp; the actual receiver
+// traces (weighted sums over each receiver's support) are gathered after the
+// time loop by GatherReceivers, at negligible cost.
+type Sampler struct {
+	M *Masks
+	// Data[t][id] is the wavefield value at affected point id, time index t.
+	Data [][]float32
+}
+
+// NewSampler prepares storage for nt time slices of point recordings.
+func NewSampler(m *Masks, nt int) *Sampler {
+	s := &Sampler{M: m, Data: make([][]float32, nt)}
+	buf := make([]float32, nt*m.Npts)
+	for t := range s.Data {
+		s.Data[t], buf = buf[:m.Npts:m.Npts], buf[m.Npts:]
+	}
+	return s
+}
+
+// SampleRegion records u at every receiver-affected point inside reg for
+// time index t. Mirrors InjectRegion: compressed column iteration, and
+// race-free across the disjoint blocks of a schedule.
+func (s *Sampler) SampleRegion(t int, u *grid.Grid, reg grid.Region) {
+	m := s.M
+	if m.Npts == 0 {
+		return
+	}
+	dst := s.Data[t]
+	for x := reg.X0; x < reg.X1; x++ {
+		rowBase := x * m.Ny
+		for y := reg.Y0; y < reg.Y1; y++ {
+			cnt := int(m.NNZ[rowBase+y])
+			if cnt == 0 {
+				continue
+			}
+			sp := (rowBase + y) * m.MaxNNZ
+			row := u.Row(x, y)
+			for j := 0; j < cnt; j++ {
+				dst[m.SpID[sp+j]] = row[m.SpZ[sp+j]]
+			}
+		}
+	}
+}
+
+// GatherReceivers converts the point recordings into receiver traces:
+// out[t][r] = Σ_c w_c · Data[t][id(support corner c of receiver r)].
+// This is the off-line completion of the fused measurement interpolation.
+func (s *Sampler) GatherReceivers(sups []sparse.Support) ([][]float32, error) {
+	nt := len(s.Data)
+	out := make([][]float32, nt)
+	buf := make([]float32, nt*len(sups))
+	for t := range out {
+		out[t], buf = buf[:len(sups):len(sups)], buf[len(sups):]
+	}
+	type cw struct {
+		id int32
+		w  float64
+	}
+	corners := make([][8]cw, len(sups))
+	for r := range sups {
+		sp := &sups[r]
+		for c := 0; c < 8; c++ {
+			id, ok := s.M.ID(int(sp.X[c]), int(sp.Y[c]), int(sp.Z[c]))
+			if !ok {
+				return nil, fmt.Errorf("core: receiver %d corner (%d,%d,%d) missing from masks",
+					r, sp.X[c], sp.Y[c], sp.Z[c])
+			}
+			corners[r][c] = cw{id, sp.W[c]}
+		}
+	}
+	for t := 0; t < nt; t++ {
+		data := s.Data[t]
+		row := out[t]
+		for r := range corners {
+			acc := 0.0
+			for c := 0; c < 8; c++ {
+				acc += corners[r][c].w * float64(data[corners[r][c].id])
+			}
+			row[r] = float32(acc)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"wavetile/internal/grid"
+	"wavetile/internal/sparse"
+)
+
+func TestSamplerMatchesDirectInterpolation(t *testing.T) {
+	// Fused sampling + gather must equal the Listing-1 receiver
+	// interpolation on the same wavefield.
+	n, h, nt := 10, 10.0, 5
+	rec := &sparse.Points{Coords: []sparse.Coord{
+		{13.7, 25.2, 31.9}, {40, 40, 40}, {81.2, 11.4, 66.6},
+	}}
+	sup := supportsFor(t, rec, n, h)
+	m := BuildMasks(n, n, n, sup)
+	s := NewSampler(m, nt)
+
+	u := grid.New(n, n, n, 0)
+	for tt := 0; tt < nt; tt++ {
+		u.FillFunc(func(x, y, z int) float32 {
+			return float32(tt+1) * float32(math.Sin(float64(x*31+y*17+z*7)))
+		})
+		s.SampleRegion(tt, u, grid.FullRegion(n, n))
+
+		direct := make([]float32, rec.N())
+		sparse.Interpolate(u, sup, direct)
+
+		traces, err := s.GatherReceivers(sup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range direct {
+			if math.Abs(float64(traces[tt][r]-direct[r])) > 1e-5 {
+				t.Fatalf("t=%d rec %d: fused %g direct %g", tt, r, traces[tt][r], direct[r])
+			}
+		}
+	}
+}
+
+func TestSampleRegionPartialCoverage(t *testing.T) {
+	// Sampling in two disjoint regions equals sampling the full region.
+	n, h := 10, 10.0
+	rec := &sparse.Points{Coords: []sparse.Coord{{13.7, 25.2, 31.9}, {71, 82, 13}}}
+	sup := supportsFor(t, rec, n, h)
+	m := BuildMasks(n, n, n, sup)
+	u := grid.New(n, n, n, 0)
+	u.FillFunc(func(x, y, z int) float32 { return float32(x*100 + y*10 + z) })
+
+	whole := NewSampler(m, 1)
+	whole.SampleRegion(0, u, grid.FullRegion(n, n))
+	split := NewSampler(m, 1)
+	split.SampleRegion(0, u, grid.Region{X0: 0, X1: 4, Y0: 0, Y1: n})
+	split.SampleRegion(0, u, grid.Region{X0: 4, X1: n, Y0: 0, Y1: n})
+
+	for id := 0; id < m.Npts; id++ {
+		if whole.Data[0][id] != split.Data[0][id] {
+			t.Fatalf("id %d: whole %g split %g", id, whole.Data[0][id], split.Data[0][id])
+		}
+	}
+}
+
+func TestGatherReceiversForeignSupport(t *testing.T) {
+	n, h := 8, 10.0
+	rec := sparse.Single(sparse.Coord{23, 34, 45})
+	m := BuildMasks(n, n, n, supportsFor(t, rec, n, h))
+	s := NewSampler(m, 2)
+	other := supportsFor(t, sparse.Single(sparse.Coord{61, 61, 61}), n, h)
+	if _, err := s.GatherReceivers(other); err == nil {
+		t.Fatal("foreign receiver support accepted")
+	}
+}

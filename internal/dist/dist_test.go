@@ -1,0 +1,141 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"wavetile/internal/model"
+	"wavetile/internal/sparse"
+	"wavetile/internal/tiling"
+	"wavetile/internal/wave"
+	"wavetile/internal/wavelet"
+)
+
+func setup(t *testing.T, n, so, nt int) (model.Geometry, model.FieldFunc, *sparse.Points, [][]float32) {
+	t.Helper()
+	g := model.Geometry{Nx: n, Ny: n, Nz: n, Hx: 10, Hy: 10, Hz: 10, NBL: 4}
+	dt := g.CriticalDtAcoustic(so, 3000, model.DefaultCFL)
+	g.SetTime(float64(nt)*dt, dt)
+	g.Nt = nt
+	vp := model.Layered(float64(n)*10, 1500, 2500, 3000)
+	lo, hi := g.PhysicalBox()
+	// Two sources: one mid-domain, one deliberately near a slab boundary.
+	src := &sparse.Points{Coords: []sparse.Coord{
+		{(lo[0] + hi[0]) / 2.1, (lo[1] + hi[1]) / 1.9, lo[2] + 21},
+		{(lo[0]+hi[0])/2 + 3.3, (lo[1] + hi[1]) / 2.2, lo[2] + 33},
+	}}
+	wav := make([][]float32, src.N())
+	for i := range wav {
+		wav[i] = wavelet.RickerSeries(2.0/(float64(g.Nt)*g.Dt), g.Nt, g.Dt, 1e3)
+	}
+	return g, vp, src, wav
+}
+
+// reference runs the undecomposed problem under the fused spatial schedule.
+func reference(t *testing.T, g model.Geometry, so int, vp model.FieldFunc,
+	src *sparse.Points, wav [][]float32) *wave.Acoustic {
+	t.Helper()
+	params := model.NewAcoustic(g, so/2, vp)
+	a, err := wave.NewAcoustic(wave.AcousticOpts{Params: params, SO: so, Src: src, SrcWav: wav})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiling.RunSpatial(a, 8, 8, true)
+	return a
+}
+
+func TestPerStepMatchesSingleDomain(t *testing.T) {
+	for _, ranks := range []int{1, 2, 3, 4} {
+		ranks := ranks
+		t.Run(fmt.Sprintf("ranks=%d", ranks), func(t *testing.T) {
+			g, vp, src, wav := setup(t, 36, 4, 14)
+			ref := reference(t, g, 4, vp, src, wav)
+
+			c, err := NewAcousticCluster(Config{Ranks: ranks, Mode: PerStep, BlockX: 8, BlockY: 8},
+				g, 4, vp, src, wav)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Run(); err != nil {
+				t.Fatal(err)
+			}
+			got := c.GatherWavefield()
+			want := ref.Final()
+			for x := 0; x < g.Nx; x++ {
+				for y := 0; y < g.Ny; y++ {
+					a, b := want.Row(x, y), got.Row(x, y)
+					for z := range a {
+						if a[z] != b[z] {
+							t.Fatalf("ranks=%d: (%d,%d,%d): single %g dist %g",
+								ranks, x, y, z, a[z], b[z])
+						}
+					}
+				}
+			}
+			if want.MaxAbs() == 0 {
+				t.Fatal("vacuous comparison")
+			}
+		})
+	}
+}
+
+func TestDeepHaloMatchesSingleDomain(t *testing.T) {
+	for _, c := range []struct{ ranks, depth int }{
+		{2, 2}, {2, 4}, {3, 4}, {2, 7},
+	} {
+		c := c
+		t.Run(fmt.Sprintf("ranks=%d_depth=%d", c.ranks, c.depth), func(t *testing.T) {
+			nt := 28
+			if nt%c.depth != 0 {
+				nt = (28 / c.depth) * c.depth
+			}
+			g, vp, src, wav := setup(t, 40, 4, nt)
+			ref := reference(t, g, 4, vp, src, wav)
+
+			cl, err := NewAcousticCluster(Config{
+				Ranks: c.ranks, Mode: DeepHalo, Depth: c.depth,
+				TileY: 16, BlockX: 8, BlockY: 8,
+			}, g, 4, vp, src, wav)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := cl.Exchanges(), nt/c.depth; got != want {
+				t.Fatalf("exchanges %d, want %d", got, want)
+			}
+			got := cl.GatherWavefield()
+			want := ref.Final()
+			for x := 0; x < g.Nx; x++ {
+				for y := 0; y < g.Ny; y++ {
+					a, b := want.Row(x, y), got.Row(x, y)
+					for z := range a {
+						if a[z] != b[z] {
+							t.Fatalf("(%d,%d,%d): single %g dist %g", x, y, z, a[z], b[z])
+						}
+					}
+				}
+			}
+			if want.MaxAbs() == 0 {
+				t.Fatal("vacuous comparison")
+			}
+		})
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	g, vp, src, wav := setup(t, 24, 4, 8)
+	if _, err := NewAcousticCluster(Config{Ranks: 0}, g, 4, vp, src, wav); err == nil {
+		t.Fatal("0 ranks accepted")
+	}
+	if _, err := NewAcousticCluster(Config{Ranks: 2, Mode: DeepHalo}, g, 4, vp, src, wav); err == nil {
+		t.Fatal("DeepHalo without depth accepted")
+	}
+	if _, err := NewAcousticCluster(Config{Ranks: 2, Mode: DeepHalo, Depth: 3}, g, 4, vp, src, wav); err == nil {
+		t.Fatal("nt not divisible by depth accepted")
+	}
+	if _, err := NewAcousticCluster(Config{Ranks: 20}, g, 4, vp, src, wav); err == nil {
+		t.Fatal("slabs below dependency margin accepted")
+	}
+}

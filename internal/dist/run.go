@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"sync"
+
+	"wavetile/internal/grid"
+	"wavetile/internal/tiling"
+)
+
+// Run advances the whole cluster through the geometry's time axis:
+// rank-parallel compute phases separated by halo exchanges.
+func (c *Cluster) Run() error {
+	nt := c.geom.Nt
+	for t0 := 0; t0 < nt; t0 += c.depth {
+		var wg sync.WaitGroup
+		errs := make([]error, len(c.ranks))
+		for i, r := range c.ranks {
+			wg.Add(1)
+			go func(i int, r *rank) {
+				defer wg.Done()
+				errs[i] = r.advance(c, t0)
+			}(i, r)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		c.exchange(t0 + c.depth)
+	}
+	return nil
+}
+
+// advance computes depth timesteps on one rank's slab grid.
+func (r *rank) advance(c *Cluster, t0 int) error {
+	if c.depth == 1 {
+		// PerStep: one plain spatial step over the whole slab (halo
+		// columns included — they are corrected by the exchange).
+		r.prop.SetBlocks(c.cfg.BlockX, c.cfg.BlockY)
+		r.prop.Step(t0, grid.FullRegion(r.nx, c.geom.Ny), true)
+		return nil
+	}
+	// DeepHalo: run wave-front temporal blocking inside the slab for one
+	// time tile of `depth` steps. Halo columns decay into staleness at
+	// `skew` cells per step; the halo is exactly deep enough that the owned
+	// region never reads a stale value.
+	cfg := tiling.Config{
+		TT:     c.depth,
+		TileX:  max(r.nx, 2*c.skew),
+		TileY:  c.cfg.TileY,
+		BlockX: c.cfg.BlockX,
+		BlockY: c.cfg.BlockY,
+	}
+	if cfg.TileY < 2*c.skew {
+		cfg.TileY = c.geom.Ny
+	}
+	return tiling.RunWTBRange(r.prop, cfg, t0, t0+c.depth)
+}
+
+// exchange copies owned boundary planes into the neighbours' halos. tNext
+// is the time index now held in buffer tNext&1; in DeepHalo mode both live
+// buffers' halos are stale and both are refreshed.
+func (c *Cluster) exchange(tNext int) {
+	buffers := []int{tNext & 1}
+	if c.depth > 1 {
+		buffers = append(buffers, (tNext+1)&1)
+	}
+	for i := 0; i < len(c.ranks)-1; i++ {
+		l, rr := c.ranks[i], c.ranks[i+1]
+		for _, b := range buffers {
+			// Left rank's owned right edge → right rank's left halo.
+			copyPlanes(l.prop.U[b], rr.prop.U[b], l.x1-l.halo, l.x1, l.lox, rr.lox)
+			// Right rank's owned left edge → left rank's right halo.
+			copyPlanes(rr.prop.U[b], l.prop.U[b], rr.x0, rr.x0+rr.halo, rr.lox, l.lox)
+		}
+	}
+}
+
+// copyPlanes copies the global x-planes [g0, g1) from src to dst, where the
+// grids' local origins sit at global x = srcLox / dstLox. Whole padded
+// planes are copied (identical y–z layout by construction).
+func copyPlanes(src, dst *grid.Grid, g0, g1, srcLox, dstLox int) {
+	for gx := g0; gx < g1; gx++ {
+		sx := gx - srcLox
+		dx := gx - dstLox
+		if sx < 0 || sx >= src.Nx || dx < 0 || dx >= dst.Nx {
+			continue
+		}
+		sOff := (sx + src.H) * src.SX
+		dOff := (dx + dst.H) * dst.SX
+		copy(dst.Data[dOff:dOff+dst.SX], src.Data[sOff:sOff+src.SX])
+	}
+}
+
+// GatherWavefield reconstructs the global wavefield at the final time index
+// from the ranks' owned regions.
+func (c *Cluster) GatherWavefield() *grid.Grid {
+	out := grid.New(c.geom.Nx, c.geom.Ny, c.geom.Nz, 0)
+	for _, r := range c.ranks {
+		u := r.prop.Final()
+		for gx := r.x0; gx < r.x1; gx++ {
+			lx := gx - r.lox
+			for y := 0; y < c.geom.Ny; y++ {
+				copy(out.Row(gx, y), u.Row(lx, y))
+			}
+		}
+	}
+	return out
+}
+
+// Ranks reports the number of active ranks.
+func (c *Cluster) Ranks() int { return len(c.ranks) }
+
+// Exchanges reports how many halo exchanges a full run performs — the
+// communication count the DeepHalo mode divides by depth.
+func (c *Cluster) Exchanges() int { return c.geom.Nt / c.depth }

@@ -1,0 +1,161 @@
+// Package fd generates finite-difference coefficients of arbitrary even
+// accuracy order for the derivative operators used by the wave propagators:
+// central first and second derivatives on a collocated grid (acoustic, TTI)
+// and staggered first derivatives on half-offset grids (elastic, Virieux
+// velocity–stress).
+//
+// Coefficients are derived in float64 by solving the Taylor-moment linear
+// system directly (a small dense solve), then handed to the kernels as
+// float32. Closed-form values for the common orders are cross-checked in the
+// tests.
+package fd
+
+import "fmt"
+
+// SecondDeriv returns the symmetric coefficients c[0..M] of the central
+// second-derivative stencil of accuracy order `order` (= 2M, must be even and
+// positive):
+//
+//	f''(x) ≈ (1/h²) · ( c[0]·f(x) + Σ_{k=1..M} c[k]·(f(x+kh) + f(x−kh)) )
+//
+// The moment conditions are Σ_k w_k k^{2j} matching the 2nd derivative:
+// for j = 0..M, c[0]·δ_{j0} + Σ 2·c[k]·k^{2j}/(2j)! = δ_{j1}.
+func SecondDeriv(order int) []float64 {
+	m := radiusFor(order)
+	// Unknowns: c[0..M]. Equations j = 0..M:
+	//   c0*I(j==0) + Σ_{k=1..M} 2*c_k * k^(2j)/(2j)! = δ_{j,1}
+	n := m + 1
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for j := 0; j < n; j++ {
+		a[j] = make([]float64, n)
+		if j == 0 {
+			a[j][0] = 1
+			for k := 1; k <= m; k++ {
+				a[j][k] = 2
+			}
+			continue
+		}
+		fact := factorial(2 * j)
+		for k := 1; k <= m; k++ {
+			a[j][k] = 2 * powInt(float64(k), 2*j) / fact
+		}
+		if j == 1 {
+			b[j] = 1
+		}
+	}
+	return solve(a, b)
+}
+
+// FirstDeriv returns the antisymmetric coefficients c[1..M] (index 0 unused,
+// zero) of the central first-derivative stencil of accuracy order 2M:
+//
+//	f'(x) ≈ (1/h) · Σ_{k=1..M} c[k]·(f(x+kh) − f(x−kh))
+func FirstDeriv(order int) []float64 {
+	m := radiusFor(order)
+	// Equations j = 0..M-1: Σ_k 2*c_k * k^(2j+1)/(2j+1)! = δ_{j,0}
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for j := 0; j < m; j++ {
+		a[j] = make([]float64, m)
+		fact := factorial(2*j + 1)
+		for k := 1; k <= m; k++ {
+			a[j][k-1] = 2 * powInt(float64(k), 2*j+1) / fact
+		}
+	}
+	if m > 0 {
+		b[0] = 1
+	}
+	c := solve(a, b)
+	out := make([]float64, m+1)
+	copy(out[1:], c)
+	return out
+}
+
+// StaggeredFirstDeriv returns the coefficients c[1..M] (index 0 unused) of
+// the staggered first-derivative stencil of accuracy order 2M, evaluated at a
+// half-grid offset:
+//
+//	f'(x+h/2) ≈ (1/h) · Σ_{k=1..M} c[k]·(f(x+kh) − f(x−(k−1)h))
+//
+// i.e. sample offsets ±(k−1/2)h around the evaluation point.
+func StaggeredFirstDeriv(order int) []float64 {
+	m := radiusFor(order)
+	// Offsets s_k = k-1/2. Equations j = 0..M-1:
+	//   Σ_k 2*c_k * s_k^(2j+1)/(2j+1)! = δ_{j,0}
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for j := 0; j < m; j++ {
+		a[j] = make([]float64, m)
+		fact := factorial(2*j + 1)
+		for k := 1; k <= m; k++ {
+			s := float64(k) - 0.5
+			a[j][k-1] = 2 * powInt(s, 2*j+1) / fact
+		}
+	}
+	if m > 0 {
+		b[0] = 1
+	}
+	c := solve(a, b)
+	out := make([]float64, m+1)
+	copy(out[1:], c)
+	return out
+}
+
+// Radius returns the stencil radius M of a space order (order/2).
+func Radius(order int) int { return radiusFor(order) }
+
+// ToF32 converts a float64 coefficient slice to float32, optionally scaling
+// every entry by s first (used to fold 1/h or 1/h² into the coefficients).
+func ToF32(c []float64, s float64) []float32 {
+	out := make([]float32, len(c))
+	for i, v := range c {
+		out[i] = float32(v * s)
+	}
+	return out
+}
+
+// AbsSum returns Σ|c_k| counting symmetric halves twice and the center once,
+// with `center` indicating whether c[0] is a center weight (second
+// derivative) or unused (first derivative). It bounds the operator's symbol
+// and feeds the CFL stability estimates in internal/model.
+func AbsSum(c []float64, center bool) float64 {
+	s := 0.0
+	for k, v := range c {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if k == 0 {
+			if center {
+				s += a
+			}
+			continue
+		}
+		s += 2 * a
+	}
+	return s
+}
+
+func radiusFor(order int) int {
+	if order <= 0 || order%2 != 0 {
+		panic(fmt.Sprintf("fd: space order must be positive and even, got %d", order))
+	}
+	return order / 2
+}
+
+func factorial(n int) float64 {
+	f := 1.0
+	for i := 2; i <= n; i++ {
+		f *= float64(i)
+	}
+	return f
+}
+
+func powInt(x float64, n int) float64 {
+	p := 1.0
+	for i := 0; i < n; i++ {
+		p *= x
+	}
+	return p
+}

@@ -1,0 +1,212 @@
+package fd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSecondDerivKnownValues(t *testing.T) {
+	cases := map[int][]float64{
+		2: {-2, 1},
+		4: {-5.0 / 2, 4.0 / 3, -1.0 / 12},
+		6: {-49.0 / 18, 3.0 / 2, -3.0 / 20, 1.0 / 90},
+		8: {-205.0 / 72, 8.0 / 5, -1.0 / 5, 8.0 / 315, -1.0 / 560},
+	}
+	for order, want := range cases {
+		got := SecondDeriv(order)
+		if len(got) != len(want) {
+			t.Fatalf("order %d: %d coeffs, want %d", order, len(got), len(want))
+		}
+		for k := range want {
+			if !approx(got[k], want[k], 1e-12) {
+				t.Fatalf("order %d c[%d] = %.15g, want %.15g", order, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestFirstDerivKnownValues(t *testing.T) {
+	got := FirstDeriv(4)
+	want := []float64{0, 2.0 / 3, -1.0 / 12}
+	for k := range want {
+		if !approx(got[k], want[k], 1e-12) {
+			t.Fatalf("c[%d] = %.15g, want %.15g", k, got[k], want[k])
+		}
+	}
+}
+
+func TestStaggeredKnownValues(t *testing.T) {
+	// Standard staggered-grid coefficients.
+	got := StaggeredFirstDeriv(4)
+	want := []float64{0, 9.0 / 8, -1.0 / 24}
+	for k := range want {
+		if !approx(got[k], want[k], 1e-12) {
+			t.Fatalf("c[%d] = %.15g, want %.15g", k, got[k], want[k])
+		}
+	}
+	if got := StaggeredFirstDeriv(2); !approx(got[1], 1, 1e-14) {
+		t.Fatalf("SO2 staggered c1 = %g", got[1])
+	}
+}
+
+// applySecond evaluates the stencil on samples of f around x0 with step h.
+func applySecond(c []float64, f func(float64) float64, x0, h float64) float64 {
+	acc := c[0] * f(x0)
+	for k := 1; k < len(c); k++ {
+		acc += c[k] * (f(x0+float64(k)*h) + f(x0-float64(k)*h))
+	}
+	return acc / (h * h)
+}
+
+func TestSecondDerivPolynomialExactness(t *testing.T) {
+	// A stencil of accuracy order 2M differentiates polynomials up to degree
+	// 2M+1 exactly.
+	for _, order := range []int{2, 4, 6, 8, 12} {
+		c := SecondDeriv(order)
+		for deg := 0; deg <= order+1; deg++ {
+			deg := deg
+			f := func(x float64) float64 { return math.Pow(x, float64(deg)) }
+			x0, h := 0.7, 0.01
+			want := 0.0
+			if deg >= 2 {
+				want = float64(deg) * float64(deg-1) * math.Pow(x0, float64(deg-2))
+			}
+			got := applySecond(c, f, x0, h)
+			if !approx(got, want, 1e-5*math.Max(1, math.Abs(want))) {
+				t.Fatalf("order %d deg %d: got %g want %g", order, deg, got, want)
+			}
+		}
+	}
+}
+
+func TestFirstDerivPolynomialExactness(t *testing.T) {
+	for _, order := range []int{2, 4, 8} {
+		c := FirstDeriv(order)
+		for deg := 0; deg <= order; deg++ {
+			deg := deg
+			x0, h := 0.31, 0.01
+			acc := 0.0
+			for k := 1; k < len(c); k++ {
+				acc += c[k] * (math.Pow(x0+float64(k)*h, float64(deg)) - math.Pow(x0-float64(k)*h, float64(deg)))
+			}
+			acc /= h
+			want := 0.0
+			if deg >= 1 {
+				want = float64(deg) * math.Pow(x0, float64(deg-1))
+			}
+			if !approx(acc, want, 1e-6*math.Max(1, math.Abs(want))) {
+				t.Fatalf("order %d deg %d: got %g want %g", order, deg, acc, want)
+			}
+		}
+	}
+}
+
+func TestStaggeredPolynomialExactness(t *testing.T) {
+	// Staggered derivative evaluated at x0+h/2 from integer samples.
+	for _, order := range []int{2, 4, 8} {
+		c := StaggeredFirstDeriv(order)
+		for deg := 0; deg < order; deg++ {
+			x0, h := 0.09, 0.01
+			eval := x0 + h/2
+			acc := 0.0
+			for k := 1; k < len(c); k++ {
+				acc += c[k] * (math.Pow(x0+float64(k)*h, float64(deg)) - math.Pow(x0-float64(k-1)*h, float64(deg)))
+			}
+			acc /= h
+			want := 0.0
+			if deg >= 1 {
+				want = float64(deg) * math.Pow(eval, float64(deg-1))
+			}
+			if !approx(acc, want, 1e-6*math.Max(1, math.Abs(want))) {
+				t.Fatalf("order %d deg %d: got %g want %g", order, deg, acc, want)
+			}
+		}
+	}
+}
+
+func TestSecondDerivSumRule(t *testing.T) {
+	// Weights of a derivative stencil sum to zero (constants annihilated).
+	f := func(m uint8) bool {
+		order := 2 * (int(m%8) + 1)
+		c := SecondDeriv(order)
+		sum := c[0]
+		for k := 1; k < len(c); k++ {
+			sum += 2 * c[k]
+		}
+		return math.Abs(sum) < 1e-10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecondDerivSignPattern(t *testing.T) {
+	// c0 < 0 and the off-center coefficients alternate in sign.
+	for _, order := range []int{2, 4, 8, 12, 16} {
+		c := SecondDeriv(order)
+		if c[0] >= 0 {
+			t.Fatalf("order %d: c0 = %g not negative", order, c[0])
+		}
+		for k := 1; k < len(c); k++ {
+			want := 1.0
+			if k%2 == 0 {
+				want = -1
+			}
+			if c[k]*want <= 0 {
+				t.Fatalf("order %d: c[%d] = %g has wrong sign", order, k, c[k])
+			}
+		}
+	}
+}
+
+func TestRadiusAndPanics(t *testing.T) {
+	if Radius(8) != 4 {
+		t.Fatal("Radius(8)")
+	}
+	for _, bad := range []int{0, -2, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("order %d did not panic", bad)
+				}
+			}()
+			SecondDeriv(bad)
+		}()
+	}
+}
+
+func TestToF32AndAbsSum(t *testing.T) {
+	c := []float64{-2, 1}
+	f := ToF32(c, 0.5)
+	if f[0] != -1 || f[1] != 0.5 {
+		t.Fatalf("ToF32 got %v", f)
+	}
+	if AbsSum(c, true) != 4 {
+		t.Fatalf("AbsSum center %g", AbsSum(c, true))
+	}
+	if AbsSum([]float64{0, 1, -0.25}, false) != 2.5 {
+		t.Fatalf("AbsSum no-center %g", AbsSum([]float64{0, 1, -0.25}, false))
+	}
+}
+
+func TestSolveSingularPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("singular system did not panic")
+		}
+	}()
+	solve([][]float64{{1, 2}, {2, 4}}, []float64{1, 1})
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	x := solve([][]float64{{2, 1, 0}, {1, 3, 1}, {0, 1, 2}}, []float64{4, 10, 8})
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if !approx(x[i], want[i], 1e-12) {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package fd
+
+import (
+	"fmt"
+	"math"
+)
+
+// solve returns x with a·x = b using Gaussian elimination with partial
+// pivoting. The moment systems solved here are tiny (≤ 8×8) and well
+// conditioned for the space orders of interest, but the pivoting keeps the
+// generator usable for exotic orders too. It panics on a singular system
+// because that can only arise from a malformed moment matrix, i.e. a bug.
+func solve(a [][]float64, b []float64) []float64 {
+	n := len(a)
+	// Work on copies: callers may reuse their matrices.
+	m := make([][]float64, n)
+	for i := range a {
+		m[i] = append([]float64(nil), a[i]...)
+		if len(m[i]) != n {
+			panic("fd: non-square system")
+		}
+	}
+	x := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv, pmax := col, math.Abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r][col]); v > pmax {
+				piv, pmax = r, v
+			}
+		}
+		if pmax == 0 {
+			panic(fmt.Sprintf("fd: singular moment system at column %d", col))
+		}
+		m[col], m[piv] = m[piv], m[col]
+		x[col], x[piv] = x[piv], x[col]
+
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for col := n - 1; col >= 0; col-- {
+		s := x[col]
+		for c := col + 1; c < n; c++ {
+			s -= m[col][c] * x[c]
+		}
+		x[col] = s / m[col][col]
+	}
+	return x
+}

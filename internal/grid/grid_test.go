@@ -1,0 +1,150 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapesAndStrides(t *testing.T) {
+	g := New(5, 7, 11, 3)
+	if g.SY != 11+6 || g.SX != (7+6)*(11+6) {
+		t.Fatalf("strides SX=%d SY=%d", g.SX, g.SY)
+	}
+	if len(g.Data) != (5+6)*(7+6)*(11+6) {
+		t.Fatalf("buffer size %d", len(g.Data))
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, c := range [][4]int{{0, 1, 1, 0}, {1, -1, 1, 0}, {1, 1, 0, 0}, {1, 1, 1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", c)
+				}
+			}()
+			New(c[0], c[1], c[2], c[3])
+		}()
+	}
+}
+
+func TestIdxRoundTrip(t *testing.T) {
+	g := New(4, 5, 6, 2)
+	seen := map[int]bool{}
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 5; y++ {
+			for z := 0; z < 6; z++ {
+				i := g.Idx(x, y, z)
+				if seen[i] {
+					t.Fatalf("duplicate index %d at (%d,%d,%d)", i, x, y, z)
+				}
+				seen[i] = true
+				g.Set(x, y, z, float32(i))
+				if g.At(x, y, z) != float32(i) {
+					t.Fatalf("roundtrip failed at (%d,%d,%d)", x, y, z)
+				}
+			}
+		}
+	}
+}
+
+func TestRowAliasesData(t *testing.T) {
+	g := New(3, 3, 8, 1)
+	row := g.Row(1, 2)
+	if len(row) != 8 {
+		t.Fatalf("row length %d", len(row))
+	}
+	row[5] = 42
+	if g.At(1, 2, 5) != 42 {
+		t.Fatal("Row does not alias grid storage")
+	}
+}
+
+func TestFillLeavesHaloZero(t *testing.T) {
+	g := New(3, 3, 3, 2)
+	g.Fill(7)
+	sum := float32(0)
+	for _, v := range g.Data {
+		sum += v
+	}
+	if sum != 7*27 {
+		t.Fatalf("halo was written: total %g, want %g", sum, float32(7*27))
+	}
+}
+
+func TestCloneEqualAndDiff(t *testing.T) {
+	g := New(4, 4, 4, 1)
+	g.FillFunc(func(x, y, z int) float32 { return float32(x*16 + y*4 + z) })
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(2, 3, 1, -99)
+	if g.Equal(c) {
+		t.Fatal("modified clone still equal")
+	}
+	d, x, y, z := g.MaxAbsDiff(c)
+	if x != 2 || y != 3 || z != 1 {
+		t.Fatalf("MaxAbsDiff at (%d,%d,%d)", x, y, z)
+	}
+	want := math.Abs(float64(g.At(2, 3, 1)) + 99)
+	if math.Abs(d-want) > 1e-12 {
+		t.Fatalf("diff %g want %g", d, want)
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	g := New(2, 2, 2, 0)
+	g.Set(0, 1, 1, -3)
+	g.Set(1, 0, 0, 2)
+	if g.MaxAbs() != 3 {
+		t.Fatalf("MaxAbs %g", g.MaxAbs())
+	}
+	if g.SumSq() != 13 {
+		t.Fatalf("SumSq %g", g.SumSq())
+	}
+	if g.HasNaN() {
+		t.Fatal("unexpected NaN")
+	}
+	g.Set(0, 0, 0, float32(math.NaN()))
+	if !g.HasNaN() {
+		t.Fatal("NaN not detected")
+	}
+	g.Zero()
+	if g.MaxAbs() != 0 || g.HasNaN() {
+		t.Fatal("Zero did not clear grid")
+	}
+}
+
+func TestMaxAbsDiffPanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on shape mismatch")
+		}
+	}()
+	New(2, 2, 2, 0).MaxAbsDiff(New(2, 2, 3, 0))
+}
+
+// Property: Idx is injective and lies within bounds for random shapes.
+func TestIdxInjectiveProperty(t *testing.T) {
+	f := func(nx, ny, nz, h uint8) bool {
+		g := New(int(nx%6)+1, int(ny%6)+1, int(nz%6)+1, int(h%4))
+		seen := map[int]bool{}
+		for x := 0; x < g.Nx; x++ {
+			for y := 0; y < g.Ny; y++ {
+				for z := 0; z < g.Nz; z++ {
+					i := g.Idx(x, y, z)
+					if i < 0 || i >= len(g.Data) || seen[i] {
+						return false
+					}
+					seen[i] = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionBasics(t *testing.T) {
+	r := Region{2, 6, 3, 5}
+	if r.Empty() || r.NumPoints() != 8 {
+		t.Fatalf("NumPoints %d", r.NumPoints())
+	}
+	if !r.Contains(2, 3) || !r.Contains(5, 4) || r.Contains(6, 3) || r.Contains(2, 5) {
+		t.Fatal("Contains wrong at boundaries")
+	}
+	if (Region{4, 4, 0, 9}).NumPoints() != 0 {
+		t.Fatal("empty region has points")
+	}
+	if got := r.Shift(-1, 2); got != (Region{1, 5, 5, 7}) {
+		t.Fatalf("Shift got %v", got)
+	}
+	if got := r.Intersect(Region{4, 9, 0, 4}); got != (Region{4, 6, 3, 4}) {
+		t.Fatalf("Intersect got %v", got)
+	}
+	if s := r.String(); s != "[2,6)x[3,5)" {
+		t.Fatalf("String %q", s)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ in, want Region }{
+		{Region{-3, 4, -1, 10}, Region{0, 4, 0, 8}},
+		{Region{5, 20, 2, 3}, Region{5, 10, 2, 3}},
+		{Region{-5, -1, 0, 8}, Region{0, -1, 0, 8}}, // stays empty
+	}
+	for _, c := range cases {
+		got := c.in.Clamp(10, 8)
+		if got != c.want && !(got.Empty() && c.want.Empty()) {
+			t.Fatalf("Clamp(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSplitBlocksEdges(t *testing.T) {
+	if SplitBlocks := (Region{0, 0, 0, 5}).SplitBlocks(2, 2); SplitBlocks != nil {
+		t.Fatal("empty region split returned blocks")
+	}
+	// Non-positive block sizes take the full extent.
+	b := (Region{1, 9, 2, 7}).SplitBlocks(0, -1)
+	if len(b) != 1 || b[0] != (Region{1, 9, 2, 7}) {
+		t.Fatalf("full-extent split got %v", b)
+	}
+}
+
+// Property: SplitBlocks partitions the region — blocks are disjoint, cover
+// every point, stay within bounds, and respect the block shape.
+func TestSplitBlocksPartitionProperty(t *testing.T) {
+	f := func(x0, w, y0, h int16, bx, by uint8) bool {
+		r := Region{int(x0 % 50), 0, int(y0 % 50), 0}
+		r.X1 = r.X0 + int(w%40)
+		r.Y1 = r.Y0 + int(h%40)
+		blocks := r.SplitBlocks(int(bx%12), int(by%12))
+		seen := map[[2]int]bool{}
+		for _, b := range blocks {
+			if b.Empty() {
+				return false
+			}
+			if b.X0 < r.X0 || b.X1 > r.X1 || b.Y0 < r.Y0 || b.Y1 > r.Y1 {
+				return false
+			}
+			for x := b.X0; x < b.X1; x++ {
+				for y := b.Y0; y < b.Y1; y++ {
+					if seen[[2]int{x, y}] {
+						return false
+					}
+					seen[[2]int{x, y}] = true
+				}
+			}
+		}
+		return len(seen) == r.NumPoints()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

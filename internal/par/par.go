@@ -1,0 +1,56 @@
+// Package par is the shared-memory parallel runtime of the repository: a
+// dynamically scheduled parallel-for over a fixed worker count, the
+// stand-in for the paper's "OpenMP shared-memory parallelism with dynamic
+// scheduling". Work items are claimed with an atomic counter, so uneven item
+// costs (clamped edge blocks, sparse-operator blocks) balance automatically.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers is the degree of parallelism used by For. It defaults to
+// GOMAXPROCS and may be lowered (e.g. to 1) to serialize execution for
+// debugging; values < 1 are treated as 1.
+var Workers = runtime.GOMAXPROCS(0)
+
+// For invokes f(i) for every i in [0, n), distributing iterations across
+// workers with dynamic (work-stealing-by-counter) scheduling. It returns
+// when all iterations are complete. f must be safe for concurrent calls with
+// distinct i.
+func For(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				f(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}

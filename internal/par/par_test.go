@@ -1,0 +1,49 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForVisitsAll(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		var visited atomic.Int64
+		seen := make([]atomic.Bool, n)
+		For(n, func(i int) {
+			if seen[i].Swap(true) {
+				t.Errorf("n=%d: index %d visited twice", n, i)
+			}
+			visited.Add(1)
+		})
+		if visited.Load() != int64(n) {
+			t.Fatalf("n=%d: visited %d", n, visited.Load())
+		}
+	}
+}
+
+func TestForNegative(t *testing.T) {
+	called := false
+	For(-5, func(int) { called = true })
+	if called {
+		t.Fatal("callback invoked for negative n")
+	}
+}
+
+func TestForSingleWorker(t *testing.T) {
+	old := Workers
+	defer func() { Workers = old }()
+	Workers = 1
+	order := []int{}
+	For(5, func(i int) { order = append(order, i) }) // must be sequential: no race
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single worker not in order: %v", order)
+		}
+	}
+	Workers = 0 // treated as 1
+	count := 0
+	For(3, func(int) { count++ })
+	if count != 3 {
+		t.Fatalf("Workers=0: count %d", count)
+	}
+}

@@ -1,0 +1,81 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+
+	"wavetile/internal/cachesim"
+)
+
+func traffic(l1, l2, dram uint64) cachesim.Traffic {
+	return cachesim.Traffic{
+		Boundary:  []uint64{l1, l2, dram},
+		DRAMBytes: dram * cachesim.LineSize,
+	}
+}
+
+func TestPredictDRAMBound(t *testing.T) {
+	m := Broadwell()
+	// 1 GF of work, 10 GB of DRAM traffic → clearly DRAM-bound.
+	lines := uint64(10e9 / cachesim.LineSize)
+	p := Predict(m, 1e9, 1e9, traffic(lines, lines, lines))
+	if p.Bound != "DRAM" {
+		t.Fatalf("bound %s", p.Bound)
+	}
+	want := 10e9 / (m.BWGBs[2] * 1e9)
+	if math.Abs(p.Seconds-want)/want > 1e-9 {
+		t.Fatalf("seconds %g want %g", p.Seconds, want)
+	}
+	if math.Abs(p.GPointsPS-1e9/p.Seconds/1e9) > 1e-9 {
+		t.Fatalf("GPts %g", p.GPointsPS)
+	}
+}
+
+func TestPredictComputeBound(t *testing.T) {
+	m := Broadwell()
+	// Huge flop count, one cache line of traffic.
+	p := Predict(m, 1e12, 1e9, traffic(1, 1, 1))
+	if p.Bound != "compute" {
+		t.Fatalf("bound %s", p.Bound)
+	}
+	if math.Abs(p.GFlops-m.PeakGFlops)/m.PeakGFlops > 1e-9 {
+		t.Fatalf("GFlops %g want peak %g", p.GFlops, m.PeakGFlops)
+	}
+}
+
+func TestPredictAIs(t *testing.T) {
+	m := Skylake()
+	lines := uint64(1e9 / cachesim.LineSize)
+	p := Predict(m, 2e9, 1, traffic(lines, 2*lines, 4*lines))
+	if math.Abs(p.AIs[0]-2.0) > 1e-9 || math.Abs(p.AIs[1]-1.0) > 1e-9 || math.Abs(p.AIs[2]-0.5) > 1e-9 {
+		t.Fatalf("AIs %v", p.AIs)
+	}
+}
+
+func TestMachinesSane(t *testing.T) {
+	for _, m := range []Machine{Broadwell(), Skylake()} {
+		if m.PeakGFlops <= 0 || len(m.BWGBs) != len(m.Cache.Levels) {
+			t.Fatalf("%s: inconsistent machine", m.Name)
+		}
+		// Bandwidths decrease away from the core.
+		for i := 1; i < len(m.BWGBs); i++ {
+			if m.BWGBs[i] >= m.BWGBs[i-1] {
+				t.Fatalf("%s: bandwidths not decreasing: %v", m.Name, m.BWGBs)
+			}
+		}
+	}
+	// Skylake has more compute and DRAM bandwidth than Broadwell (16 vs 8
+	// cores), matching the paper's relative platform ordering.
+	if Skylake().PeakGFlops <= Broadwell().PeakGFlops {
+		t.Fatal("Skylake not faster than Broadwell")
+	}
+}
+
+func TestMoreTrafficNeverFaster(t *testing.T) {
+	m := Broadwell()
+	base := Predict(m, 1e9, 1e9, traffic(1000, 1000, 1000))
+	worse := Predict(m, 1e9, 1e9, traffic(2000, 2000, 2000))
+	if worse.Seconds < base.Seconds {
+		t.Fatal("more traffic predicted faster")
+	}
+}

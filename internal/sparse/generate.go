@@ -1,0 +1,72 @@
+package sparse
+
+import "math"
+
+// The generators below build the source layouts of the paper's evaluation:
+// a single localized source (§IV-B), an increasing number of sources spread
+// over an x–y plane slice of the 3-D grid, and sources densely and uniformly
+// located all over the 3-D grid (§IV-E, Fig. 10). Placement is deterministic
+// — a Halton low-discrepancy sequence — so every benchmark run sees the same
+// geometry, while the fractional offsets keep every point genuinely
+// off-the-grid.
+
+// halton returns element i of the Halton sequence with the given base.
+func halton(i int, base float64) float64 {
+	f, r := 1.0, 0.0
+	for n := float64(i + 1); n > 0; n = math.Floor(n / base) {
+		f /= base
+		r += f * math.Mod(n, base)
+	}
+	return r
+}
+
+// Single returns a one-point set at the given coordinate.
+func Single(c Coord) *Points { return &Points{Coords: []Coord{c}} }
+
+// PlaneSlice places n points quasi-uniformly over the x–y plane z = zpos,
+// inside the box [lo, hi] in x and y. This is the paper's "increasing number
+// of sources located at an x-y plane slice" corner case.
+func PlaneSlice(n int, zpos, loX, hiX, loY, hiY float64) *Points {
+	p := &Points{Coords: make([]Coord, n)}
+	for i := 0; i < n; i++ {
+		p.Coords[i] = Coord{
+			loX + halton(i, 2)*(hiX-loX),
+			loY + halton(i, 3)*(hiY-loY),
+			zpos,
+		}
+	}
+	return p
+}
+
+// DenseVolume places n points quasi-uniformly over the 3-D box
+// [lo, hi]³ — the paper's "densely and uniformly located all over the 3D
+// grid" corner case.
+func DenseVolume(n int, loX, hiX, loY, hiY, loZ, hiZ float64) *Points {
+	p := &Points{Coords: make([]Coord, n)}
+	for i := 0; i < n; i++ {
+		p.Coords[i] = Coord{
+			loX + halton(i, 2)*(hiX-loX),
+			loY + halton(i, 3)*(hiY-loY),
+			loZ + halton(i, 5)*(hiZ-loZ),
+		}
+	}
+	return p
+}
+
+// Line places n points evenly along the segment a→b (receiver cables and
+// cross-well arrays in the examples).
+func Line(n int, a, b Coord) *Points {
+	p := &Points{Coords: make([]Coord, n)}
+	for i := 0; i < n; i++ {
+		t := 0.5
+		if n > 1 {
+			t = float64(i) / float64(n-1)
+		}
+		p.Coords[i] = Coord{
+			a[0] + t*(b[0]-a[0]),
+			a[1] + t*(b[1]-a[1]),
+			a[2] + t*(b[2]-a[2]),
+		}
+	}
+	return p
+}

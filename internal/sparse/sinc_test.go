@@ -1,0 +1,127 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBesselI0(t *testing.T) {
+	// Reference values (Abramowitz & Stegun).
+	cases := map[float64]float64{
+		0: 1, 1: 1.2660658777520084, 2: 2.2795853023360673, 5: 27.239871823604442,
+	}
+	for x, want := range cases {
+		if got := besselI0(x); math.Abs(got-want)/want > 1e-12 {
+			t.Fatalf("I0(%g) = %.15g, want %.15g", x, got, want)
+		}
+	}
+}
+
+func TestKaiserSincOnGridPoint(t *testing.T) {
+	// At integer offsets the sinc is 0 except at the origin where it is 1:
+	// a source exactly on a grid point injects only there.
+	if w := kaiserSinc(0); math.Abs(w-1) > 1e-12 {
+		t.Fatalf("center weight %g", w)
+	}
+	for d := 1; d < SincRadius; d++ {
+		if w := kaiserSinc(float64(d)); math.Abs(w) > 1e-12 {
+			t.Fatalf("integer offset %d weight %g", d, w)
+		}
+	}
+	if kaiserSinc(SincRadius) != 0 || kaiserSinc(-SincRadius) != 0 {
+		t.Fatal("support not compact")
+	}
+}
+
+func TestSincSupportNormalization(t *testing.T) {
+	// Windowed-sinc weights sum to ≈1 for any sub-cell position (the window
+	// perturbs the partition of unity only slightly).
+	f := func(fx, fy, fz uint16) bool {
+		n, h := 24, 10.0
+		c := Coord{
+			(8 + float64(fx)/65536) * h,
+			(9 + float64(fy)/65536) * h,
+			(10 + float64(fz)/65536) * h,
+		}
+		ws, err := SincSupport(c, n, n, n, h, h, h)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, w := range ws.W {
+			sum += w
+		}
+		return math.Abs(sum-1) < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSincSupportBoundaryRejected(t *testing.T) {
+	n, h := 24, 10.0
+	for _, c := range []Coord{{5, 120, 120}, {120, 120, 225}} {
+		if _, err := SincSupport(c, n, n, n, h, h, h); err == nil {
+			t.Fatalf("near-boundary coordinate %v accepted", c)
+		}
+	}
+}
+
+func TestSincReproducesSmoothField(t *testing.T) {
+	// Gathering a band-limited (smooth) field with the sinc weights is far
+	// more accurate than trilinear interpolation of a curved function.
+	n, h := 32, 10.0
+	field := func(x, y, z float64) float64 {
+		return math.Sin(x/80) * math.Cos(y/70) * math.Sin(z/90)
+	}
+	c := Coord{153.7, 161.2, 148.9}
+	ws, err := SincSupport(c, n, n, n, h, h, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := 0.0
+	for i, w := range ws.W {
+		acc += w * field(float64(ws.X[i])*h, float64(ws.Y[i])*h, float64(ws.Z[i])*h)
+	}
+	want := field(c[0], c[1], c[2])
+	if math.Abs(acc-want) > 1e-3*math.Abs(want) {
+		t.Fatalf("sinc gather %g, want %g", acc, want)
+	}
+}
+
+func TestAsSupportsPreservesWeights(t *testing.T) {
+	n, h := 24, 10.0
+	ws, err := SincSupport(Coord{83.7, 91.2, 88.9}, n, n, n, h, h, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := ws.AsSupports()
+	if len(groups) != (2*SincRadius)*(2*SincRadius)*(2*SincRadius)/8 {
+		t.Fatalf("%d groups", len(groups))
+	}
+	sumWide, sumGroups := 0.0, 0.0
+	for _, w := range ws.W {
+		sumWide += w
+	}
+	for _, g := range groups {
+		for _, w := range g.W {
+			sumGroups += w
+		}
+	}
+	if math.Abs(sumWide-sumGroups) > 1e-12 {
+		t.Fatalf("weight mass changed: %g vs %g", sumWide, sumGroups)
+	}
+}
+
+func TestSincSupportsSet(t *testing.T) {
+	n, h := 32, 10.0
+	pts := &Points{Coords: []Coord{{153.7, 161.2, 148.9}, {101.1, 99.9, 150.0}}}
+	sup, per, err := pts.SincSupports(n, n, n, h, h, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per != 64 || len(sup) != 128 {
+		t.Fatalf("per=%d len=%d", per, len(sup))
+	}
+}

@@ -1,0 +1,145 @@
+// Package sparse implements the off-the-grid operators of the paper: sets of
+// sparsely located points (sources and receivers) that are not aligned with
+// the computational grid, together with the interpolation machinery that
+// scatters a source's wavelet onto neighbouring grid points (injection) and
+// gathers a receiver's measurement from neighbouring grid points
+// (interpolation). See Fig. 3 of the paper.
+//
+// The package also contains the baseline execution path — the unfused,
+// per-timestep loop over sources/receivers of Listing 1 — against which the
+// precomputation scheme of internal/core is validated and benchmarked.
+package sparse
+
+import (
+	"fmt"
+	"math"
+
+	"wavetile/internal/grid"
+)
+
+// Coord is a physical-space coordinate (same units as the grid spacing).
+type Coord [3]float64
+
+// Points is a set of off-the-grid positions.
+type Points struct {
+	Coords []Coord
+}
+
+// N returns the number of points in the set.
+func (p *Points) N() int { return len(p.Coords) }
+
+// Support is the grid-aligned footprint of one off-the-grid point: the
+// neighbouring grid points it scatters to / gathers from, with the linear
+// interpolation weights of Fig. 3. With trilinear interpolation np = 8
+// (degenerating to fewer distinct points when a coordinate sits exactly on
+// the grid, in which case zero-weight corners are kept for a fixed np).
+type Support struct {
+	// X, Y, Z are the grid coordinates of the corner points, W the weights.
+	X, Y, Z [8]int32
+	W       [8]float64
+}
+
+// Trilinear computes the 8-point support of physical coordinate c on a grid
+// with the given spacing. The grid point (i,j,k) sits at physical
+// (i·hx, j·hy, k·hz). Coordinates must fall inside the hull of the interior
+// grid: 0 ≤ c[d] ≤ (n_d−1)·h_d; out-of-hull coordinates return an error so
+// that misplaced sources fail loudly rather than silently clamping.
+func Trilinear(c Coord, nx, ny, nz int, hx, hy, hz float64) (Support, error) {
+	var s Support
+	dims := [3]int{nx, ny, nz}
+	h := [3]float64{hx, hy, hz}
+	var base [3]int
+	var frac [3]float64
+	for d := 0; d < 3; d++ {
+		if h[d] <= 0 {
+			return s, fmt.Errorf("sparse: non-positive spacing %g in dim %d", h[d], d)
+		}
+		u := c[d] / h[d]
+		if u < 0 || u > float64(dims[d]-1) {
+			return s, fmt.Errorf("sparse: coordinate %g out of hull [0, %g] in dim %d",
+				c[d], float64(dims[d]-1)*h[d], d)
+		}
+		i := int(math.Floor(u))
+		if i > dims[d]-2 { // c exactly on the far face
+			i = dims[d] - 2
+		}
+		if dims[d] == 1 {
+			i = 0
+		}
+		base[d] = i
+		frac[d] = u - float64(i)
+	}
+	n := 0
+	for dx := 0; dx < 2; dx++ {
+		wx := 1 - frac[0]
+		if dx == 1 {
+			wx = frac[0]
+		}
+		for dy := 0; dy < 2; dy++ {
+			wy := 1 - frac[1]
+			if dy == 1 {
+				wy = frac[1]
+			}
+			for dz := 0; dz < 2; dz++ {
+				wz := 1 - frac[2]
+				if dz == 1 {
+					wz = frac[2]
+				}
+				s.X[n] = int32(min(base[0]+dx, nx-1))
+				s.Y[n] = int32(min(base[1]+dy, ny-1))
+				s.Z[n] = int32(min(base[2]+dz, nz-1))
+				s.W[n] = wx * wy * wz
+				n++
+			}
+		}
+	}
+	return s, nil
+}
+
+// Supports computes the interpolation support of every point in the set.
+func (p *Points) Supports(nx, ny, nz int, hx, hy, hz float64) ([]Support, error) {
+	out := make([]Support, p.N())
+	for i, c := range p.Coords {
+		s, err := Trilinear(c, nx, ny, nz, hx, hy, hz)
+		if err != nil {
+			return nil, fmt.Errorf("point %d: %w", i, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// ScaleFunc returns a per-grid-point scale factor applied to injected
+// amplitudes (e.g. dt²/m(x) for the acoustic propagators, matching Devito's
+// src.inject(expr=src*dt²/m)).
+type ScaleFunc func(x, y, z int) float32
+
+// Inject performs the baseline off-the-grid source injection of Listing 1
+// for one timestep: for every source s and every supporting grid point i,
+//
+//	u[xs,ys,zs] += w_i · wavelets[s] · scale(xs,ys,zs)
+//
+// wavelets holds the amplitude of each source at this timestep.
+func Inject(u *grid.Grid, sup []Support, wavelets []float32, scale ScaleFunc) {
+	for s := range sup {
+		amp := wavelets[s]
+		sp := &sup[s]
+		for i := 0; i < 8; i++ {
+			x, y, z := int(sp.X[i]), int(sp.Y[i]), int(sp.Z[i])
+			u.Data[u.Idx(x, y, z)] += float32(sp.W[i]) * amp * scale(x, y, z)
+		}
+	}
+}
+
+// Interpolate performs the baseline receiver measurement of Listing 1 for
+// one timestep: out[r] = Σ_i w_i · u[x_i,y_i,z_i] for every receiver r.
+func Interpolate(u *grid.Grid, sup []Support, out []float32) {
+	for r := range sup {
+		sp := &sup[r]
+		acc := 0.0
+		for i := 0; i < 8; i++ {
+			acc += sp.W[i] * float64(u.At(int(sp.X[i]), int(sp.Y[i]), int(sp.Z[i])))
+		}
+		out[r] = float32(acc)
+	}
+}

@@ -1,0 +1,228 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wavetile/internal/grid"
+)
+
+func TestTrilinearOnGridPoint(t *testing.T) {
+	// A coordinate exactly on a grid point puts all weight there.
+	s, err := Trilinear(Coord{20, 30, 40}, 8, 8, 8, 10, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for i := 0; i < 8; i++ {
+		total += s.W[i]
+		if s.W[i] > 0.999 {
+			if s.X[i] != 2 || s.Y[i] != 3 || s.Z[i] != 4 {
+				t.Fatalf("weight on wrong corner (%d,%d,%d)", s.X[i], s.Y[i], s.Z[i])
+			}
+		}
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("weights sum %g", total)
+	}
+}
+
+func TestTrilinearMidpoint(t *testing.T) {
+	s, err := Trilinear(Coord{15, 15, 15}, 8, 8, 8, 10, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if math.Abs(s.W[i]-0.125) > 1e-12 {
+			t.Fatalf("corner %d weight %g, want 0.125", i, s.W[i])
+		}
+	}
+}
+
+func TestTrilinearPartitionOfUnityProperty(t *testing.T) {
+	f := func(ux, uy, uz uint16) bool {
+		nx, ny, nz := 12, 9, 15
+		h := 7.5
+		c := Coord{
+			float64(ux) / 65535 * float64(nx-1) * h,
+			float64(uy) / 65535 * float64(ny-1) * h,
+			float64(uz) / 65535 * float64(nz-1) * h,
+		}
+		s, err := Trilinear(c, nx, ny, nz, h, h, h)
+		if err != nil {
+			return false
+		}
+		total := 0.0
+		for i := 0; i < 8; i++ {
+			total += s.W[i]
+			if s.W[i] < -1e-12 {
+				return false
+			}
+			if s.X[i] < 0 || int(s.X[i]) >= nx || s.Y[i] < 0 || int(s.Y[i]) >= ny || s.Z[i] < 0 || int(s.Z[i]) >= nz {
+				return false
+			}
+		}
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrilinearReproducesLinearFields(t *testing.T) {
+	// Interpolating a linear function of space is exact.
+	nx, ny, nz, h := 6, 6, 6, 5.0
+	u := grid.New(nx, ny, nz, 0)
+	lin := func(x, y, z float64) float64 { return 3 + 2*x - y + 0.5*z }
+	u.FillFunc(func(x, y, z int) float32 {
+		return float32(lin(float64(x)*h, float64(y)*h, float64(z)*h))
+	})
+	pts := &Points{Coords: []Coord{{7.3, 11.9, 20.01}, {0, 0, 0}, {25, 25, 25}}}
+	sup, err := pts.Supports(nx, ny, nz, h, h, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, pts.N())
+	Interpolate(u, sup, out)
+	for i, c := range pts.Coords {
+		want := lin(c[0], c[1], c[2])
+		if math.Abs(float64(out[i])-want) > 1e-4 {
+			t.Fatalf("point %d: got %g want %g", i, out[i], want)
+		}
+	}
+}
+
+func TestTrilinearOutOfHull(t *testing.T) {
+	for _, c := range []Coord{{-1, 0, 0}, {0, 71, 0}, {0, 0, 1e9}} {
+		if _, err := Trilinear(c, 8, 8, 8, 10, 10, 10); err == nil {
+			t.Fatalf("coordinate %v accepted", c)
+		}
+	}
+	if _, err := Trilinear(Coord{1, 1, 1}, 8, 8, 8, 0, 10, 10); err == nil {
+		t.Fatal("zero spacing accepted")
+	}
+}
+
+func TestTrilinearFarFace(t *testing.T) {
+	// Exactly on the far face must not index out of bounds.
+	s, err := Trilinear(Coord{70, 70, 70}, 8, 8, 8, 10, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i := 0; i < 8; i++ {
+		if s.X[i] > 7 || s.Y[i] > 7 || s.Z[i] > 7 {
+			t.Fatalf("corner out of range (%d,%d,%d)", s.X[i], s.Y[i], s.Z[i])
+		}
+		sum += s.W[i]
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum %g", sum)
+	}
+}
+
+func TestInjectScatter(t *testing.T) {
+	nx := 6
+	u := grid.New(nx, nx, nx, 2)
+	pts := &Points{Coords: []Coord{{12.5, 20, 30}}}
+	sup, err := pts.Supports(nx, nx, nx, 10, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Inject(u, sup, []float32{4}, func(x, y, z int) float32 { return 2 })
+	// Total injected mass = amp · scale · Σw = 4·2·1 = 8.
+	total := 0.0
+	for _, v := range u.Data {
+		total += float64(v)
+	}
+	if math.Abs(total-8) > 1e-5 {
+		t.Fatalf("total injected %g, want 8", total)
+	}
+	// Off-grid only in x (12.5 → frac 0.25): corner (1,2,3) gets 0.75·4·2=6,
+	// corner (2,2,3) gets 0.25·4·2=2.
+	if math.Abs(float64(u.At(1, 2, 3))-6) > 1e-5 || math.Abs(float64(u.At(2, 2, 3))-2) > 1e-5 {
+		t.Fatalf("scatter wrong: %g %g", u.At(1, 2, 3), u.At(2, 2, 3))
+	}
+}
+
+func TestInjectInterpolateAdjointPairing(t *testing.T) {
+	// <Inject(e_s), u> == <e_s, Interpolate(u)> for unit scale: injection and
+	// interpolation use the same weights.
+	nx, h := 7, 10.0
+	u := grid.New(nx, nx, nx, 0)
+	u.FillFunc(func(x, y, z int) float32 { return float32(x + 2*y + 3*z) })
+	pts := &Points{Coords: []Coord{{13.7, 25.2, 31.9}}}
+	sup, _ := pts.Supports(nx, nx, nx, h, h, h)
+
+	out := make([]float32, 1)
+	Interpolate(u, sup, out)
+
+	v := grid.New(nx, nx, nx, 0)
+	Inject(v, sup, []float32{1}, func(x, y, z int) float32 { return 1 })
+	dot := 0.0
+	for x := 0; x < nx; x++ {
+		for y := 0; y < nx; y++ {
+			a, b := u.Row(x, y), v.Row(x, y)
+			for z := range a {
+				dot += float64(a[z]) * float64(b[z])
+			}
+		}
+	}
+	if math.Abs(dot-float64(out[0])) > 1e-4 {
+		t.Fatalf("adjoint pairing broken: %g vs %g", dot, out[0])
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	p := PlaneSlice(50, 123, 0, 100, 0, 200)
+	if p.N() != 50 {
+		t.Fatalf("PlaneSlice N=%d", p.N())
+	}
+	seen := map[Coord]bool{}
+	for _, c := range p.Coords {
+		if c[2] != 123 {
+			t.Fatalf("plane point off plane: %v", c)
+		}
+		if c[0] < 0 || c[0] > 100 || c[1] < 0 || c[1] > 200 {
+			t.Fatalf("point outside box: %v", c)
+		}
+		if seen[c] {
+			t.Fatalf("duplicate point %v", c)
+		}
+		seen[c] = true
+	}
+
+	d := DenseVolume(64, 0, 10, 0, 10, 0, 10)
+	if d.N() != 64 {
+		t.Fatalf("DenseVolume N=%d", d.N())
+	}
+	for _, c := range d.Coords {
+		for k := 0; k < 3; k++ {
+			if c[k] < 0 || c[k] > 10 {
+				t.Fatalf("point outside volume: %v", c)
+			}
+		}
+	}
+
+	l := Line(5, Coord{0, 0, 0}, Coord{4, 8, 12})
+	if l.Coords[0] != (Coord{0, 0, 0}) || l.Coords[4] != (Coord{4, 8, 12}) {
+		t.Fatalf("line endpoints wrong: %v", l.Coords)
+	}
+	if l.Coords[2] != (Coord{2, 4, 6}) {
+		t.Fatalf("line midpoint wrong: %v", l.Coords[2])
+	}
+	if Line(1, Coord{1, 1, 1}, Coord{3, 3, 3}).Coords[0] != (Coord{2, 2, 2}) {
+		t.Fatal("single-point line not at midpoint")
+	}
+}
+
+func TestHaltonLowDiscrepancy(t *testing.T) {
+	// First Halton(base 2) values are 1/2, 1/4, 3/4, 1/8, ...
+	want := []float64{0.5, 0.25, 0.75, 0.125, 0.625}
+	for i, w := range want {
+		if got := halton(i, 2); math.Abs(got-w) > 1e-14 {
+			t.Fatalf("halton(%d,2) = %g, want %g", i, got, w)
+		}
+	}
+}

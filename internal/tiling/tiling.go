@@ -1,0 +1,167 @@
+// Package tiling implements the two execution schedules compared in the
+// paper:
+//
+//   - spatial cache blocking (the highly-optimized baseline, Fig. 4a): each
+//     timestep updates the whole grid in parallel blocks, then applies the
+//     sparse off-the-grid operators;
+//   - wave-front temporal blocking, WTB (Listing 6, Figs. 7–8): the time
+//     axis is split into tiles of depth TT; within a time tile, skewed
+//     space tiles are evaluated sequentially, each carrying its points
+//     through all TT timesteps while they remain cache-resident. Every
+//     wavefront update is parallelized over block_x × block_y sub-blocks.
+//
+// The schedules drive a Propagator through its Step method; the propagator
+// owns the per-point kernels, clamps regions per field phase (multi-grid
+// wavefronts, Fig. 8b), and applies the fused sparse operators of
+// internal/core. Because both schedules invoke the exact same kernel code on
+// the exact same points (merely reordered), their results are bitwise
+// identical — the property the correctness tests assert.
+package tiling
+
+import (
+	"fmt"
+
+	"wavetile/internal/grid"
+	"wavetile/internal/par"
+)
+
+// Propagator is a time-stepping wave kernel that the schedules can drive.
+type Propagator interface {
+	// GridShape returns the extents of the tiled (x, y) dimensions.
+	GridShape() (nx, ny int)
+	// Steps returns the number of timesteps nt.
+	Steps() int
+	// TimeSkew returns the wavefront shift per timestep inside a tile: the
+	// stencil radius for single-phase propagators, and the accumulated
+	// per-phase radii for multi-grid staggered systems (Fig. 8b).
+	TimeSkew() int
+	// MaxPhaseOffset returns how far (≥ 0) the laggard field phase trails
+	// the base region inside one timestep; 0 for single-phase propagators.
+	MaxPhaseOffset() int
+	// MinTile returns the smallest legal tile edge (dependency margin).
+	MinTile() int
+	// SetBlocks fixes the intra-region parallel block shape.
+	SetBlocks(bx, by int)
+	// Step advances the propagator from time index t to t+1 on the raw
+	// (possibly out-of-domain; clamp per phase) region. With fused=true the
+	// precomputed sparse operators are applied inside the region; with
+	// fused=false the caller applies them globally via ApplySparse.
+	Step(t int, raw grid.Region, fused bool)
+	// ApplySparse applies the baseline (Listing 1) off-the-grid operators
+	// for the step that computed time index t+1.
+	ApplySparse(t int)
+}
+
+// Config are the WTB schedule parameters of the paper's Table I.
+type Config struct {
+	TT             int // time-tile depth (timesteps kept in cache)
+	TileX, TileY   int // space-tile shape (wavefront extent per time level)
+	BlockX, BlockY int // parallel sub-block shape inside a wavefront update
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("TT=%d tile=%dx%d block=%dx%d", c.TT, c.TileX, c.TileY, c.BlockX, c.BlockY)
+}
+
+// Validate checks the configuration against a propagator's dependency
+// margins.
+func (c Config) Validate(p Propagator) error {
+	if c.TT < 1 {
+		return fmt.Errorf("tiling: time tile depth %d < 1", c.TT)
+	}
+	if mt := p.MinTile(); c.TileX < mt || c.TileY < mt {
+		return fmt.Errorf("tiling: tile %dx%d below dependency margin %d", c.TileX, c.TileY, mt)
+	}
+	return nil
+}
+
+// ForBlocks splits reg into bx×by blocks and runs f on each in parallel.
+// Propagators use it to parallelize one wavefront (or one baseline
+// timestep) over sub-blocks, the analogue of the paper's OpenMP loops.
+func ForBlocks(reg grid.Region, bx, by int, f func(grid.Region)) {
+	blocks := reg.SplitBlocks(bx, by)
+	if len(blocks) == 1 {
+		f(blocks[0])
+		return
+	}
+	par.For(len(blocks), func(i int) { f(blocks[i]) })
+}
+
+// RunSpatial executes the spatially-blocked baseline schedule: for every
+// timestep, the full grid is stepped in parallel blocks; the sparse
+// operators are then applied — fused (precomputed scheme) or unfused
+// (the paper's Listing 1 baseline) according to fused.
+func RunSpatial(p Propagator, blockX, blockY int, fused bool) {
+	p.SetBlocks(blockX, blockY)
+	nx, ny := p.GridShape()
+	// The raw region extends past the domain by the propagator's phase
+	// offset so that laggard phases (which shift their region back before
+	// clamping) still cover the full domain.
+	off := p.MaxPhaseOffset()
+	full := grid.Region{X0: 0, X1: nx + off, Y0: 0, Y1: ny + off}
+	nt := p.Steps()
+	for t := 0; t < nt; t++ {
+		p.Step(t, full, fused)
+		if !fused {
+			p.ApplySparse(t)
+		}
+	}
+}
+
+// RunWTB executes the wave-front temporal blocking schedule of Listing 6.
+//
+// For each time tile [t0, t0+tt): space tiles are visited sequentially in
+// lexicographic order; tile (bx, by) carries its points through all tt
+// local timesteps, its region shifting by −TimeSkew per local step k (the
+// wavefront angle of Fig. 7). In-place two-level wavefield buffers remain
+// consistent because, at the moment tile (bx,by) performs local step k,
+// every value it reads was produced by this tile or an earlier tile at the
+// correct time level and has not yet been overwritten — the skew makes all
+// inter-tile dependencies point lexicographically backwards. Sparse
+// operators are always fused under WTB (that is the point of the paper).
+func RunWTB(p Propagator, cfg Config) error {
+	return RunWTBRange(p, cfg, 0, p.Steps())
+}
+
+// RunWTBRange runs the WTB schedule over the time range [tFrom, tTo) only.
+// Callers that interleave tiles with other work — e.g. halo exchanges in a
+// distributed decomposition — drive one time tile at a time through this
+// entry point.
+func RunWTBRange(p Propagator, cfg Config, tFrom, tTo int) error {
+	if err := cfg.Validate(p); err != nil {
+		return err
+	}
+	p.SetBlocks(cfg.BlockX, cfg.BlockY)
+	nx, ny := p.GridShape()
+	s := p.TimeSkew()
+	off := p.MaxPhaseOffset()
+
+	for t0 := tFrom; t0 < tTo; t0 += cfg.TT {
+		tt := min(cfg.TT, tTo-t0)
+		// Total leftward shift a region experiences inside this time tile;
+		// enough extra tiles must start beyond the right/bottom edge so
+		// that shifted regions still cover the domain at the last level.
+		shift := (tt-1)*s + off
+		nbx := (nx + shift + cfg.TileX - 1) / cfg.TileX
+		nby := (ny + shift + cfg.TileY - 1) / cfg.TileY
+		for bx := 0; bx < nbx; bx++ {
+			for by := 0; by < nby; by++ {
+				for k := 0; k < tt; k++ {
+					raw := grid.Region{
+						X0: bx*cfg.TileX - k*s,
+						Y0: by*cfg.TileY - k*s,
+					}
+					raw.X1 = raw.X0 + cfg.TileX
+					raw.Y1 = raw.Y0 + cfg.TileY
+					// Skip raw tiles that cannot intersect the domain for
+					// any field phase (phases shift further left by ≤ off).
+					if raw.X1 <= 0 || raw.Y1 <= 0 || raw.X0-off >= nx || raw.Y0-off >= ny {
+						continue
+					}
+					p.Step(t0+k, raw, true)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"testing"
+
+	"wavetile/internal/cachesim"
+	"wavetile/internal/sparse"
+	"wavetile/internal/tiling"
+)
+
+func mkShape(n, so, nt int) Shape {
+	src := sparse.Single(sparse.Coord{float64(n) / 2 * 10, float64(n) / 2 * 10, float64(n) / 2 * 10})
+	sup, err := src.Supports(n, n, n, 10, 10, 10)
+	if err != nil {
+		panic(err)
+	}
+	return Shape{Nx: n, Ny: n, Nz: n, SO: so, Nt: nt, SrcSupports: sup}
+}
+
+// scaledCache shrinks the Broadwell hierarchy by the ratio of the trace
+// grid's working set to the paper's 512³ working set.
+func scaledCache(n int) cachesim.Config {
+	f := float64(n*n*n) / float64(512*512*512)
+	return cachesim.Broadwell().Scaled(f)
+}
+
+func TestAcousticAccessCountsMatchLoopStructure(t *testing.T) {
+	n, so, nt := 24, 4, 3
+	sh := mkShape(n, so, nt)
+	cs := &CountingSink{}
+	p := NewAcoustic(sh, cs)
+	tiling.RunSpatial(p, 8, 8, true)
+	// Per column: (4r+1) star rows + u⁻ + 3 params = reads; 1 write row.
+	r := so / 2
+	lines := uint64((n + 2*r + cachesim.LineSize/4 - 1) / (cachesim.LineSize / 4)) // approx lines per row
+	minReads := uint64(n*n*nt) * uint64(4*r+1) * (lines - 2)
+	if cs.Reads < minReads {
+		t.Fatalf("reads %d below structural minimum %d", cs.Reads, minReads)
+	}
+	if cs.Writes == 0 {
+		t.Fatal("no writes traced")
+	}
+	// Fused injection must emit the nnz_mask probe per column per step:
+	// at minimum nx*ny*nt extra reads beyond the stencil rows are present
+	// (they are included in Reads; just sanity-check the injection path ran
+	// by comparing against a run without sources).
+	cs2 := &CountingSink{}
+	sh2 := sh
+	sh2.SrcSupports = nil
+	p2 := NewAcoustic(sh2, cs2)
+	tiling.RunSpatial(p2, 8, 8, true)
+	if cs.Reads <= cs2.Reads {
+		t.Fatal("fused injection added no accesses")
+	}
+}
+
+func TestSchedulesTouchSameVolume(t *testing.T) {
+	// Both schedules visit every (t, x, y) column exactly once, so the
+	// total traced access count must be identical (same work, different
+	// order) for single-phase kernels up to clamping of skewed tiles.
+	n, so, nt := 20, 4, 4
+	sh := mkShape(n, so, nt)
+	cs1 := &CountingSink{}
+	tiling.RunSpatial(NewAcoustic(sh, cs1), 8, 8, true)
+	cs2 := &CountingSink{}
+	if err := tiling.RunWTB(NewAcoustic(sh, cs2), tiling.Config{TT: 4, TileX: 8, TileY: 8, BlockX: 8, BlockY: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if cs1.Writes != cs2.Writes {
+		t.Fatalf("write volume differs: spatial %d wtb %d", cs1.Writes, cs2.Writes)
+	}
+	if cs1.Reads != cs2.Reads {
+		t.Fatalf("read volume differs: spatial %d wtb %d", cs1.Reads, cs2.Reads)
+	}
+}
+
+func TestWTBReducesDRAMTraffic(t *testing.T) {
+	// The core mechanism of the paper: with a working set exceeding the
+	// LLC, temporal blocking re-uses cached tiles across timesteps and cuts
+	// slow-level traffic; spatial blocking must re-stream the grid from
+	// DRAM every timestep.
+	n, so, nt := 64, 4, 8
+	sh := mkShape(n, so, nt)
+	cfgc := scaledCache(n)
+
+	h1 := cachesim.New(cfgc)
+	tiling.RunSpatial(NewAcoustic(sh, h1), 0, 0, true)
+	spatial := h1.Snapshot("spatial")
+
+	h2 := cachesim.New(cfgc)
+	if err := tiling.RunWTB(NewAcoustic(sh, h2), tiling.Config{TT: 8, TileX: 16, TileY: 16, BlockX: 16, BlockY: 16}); err != nil {
+		t.Fatal(err)
+	}
+	wtb := h2.Snapshot("wtb")
+
+	t.Logf("spatial DRAM %d MB, WTB DRAM %d MB",
+		spatial.DRAMBytes>>20, wtb.DRAMBytes>>20)
+	if wtb.DRAMBytes >= spatial.DRAMBytes {
+		t.Fatalf("WTB did not reduce DRAM traffic: %d vs %d", wtb.DRAMBytes, spatial.DRAMBytes)
+	}
+	// With TT=8 the reduction should be substantial (> 1.5×).
+	if float64(spatial.DRAMBytes)/float64(wtb.DRAMBytes) < 1.5 {
+		t.Fatalf("reduction only %.2fx", float64(spatial.DRAMBytes)/float64(wtb.DRAMBytes))
+	}
+}
+
+func TestElasticTraceRuns(t *testing.T) {
+	n, so, nt := 24, 4, 3
+	sh := mkShape(n, so, nt)
+	cs := &CountingSink{}
+	e := NewElastic(sh, cs)
+	tiling.RunSpatial(e, 8, 8, true)
+	spatialReads := cs.Reads
+	if spatialReads == 0 || cs.Writes == 0 {
+		t.Fatal("elastic trace empty")
+	}
+	cs2 := &CountingSink{}
+	e2 := NewElastic(sh, cs2)
+	if err := tiling.RunWTB(e2, tiling.Config{TT: 3, TileX: 8, TileY: 8, BlockX: 8, BlockY: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if cs2.Writes != cs.Writes {
+		t.Fatalf("elastic write volume differs: %d vs %d", cs.Writes, cs2.Writes)
+	}
+}
+
+func TestTTITraceHeavierThanAcoustic(t *testing.T) {
+	// TTI touches the full (2r+1)² square of rows for two fields: its
+	// traced volume must far exceed the acoustic star.
+	n, so, nt := 16, 8, 2
+	sh := mkShape(n, so, nt)
+	ca := &CountingSink{}
+	tiling.RunSpatial(NewAcoustic(sh, ca), 8, 8, true)
+	ct := &CountingSink{}
+	tiling.RunSpatial(NewTTI(sh, ct), 8, 8, true)
+	if ct.Reads < 3*ca.Reads {
+		t.Fatalf("TTI reads %d not ≫ acoustic reads %d", ct.Reads, ca.Reads)
+	}
+}

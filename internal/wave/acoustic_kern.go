@@ -1,0 +1,109 @@
+package wave
+
+import "wavetile/internal/grid"
+
+// Radius-specialized acoustic kernels. These unroll the coefficient loop of
+// kernelGeneric for the paper's most common space orders (4 and 8) so the
+// compiler can keep coefficients in registers and schedule the z-streaming
+// loop tightly. Each variant evaluates the same per-point expression as
+// kernelGeneric; a propagator instance always uses a single variant, so
+// schedule comparisons remain bitwise exact.
+
+func (a *Acoustic) kernelR2(t int, reg grid.Region) {
+	u := a.U[t&1]
+	un := a.U[(t+1)&1]
+	nz := u.Nz
+	sx, sy := u.SX, u.SY
+	ud, und := u.Data, un.Data
+	dm1, dp1i, mdt2 := a.dm1.Data, a.dp1i.Data, a.mdt2.Data
+	c0 := a.c0
+	cx1, cx2 := a.cx[1], a.cx[2]
+	cy1, cy2 := a.cy[1], a.cy[2]
+	cz1, cz2 := a.cz[1], a.cz[2]
+	for x := reg.X0; x < reg.X1; x++ {
+		for y := reg.Y0; y < reg.Y1; y++ {
+			base := u.Idx(x, y, 0)
+			for z := 0; z < nz; z++ {
+				i := base + z
+				lap := c0*ud[i] +
+					cx1*(ud[i+sx]+ud[i-sx]) + cx2*(ud[i+2*sx]+ud[i-2*sx]) +
+					cy1*(ud[i+sy]+ud[i-sy]) + cy2*(ud[i+2*sy]+ud[i-2*sy]) +
+					cz1*(ud[i+1]+ud[i-1]) + cz2*(ud[i+2]+ud[i-2])
+				v := (2*ud[i] - dm1[i]*und[i] + mdt2[i]*lap) * dp1i[i]
+				if v < flushEps && v > -flushEps {
+					v = 0
+				}
+				und[i] = v
+			}
+		}
+	}
+}
+
+func (a *Acoustic) kernelR4(t int, reg grid.Region) {
+	u := a.U[t&1]
+	un := a.U[(t+1)&1]
+	nz := u.Nz
+	sx, sy := u.SX, u.SY
+	ud, und := u.Data, un.Data
+	dm1, dp1i, mdt2 := a.dm1.Data, a.dp1i.Data, a.mdt2.Data
+	c0 := a.c0
+	cx1, cx2, cx3, cx4 := a.cx[1], a.cx[2], a.cx[3], a.cx[4]
+	cy1, cy2, cy3, cy4 := a.cy[1], a.cy[2], a.cy[3], a.cy[4]
+	cz1, cz2, cz3, cz4 := a.cz[1], a.cz[2], a.cz[3], a.cz[4]
+	for x := reg.X0; x < reg.X1; x++ {
+		for y := reg.Y0; y < reg.Y1; y++ {
+			base := u.Idx(x, y, 0)
+			for z := 0; z < nz; z++ {
+				i := base + z
+				lap := c0*ud[i] +
+					cx1*(ud[i+sx]+ud[i-sx]) + cx2*(ud[i+2*sx]+ud[i-2*sx]) +
+					cx3*(ud[i+3*sx]+ud[i-3*sx]) + cx4*(ud[i+4*sx]+ud[i-4*sx]) +
+					cy1*(ud[i+sy]+ud[i-sy]) + cy2*(ud[i+2*sy]+ud[i-2*sy]) +
+					cy3*(ud[i+3*sy]+ud[i-3*sy]) + cy4*(ud[i+4*sy]+ud[i-4*sy]) +
+					cz1*(ud[i+1]+ud[i-1]) + cz2*(ud[i+2]+ud[i-2]) +
+					cz3*(ud[i+3]+ud[i-3]) + cz4*(ud[i+4]+ud[i-4])
+				v := (2*ud[i] - dm1[i]*und[i] + mdt2[i]*lap) * dp1i[i]
+				if v < flushEps && v > -flushEps {
+					v = 0
+				}
+				und[i] = v
+			}
+		}
+	}
+}
+
+func (a *Acoustic) kernelR6(t int, reg grid.Region) {
+	u := a.U[t&1]
+	un := a.U[(t+1)&1]
+	nz := u.Nz
+	sx, sy := u.SX, u.SY
+	ud, und := u.Data, un.Data
+	dm1, dp1i, mdt2 := a.dm1.Data, a.dp1i.Data, a.mdt2.Data
+	c0 := a.c0
+	cx1, cx2, cx3, cx4, cx5, cx6 := a.cx[1], a.cx[2], a.cx[3], a.cx[4], a.cx[5], a.cx[6]
+	cy1, cy2, cy3, cy4, cy5, cy6 := a.cy[1], a.cy[2], a.cy[3], a.cy[4], a.cy[5], a.cy[6]
+	cz1, cz2, cz3, cz4, cz5, cz6 := a.cz[1], a.cz[2], a.cz[3], a.cz[4], a.cz[5], a.cz[6]
+	for x := reg.X0; x < reg.X1; x++ {
+		for y := reg.Y0; y < reg.Y1; y++ {
+			base := u.Idx(x, y, 0)
+			for z := 0; z < nz; z++ {
+				i := base + z
+				lap := c0*ud[i] +
+					cx1*(ud[i+sx]+ud[i-sx]) + cx2*(ud[i+2*sx]+ud[i-2*sx]) +
+					cx3*(ud[i+3*sx]+ud[i-3*sx]) + cx4*(ud[i+4*sx]+ud[i-4*sx]) +
+					cx5*(ud[i+5*sx]+ud[i-5*sx]) + cx6*(ud[i+6*sx]+ud[i-6*sx]) +
+					cy1*(ud[i+sy]+ud[i-sy]) + cy2*(ud[i+2*sy]+ud[i-2*sy]) +
+					cy3*(ud[i+3*sy]+ud[i-3*sy]) + cy4*(ud[i+4*sy]+ud[i-4*sy]) +
+					cy5*(ud[i+5*sy]+ud[i-5*sy]) + cy6*(ud[i+6*sy]+ud[i-6*sy]) +
+					cz1*(ud[i+1]+ud[i-1]) + cz2*(ud[i+2]+ud[i-2]) +
+					cz3*(ud[i+3]+ud[i-3]) + cz4*(ud[i+4]+ud[i-4]) +
+					cz5*(ud[i+5]+ud[i-5]) + cz6*(ud[i+6]+ud[i-6])
+				v := (2*ud[i] - dm1[i]*und[i] + mdt2[i]*lap) * dp1i[i]
+				if v < flushEps && v > -flushEps {
+					v = 0
+				}
+				und[i] = v
+			}
+		}
+	}
+}

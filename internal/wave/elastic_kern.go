@@ -1,0 +1,81 @@
+package wave
+
+import "wavetile/internal/grid"
+
+// Radius-2 (space order 4) specializations of the elastic kernels: the
+// staggered-derivative closures of the generic path are unrolled into
+// straight-line code, the form Devito's code generation emits. The
+// expressions match velKernel/stressKernel exactly up to floating-point
+// re-association of the derivative accumulations.
+
+func (e *Elastic) velKernelR2(reg grid.Region) {
+	nz := e.Vx.Nz
+	sx, sy := e.Vx.SX, e.Vx.SY
+	vx, vy, vz := e.Vx.Data, e.Vy.Data, e.Vz.Data
+	txx, tyy, tzz := e.Txx.Data, e.Tyy.Data, e.Tzz.Data
+	txy, txz, tyz := e.Txy.Data, e.Txz.Data, e.Tyz.Data
+	bdt, taper := e.bdt.Data, e.taper.Data
+	cx1, cx2 := e.csx[1], e.csx[2]
+	cy1, cy2 := e.csy[1], e.csy[2]
+	cz1, cz2 := e.csz[1], e.csz[2]
+	for x := reg.X0; x < reg.X1; x++ {
+		for y := reg.Y0; y < reg.Y1; y++ {
+			base := e.Vx.Idx(x, y, 0)
+			for z := 0; z < nz; z++ {
+				i := base + z
+				dxfTxx := cx1*(txx[i+sx]-txx[i]) + cx2*(txx[i+2*sx]-txx[i-sx])
+				dybTxy := cy1*(txy[i]-txy[i-sy]) + cy2*(txy[i+sy]-txy[i-2*sy])
+				dzbTxz := cz1*(txz[i]-txz[i-1]) + cz2*(txz[i+1]-txz[i-2])
+				vx[i] = ftz((vx[i] + bdt[i]*(dxfTxx+dybTxy+dzbTxz)) * taper[i])
+
+				dxbTxy := cx1*(txy[i]-txy[i-sx]) + cx2*(txy[i+sx]-txy[i-2*sx])
+				dyfTyy := cy1*(tyy[i+sy]-tyy[i]) + cy2*(tyy[i+2*sy]-tyy[i-sy])
+				dzbTyz := cz1*(tyz[i]-tyz[i-1]) + cz2*(tyz[i+1]-tyz[i-2])
+				vy[i] = ftz((vy[i] + bdt[i]*(dxbTxy+dyfTyy+dzbTyz)) * taper[i])
+
+				dxbTxz := cx1*(txz[i]-txz[i-sx]) + cx2*(txz[i+sx]-txz[i-2*sx])
+				dybTyz := cy1*(tyz[i]-tyz[i-sy]) + cy2*(tyz[i+sy]-tyz[i-2*sy])
+				dzfTzz := cz1*(tzz[i+1]-tzz[i]) + cz2*(tzz[i+2]-tzz[i-1])
+				vz[i] = ftz((vz[i] + bdt[i]*(dxbTxz+dybTyz+dzfTzz)) * taper[i])
+			}
+		}
+	}
+}
+
+func (e *Elastic) stressKernelR2(reg grid.Region) {
+	nz := e.Vx.Nz
+	sx, sy := e.Vx.SX, e.Vx.SY
+	vx, vy, vz := e.Vx.Data, e.Vy.Data, e.Vz.Data
+	txx, tyy, tzz := e.Txx.Data, e.Tyy.Data, e.Tzz.Data
+	txy, txz, tyz := e.Txy.Data, e.Txz.Data, e.Tyz.Data
+	l2mdt, lamdt, mudt, taper := e.l2mdt.Data, e.lamdt.Data, e.mudt.Data, e.taper.Data
+	cx1, cx2 := e.csx[1], e.csx[2]
+	cy1, cy2 := e.csy[1], e.csy[2]
+	cz1, cz2 := e.csz[1], e.csz[2]
+	for x := reg.X0; x < reg.X1; x++ {
+		for y := reg.Y0; y < reg.Y1; y++ {
+			base := e.Vx.Idx(x, y, 0)
+			for z := 0; z < nz; z++ {
+				i := base + z
+				dvxdx := cx1*(vx[i]-vx[i-sx]) + cx2*(vx[i+sx]-vx[i-2*sx])
+				dvydy := cy1*(vy[i]-vy[i-sy]) + cy2*(vy[i+sy]-vy[i-2*sy])
+				dvzdz := cz1*(vz[i]-vz[i-1]) + cz2*(vz[i+1]-vz[i-2])
+				txx[i] = ftz((txx[i] + l2mdt[i]*dvxdx + lamdt[i]*(dvydy+dvzdz)) * taper[i])
+				tyy[i] = ftz((tyy[i] + l2mdt[i]*dvydy + lamdt[i]*(dvxdx+dvzdz)) * taper[i])
+				tzz[i] = ftz((tzz[i] + l2mdt[i]*dvzdz + lamdt[i]*(dvxdx+dvydy)) * taper[i])
+
+				dxfVy := cx1*(vy[i+sx]-vy[i]) + cx2*(vy[i+2*sx]-vy[i-sx])
+				dyfVx := cy1*(vx[i+sy]-vx[i]) + cy2*(vx[i+2*sy]-vx[i-sy])
+				txy[i] = ftz((txy[i] + mudt[i]*(dxfVy+dyfVx)) * taper[i])
+
+				dxfVz := cx1*(vz[i+sx]-vz[i]) + cx2*(vz[i+2*sx]-vz[i-sx])
+				dzfVx := cz1*(vx[i+1]-vx[i]) + cz2*(vx[i+2]-vx[i-1])
+				txz[i] = ftz((txz[i] + mudt[i]*(dxfVz+dzfVx)) * taper[i])
+
+				dyfVz := cy1*(vz[i+sy]-vz[i]) + cy2*(vz[i+2*sy]-vz[i-sy])
+				dzfVy := cz1*(vy[i+1]-vy[i]) + cz2*(vy[i+2]-vy[i-1])
+				tyz[i] = ftz((tyz[i] + mudt[i]*(dyfVz+dzfVy)) * taper[i])
+			}
+		}
+	}
+}

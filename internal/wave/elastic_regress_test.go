@@ -1,0 +1,55 @@
+package wave
+
+import (
+	"testing"
+
+	"wavetile/internal/model"
+	"wavetile/internal/tiling"
+)
+
+// TestElasticImpulseWTBExact is the regression test for the multi-phase
+// spatial-schedule bug: with an impulse initial stress on an undamped tiny
+// grid, the wavefront's leading edge reaches the far rows/columns on the
+// last timestep, and any region mishandling at the domain edge (e.g. the
+// stress phase losing its trailing rows, or a stale velocity read) shows up
+// as an exact-equality failure between the spatial and WTB schedules.
+func TestElasticImpulseWTBExact(t *testing.T) {
+	n := 14
+	for nt := 1; nt <= 8; nt++ {
+		g := model.Geometry{Nx: n, Ny: n, Nz: 6, Hx: 10, Hy: 10, Hz: 10, NBL: 0}
+		dt := g.CriticalDtElastic(2, 3000, model.DefaultCFL)
+		g.SetTime(float64(nt)*dt, dt)
+		g.Nt = nt
+		params := model.NewElastic(g, 1,
+			model.Homogeneous(2000), model.Homogeneous(1000), model.Homogeneous(1800))
+		mk := func() *Elastic {
+			e, err := NewElastic(ElasticOpts{Params: params, SO: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Txx.Set(6, 6, 2, 1e6)
+			e.Tyy.Set(6, 6, 2, 1e6)
+			e.Tzz.Set(6, 6, 2, 1e6)
+			return e
+		}
+		ref := mk()
+		tiling.RunSpatial(ref, 100, 100, true)
+		for _, cfg := range []tiling.Config{
+			{TT: nt, TileX: 4, TileY: 4, BlockX: 100, BlockY: 100},
+			{TT: 3, TileX: 6, TileY: 4, BlockX: 3, BlockY: 3},
+		} {
+			wtb := mk()
+			if err := tiling.RunWTB(wtb, cfg); err != nil {
+				t.Fatal(err)
+			}
+			for name, f := range ref.Fields() {
+				o := wtb.Fields()[name]
+				if !f.Equal(o) {
+					_, x, y, z := f.MaxAbsDiff(o)
+					t.Fatalf("nt=%d %v: field %s differs at (%d,%d,%d): %g vs %g",
+						nt, cfg, name, x, y, z, f.At(x, y, z), o.At(x, y, z))
+				}
+			}
+		}
+	}
+}

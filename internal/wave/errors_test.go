@@ -1,0 +1,78 @@
+package wave
+
+import (
+	"testing"
+
+	"wavetile/internal/model"
+	"wavetile/internal/sparse"
+)
+
+func TestConstructorValidation(t *testing.T) {
+	g := model.Geometry{Nx: 24, Ny: 24, Nz: 24, Hx: 10, Hy: 10, Hz: 10, NBL: 2}
+	// Time axis unset.
+	p := model.NewAcoustic(g, 2, model.Homogeneous(2000))
+	if _, err := NewAcoustic(AcousticOpts{Params: p, SO: 4}); err == nil {
+		t.Fatal("unset time axis accepted (acoustic)")
+	}
+	tp := model.NewTTI(g, 2, model.Homogeneous(2000), model.Homogeneous(0.2),
+		model.Homogeneous(0.1), model.Homogeneous(0.3), model.Homogeneous(0.2))
+	if _, err := NewTTI(TTIOpts{Params: tp, SO: 4}); err == nil {
+		t.Fatal("unset time axis accepted (tti)")
+	}
+	ep := model.NewElastic(g, 2, model.Homogeneous(2000), model.Homogeneous(1000), model.Homogeneous(1800))
+	if _, err := NewElastic(ElasticOpts{Params: ep, SO: 4}); err == nil {
+		t.Fatal("unset time axis accepted (elastic)")
+	}
+
+	// Halo smaller than the stencil radius.
+	g.SetTime(0.01, 0.001)
+	p2 := model.NewAcoustic(g, 2, model.Homogeneous(2000))
+	if _, err := NewAcoustic(AcousticOpts{Params: p2, SO: 12}); err == nil {
+		t.Fatal("undersized halo accepted (acoustic)")
+	}
+	tp2 := model.NewTTI(g, 2, model.Homogeneous(2000), model.Homogeneous(0.2),
+		model.Homogeneous(0.1), model.Homogeneous(0.3), model.Homogeneous(0.2))
+	if _, err := NewTTI(TTIOpts{Params: tp2, SO: 12}); err == nil {
+		t.Fatal("undersized halo accepted (tti)")
+	}
+	ep2 := model.NewElastic(g, 2, model.Homogeneous(2000), model.Homogeneous(1000), model.Homogeneous(1800))
+	if _, err := NewElastic(ElasticOpts{Params: ep2, SO: 12}); err == nil {
+		t.Fatal("undersized halo accepted (elastic)")
+	}
+}
+
+func TestSparseOpsValidation(t *testing.T) {
+	g := model.Geometry{Nx: 24, Ny: 24, Nz: 24, Hx: 10, Hy: 10, Hz: 10, NBL: 2}
+	g.SetTime(0.01, 0.001)
+	params := model.NewAcoustic(g, 2, model.Homogeneous(2000))
+	src := sparse.Single(sparse.Coord{115, 115, 115})
+	// Wavelet count mismatch.
+	if _, err := NewAcoustic(AcousticOpts{Params: params, SO: 4, Src: src}); err == nil {
+		t.Fatal("missing wavelets accepted")
+	}
+	// Out-of-hull source.
+	bad := sparse.Single(sparse.Coord{-5, 115, 115})
+	if _, err := NewAcoustic(AcousticOpts{Params: params, SO: 4, Src: bad,
+		SrcWav: [][]float32{make([]float32, g.Nt)}}); err == nil {
+		t.Fatal("out-of-hull source accepted")
+	}
+	// Out-of-hull receiver.
+	if _, err := NewAcoustic(AcousticOpts{Params: params, SO: 4, Rec: bad}); err == nil {
+		t.Fatal("out-of-hull receiver accepted")
+	}
+	// Moving sources: mismatched wavelets.
+	a, err := NewAcoustic(AcousticOpts{Params: params, SO: 4, Src: src,
+		SrcWav: [][]float32{make([]float32, g.Nt)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Ops.SetMovingSources(g.Nx, g.Ny, g.Nz, g.Hx, g.Hy, g.Hz,
+		func(t int) *sparse.Points { return src }, nil); err == nil {
+		t.Fatal("moving sources with no wavelets accepted")
+	}
+	if err := a.Ops.SetMovingSources(g.Nx, g.Ny, g.Nz, g.Hx, g.Hy, g.Hz,
+		func(t int) *sparse.Points { return bad },
+		[][]float32{make([]float32, g.Nt)}); err == nil {
+		t.Fatal("moving sources leaving the hull accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package wave
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"wavetile/internal/tiling"
+)
+
+// TestKernelVariantsAgree cross-checks the radius-specialized acoustic
+// kernels (R2/R4/R6) against the radius-generic implementation: the same
+// problem run with each must agree to FP-reassociation tolerance (the
+// specializations reorder the Laplacian accumulation, nothing else).
+func TestKernelVariantsAgree(t *testing.T) {
+	for _, so := range []int{4, 8, 12} {
+		so := so
+		t.Run(fmt.Sprintf("SO%d", so), func(t *testing.T) {
+			spec := build(t, so)
+			if fmt.Sprintf("%p", spec.kern) == fmt.Sprintf("%p", spec.kernelGeneric) {
+				t.Fatalf("SO%d has no specialized kernel", so)
+			}
+			tiling.RunSpatial(spec, 8, 8, true)
+
+			gen := build(t, so)
+			gen.kern = gen.kernelGeneric
+			tiling.RunSpatial(gen, 8, 8, true)
+
+			d, x, y, z := spec.Final().MaxAbsDiff(gen.Final())
+			scale := math.Max(gen.Final().MaxAbs(), 1e-30)
+			if scale == 0 {
+				t.Fatal("silent field")
+			}
+			if d > 1e-5*scale {
+				t.Fatalf("variants disagree: rel %g at (%d,%d,%d)", d/scale, x, y, z)
+			}
+		})
+	}
+}
+
+func build(t *testing.T, so int) *Acoustic {
+	t.Helper()
+	return buildAcoustic(t, 32, so, 2)
+}
+
+// TestElasticKernelVariantsAgree cross-checks the unrolled SO-4 elastic
+// kernels against the generic staggered implementation.
+func TestElasticKernelVariantsAgree(t *testing.T) {
+	spec := buildElastic(t, 28, 4)
+	if spec.velKern == nil {
+		t.Fatal("no kernel selected")
+	}
+	tiling.RunSpatial(spec, 8, 8, true)
+
+	gen := buildElastic(t, 28, 4)
+	gen.velKern, gen.stressKern = gen.velKernel, gen.stressKernel
+	tiling.RunSpatial(gen, 8, 8, true)
+
+	for name, f := range spec.Fields() {
+		d, x, y, z := f.MaxAbsDiff(gen.Fields()[name])
+		scale := math.Max(gen.Fields()[name].MaxAbs(), 1e-30)
+		if d > 1e-5*math.Max(scale, 1e-12) {
+			t.Fatalf("field %s: variants disagree rel %g at (%d,%d,%d)", name, d/scale, x, y, z)
+		}
+	}
+}
+
+// TestTTIKernelVariantsAgree cross-checks the unrolled SO-4 TTI kernel
+// against the generic rotated-Laplacian implementation.
+func TestTTIKernelVariantsAgree(t *testing.T) {
+	spec := buildTTI(t, 26, 4)
+	tiling.RunSpatial(spec, 8, 8, true)
+
+	gen := buildTTI(t, 26, 4)
+	gen.kern = gen.kernel
+	tiling.RunSpatial(gen, 8, 8, true)
+
+	for name, f := range spec.Fields() {
+		d, x, y, z := f.MaxAbsDiff(gen.Fields()[name])
+		scale := math.Max(gen.Fields()[name].MaxAbs(), 1e-30)
+		if d > 1e-5*math.Max(scale, 1e-12) {
+			t.Fatalf("field %s: variants disagree rel %g at (%d,%d,%d)", name, d/scale, x, y, z)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package wave
+
+import (
+	"math"
+	"testing"
+
+	"wavetile/internal/grid"
+	"wavetile/internal/model"
+	"wavetile/internal/sparse"
+	"wavetile/internal/tiling"
+	"wavetile/internal/wavelet"
+)
+
+// Physics sanity checks: the propagators are not just internally consistent
+// between schedules; they model waves. These tests validate stability under
+// the CFL bound, causality (finite propagation speed), absorbing-layer decay
+// and receiver plausibility on the acoustic kernel, plus basic stability for
+// TTI and elastic.
+
+func TestAcousticStabilityAtCFL(t *testing.T) {
+	n := 32
+	g := model.Geometry{Nx: n, Ny: n, Nz: n, Hx: 10, Hy: 10, Hz: 10, NBL: 4}
+	dt := g.CriticalDtAcoustic(8, 3000, model.DefaultCFL)
+	g.SetTime(200*dt, dt)
+	params := model.NewAcoustic(g, 4, model.Layered(float64(n)*10, 1500, 3000))
+	c := g.Center()
+	src := sparse.Single(sparse.Coord{c[0] + 1.2, c[1] - 0.7, c[2] + 3.3})
+	wav := [][]float32{wavelet.RickerSeries(25/(float64(g.Nt)*g.Dt), g.Nt, g.Dt, 1)}
+	a, err := NewAcoustic(AcousticOpts{Params: params, SO: 8, Src: src, SrcWav: wav})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiling.RunSpatial(a, 8, 8, true)
+	if a.Final().HasNaN() {
+		t.Fatal("NaN after 200 CFL-bounded steps")
+	}
+	if a.Final().MaxAbs() > 1e6 {
+		t.Fatalf("field blew up: max %g", a.Final().MaxAbs())
+	}
+}
+
+func TestAcousticCausality(t *testing.T) {
+	// The wavefront must not outrun c·t (with a small stencil-width slack).
+	n := 48
+	v := 2000.0
+	g := model.Geometry{Nx: n, Ny: n, Nz: n, Hx: 10, Hy: 10, Hz: 10, NBL: 0}
+	dt := g.CriticalDtAcoustic(4, v, model.DefaultCFL)
+	nsteps := 20
+	g.SetTime(float64(nsteps)*dt, dt)
+	g.Nt = nsteps
+	params := model.NewAcoustic(g, 2, model.Homogeneous(v))
+	c := g.Center()
+	src := sparse.Single(sparse.Coord{c[0], c[1], c[2]})
+	wav := [][]float32{wavelet.RickerSeries(2/(float64(g.Nt)*g.Dt), g.Nt, g.Dt, 1e3)}
+	a, err := NewAcoustic(AcousticOpts{Params: params, SO: 4, Src: src, SrcWav: wav})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiling.RunSpatial(a, 8, 8, true)
+	u := a.Final()
+	umax := u.MaxAbs()
+	// Strict causality holds for the discrete dependence cone: influence
+	// travels at most R cells per timestep (plus one cell of interpolation
+	// support). Beyond the physical front c·t the discrete solution may
+	// carry numerical tails, but they must be utterly negligible.
+	cone := (float64(a.R*nsteps) + 1) * 10
+	front := v*float64(nsteps)*dt + 4*10*float64(a.R)
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			for z := 0; z < n; z++ {
+				d := math.Max(math.Abs(float64(x)*10-c[0]),
+					math.Max(math.Abs(float64(y)*10-c[1]), math.Abs(float64(z)*10-c[2])))
+				val := math.Abs(float64(u.At(x, y, z)))
+				if d > cone && val != 0 {
+					t.Fatalf("signal outside discrete cone at L∞ distance %g > %g: u(%d,%d,%d)=%g",
+						d, cone, x, y, z, val)
+				}
+				if d > front && val > 1e-6*umax {
+					t.Fatalf("non-negligible signal beyond physical front at %g > %g: u(%d,%d,%d)=%g (max %g)",
+						d, front, x, y, z, val, umax)
+				}
+			}
+		}
+	}
+	// And the wave did move: nonzero well away from the source.
+	moved := false
+	for x := 0; x < n && !moved; x++ {
+		d := math.Abs(float64(x)*10 - c[0])
+		if d > v*float64(nsteps)*dt/2 && u.At(x, n/2, n/2) != 0 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("wave did not propagate")
+	}
+}
+
+func TestAcousticDampingAbsorbs(t *testing.T) {
+	// With absorbing layers, late-time energy must be far below peak energy
+	// (the wave leaves the domain instead of reflecting).
+	n := 36
+	v := 1500.0
+	g := model.Geometry{Nx: n, Ny: n, Nz: n, Hx: 10, Hy: 10, Hz: 10, NBL: 10}
+	dt := g.CriticalDtAcoustic(4, v, model.DefaultCFL)
+	g.SetTime(400*dt, dt)
+	params := model.NewAcoustic(g, 2, model.Homogeneous(v))
+	c := g.Center()
+	src := sparse.Single(sparse.Coord{c[0], c[1], c[2]})
+	f0 := 30 / (float64(g.Nt) * g.Dt)
+	wav := [][]float32{wavelet.RickerSeries(f0, g.Nt, g.Dt, 1e3)}
+	a, err := NewAcoustic(AcousticOpts{Params: params, SO: 4, Src: src, SrcWav: wav})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0.0
+	for tt := 0; tt < g.Nt; tt++ {
+		a.Step(tt, fullRaw(a), true)
+		if e := a.Wavefield(tt + 1).SumSq(); e > peak {
+			peak = e
+		}
+	}
+	final := a.Final().SumSq()
+	if peak == 0 {
+		t.Fatal("no energy injected")
+	}
+	if final > peak/50 {
+		t.Fatalf("absorbing layers ineffective: final/peak = %g", final/peak)
+	}
+}
+
+func fullRaw(p tiling.Propagator) grid.Region {
+	nx, ny := p.GridShape()
+	off := p.MaxPhaseOffset()
+	return grid.Region{X0: 0, X1: nx + off, Y0: 0, Y1: ny + off}
+}
+
+func TestAcousticReceiversRecordArrival(t *testing.T) {
+	// A receiver at distance d sees (almost) nothing before d/v and a clear
+	// signal after.
+	n := 40
+	v := 2000.0
+	g := model.Geometry{Nx: n, Ny: n, Nz: n, Hx: 10, Hy: 10, Hz: 10, NBL: 0}
+	dt := g.CriticalDtAcoustic(4, v, model.DefaultCFL)
+	g.SetTime(300*dt, dt)
+	params := model.NewAcoustic(g, 2, model.Homogeneous(v))
+	c := g.Center()
+	src := sparse.Single(sparse.Coord{c[0], c[1], c[2]})
+	rec := sparse.Single(sparse.Coord{c[0] + 150, c[1], c[2]}) // 150 m away
+	f0 := 40 / (float64(g.Nt) * g.Dt)
+	wav := [][]float32{wavelet.RickerSeries(f0, g.Nt, g.Dt, 1e3)}
+	a, err := NewAcoustic(AcousticOpts{Params: params, SO: 4, Src: src, SrcWav: wav, Rec: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiling.RunSpatial(a, 8, 8, true)
+	traces, err := a.Ops.Receivers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrival := 150 / v // seconds
+	maxAll, maxEarly := 0.0, 0.0
+	for tt := range traces {
+		v := math.Abs(float64(traces[tt][0]))
+		if v > maxAll {
+			maxAll = v
+		}
+		// Generous margin: stencil halo spreads the front a little.
+		if float64(tt)*dt < arrival*0.6 && v > maxEarly {
+			maxEarly = v
+		}
+	}
+	if maxAll == 0 {
+		t.Fatal("receiver recorded nothing")
+	}
+	if maxEarly > maxAll*1e-3 {
+		t.Fatalf("acausal receiver energy: early %g vs max %g", maxEarly, maxAll)
+	}
+}
+
+func TestTTIStability(t *testing.T) {
+	w := buildTTI(t, 24, 4)
+	tiling.RunSpatial(w, 8, 8, true)
+	for name, f := range w.Fields() {
+		if f.HasNaN() {
+			t.Fatalf("TTI field %s has NaN", name)
+		}
+	}
+	if w.WavefieldP(w.Steps()).MaxAbs() == 0 {
+		t.Fatal("TTI propagated nothing")
+	}
+}
+
+func TestTTIReducesToAcousticWhenIsotropic(t *testing.T) {
+	// With ε = δ = θ = φ = 0 the TTI system collapses to p = q solving the
+	// isotropic acoustic equation: p and q must coincide, and the p field
+	// must match an acoustic run with the same setup.
+	n, so := 24, 4
+	g := model.Geometry{Nx: n, Ny: n, Nz: n, Hx: 10, Hy: 10, Hz: 10, NBL: 4}
+	dt := g.CriticalDtAcoustic(so, 2000, model.DefaultCFL) * 0.9
+	g.SetTime(16*dt, dt)
+	zero := model.Homogeneous(0)
+	tp := model.NewTTI(g, so/2, model.Homogeneous(2000), zero, zero, zero, zero)
+	c := g.Center()
+	src := sparse.Single(sparse.Coord{c[0] + 1.5, c[1], c[2]})
+	wav := [][]float32{wavelet.RickerSeries(2/(float64(g.Nt)*g.Dt), g.Nt, g.Dt, 1e3)}
+	w, err := NewTTI(TTIOpts{Params: tp, SO: so, Src: src, SrcWav: wav})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiling.RunSpatial(w, 8, 8, true)
+	d, x, y, z := w.Pw[0].MaxAbsDiff(w.Qw[0])
+	scale := math.Max(w.Pw[0].MaxAbs(), 1e-30)
+	if d > 1e-5*scale {
+		t.Fatalf("isotropic TTI: p≠q, rel diff %g at (%d,%d,%d)", d/scale, x, y, z)
+	}
+
+	ap := model.NewAcoustic(g, so/2, model.Homogeneous(2000))
+	a, err := NewAcoustic(AcousticOpts{Params: ap, SO: so, Src: src, SrcWav: wav})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiling.RunSpatial(a, 8, 8, true)
+	d, x, y, z = w.Pw[0].MaxAbsDiff(a.U[0])
+	if d > 1e-4*scale {
+		t.Fatalf("isotropic TTI ≠ acoustic: rel diff %g at (%d,%d,%d)", d/scale, x, y, z)
+	}
+}
+
+func TestElasticStability(t *testing.T) {
+	e := buildElastic(t, 24, 4)
+	tiling.RunSpatial(e, 8, 8, true)
+	for name, f := range e.Fields() {
+		if f.HasNaN() {
+			t.Fatalf("elastic field %s has NaN", name)
+		}
+	}
+	if e.Vz.MaxAbs() == 0 {
+		t.Fatal("elastic propagated nothing")
+	}
+}
+
+func TestElasticShearSymmetry(t *testing.T) {
+	// With a centered explosive source in a homogeneous medium, the x↔y
+	// symmetry of the setup must be reflected in the stress fields.
+	n := 20
+	g := model.Geometry{Nx: n, Ny: n, Nz: n, Hx: 10, Hy: 10, Hz: 10, NBL: 0}
+	dt := g.CriticalDtElastic(4, 2000, model.DefaultCFL)
+	g.SetTime(10*dt, dt)
+	params := model.NewElastic(g, 2, model.Homogeneous(2000), model.Homogeneous(1000), model.Homogeneous(1800))
+	// Source exactly on a grid point so the support is symmetric.
+	src := sparse.Single(sparse.Coord{90, 90, 90})
+	wav := [][]float32{wavelet.RickerSeries(2/(float64(g.Nt)*g.Dt), g.Nt, g.Dt, 1e6)}
+	e, err := NewElastic(ElasticOpts{Params: params, SO: 4, Src: src, SrcWav: wav})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiling.RunSpatial(e, 8, 8, true)
+	// txx(x,y,z) == tyy(y,x,z) under x↔y swap.
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			for z := 0; z < n; z++ {
+				a := float64(e.Txx.At(x, y, z))
+				b := float64(e.Tyy.At(y, x, z))
+				if math.Abs(a-b) > 1e-6*math.Max(1, e.Txx.MaxAbs()) {
+					t.Fatalf("x↔y symmetry broken at (%d,%d,%d): %g vs %g", x, y, z, a, b)
+				}
+			}
+		}
+	}
+}

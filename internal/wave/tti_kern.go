@@ -1,0 +1,72 @@
+package wave
+
+import "wavetile/internal/grid"
+
+// kernelR2 is the radius-2 (space order 4) specialization of the TTI
+// update: pure and cross second derivatives fully unrolled, matching the
+// generic kernel's expressions up to floating-point re-association.
+func (w *TTI) kernelR2(t int, reg grid.Region) {
+	p := w.Pw[t&1]
+	pn := w.Pw[(t+1)&1]
+	q := w.Qw[t&1]
+	qn := w.Qw[(t+1)&1]
+	nz := p.Nz
+	sx, sy := p.SX, p.SY
+	pd, pnd, qd, qnd := p.Data, pn.Data, q.Data, qn.Data
+	aa, bb, cc := w.aa.Data, w.bb.Data, w.cc.Data
+	e2, sqd := w.e2.Data, w.sqd.Data
+	dm1, dp1i, mdt2 := w.dm1.Data, w.dp1i.Data, w.mdt2.Data
+	x20, x21, x22 := w.c2x[0], w.c2x[1], w.c2x[2]
+	y20, y21, y22 := w.c2y[0], w.c2y[1], w.c2y[2]
+	z20, z21, z22 := w.c2z[0], w.c2z[1], w.c2z[2]
+	dx1, dx2 := w.d1x[1], w.d1x[2]
+	dy1, dy2 := w.d1y[1], w.d1y[2]
+	dz1, dz2 := w.d1z[1], w.d1z[2]
+
+	// gzz evaluates the rotated second derivative of f at i with the
+	// unrolled 2-point first-derivative cross terms.
+	gzz := func(f []float32, i int, a, b, c float32) (float32, float32) {
+		xx := x20*f[i] + x21*(f[i+sx]+f[i-sx]) + x22*(f[i+2*sx]+f[i-2*sx])
+		yy := y20*f[i] + y21*(f[i+sy]+f[i-sy]) + y22*(f[i+2*sy]+f[i-2*sy])
+		zz := z20*f[i] + z21*(f[i+1]+f[i-1]) + z22*(f[i+2]+f[i-2])
+
+		cxy := dx1*(dy1*(f[i+sx+sy]-f[i+sx-sy]-f[i-sx+sy]+f[i-sx-sy])+
+			dy2*(f[i+sx+2*sy]-f[i+sx-2*sy]-f[i-sx+2*sy]+f[i-sx-2*sy])) +
+			dx2*(dy1*(f[i+2*sx+sy]-f[i+2*sx-sy]-f[i-2*sx+sy]+f[i-2*sx-sy])+
+				dy2*(f[i+2*sx+2*sy]-f[i+2*sx-2*sy]-f[i-2*sx+2*sy]+f[i-2*sx-2*sy]))
+		cxz := dx1*(dz1*(f[i+sx+1]-f[i+sx-1]-f[i-sx+1]+f[i-sx-1])+
+			dz2*(f[i+sx+2]-f[i+sx-2]-f[i-sx+2]+f[i-sx-2])) +
+			dx2*(dz1*(f[i+2*sx+1]-f[i+2*sx-1]-f[i-2*sx+1]+f[i-2*sx-1])+
+				dz2*(f[i+2*sx+2]-f[i+2*sx-2]-f[i-2*sx+2]+f[i-2*sx-2]))
+		cyz := dy1*(dz1*(f[i+sy+1]-f[i+sy-1]-f[i-sy+1]+f[i-sy-1])+
+			dz2*(f[i+sy+2]-f[i+sy-2]-f[i-sy+2]+f[i-sy-2])) +
+			dy2*(dz1*(f[i+2*sy+1]-f[i+2*sy-1]-f[i-2*sy+1]+f[i-2*sy-1])+
+				dz2*(f[i+2*sy+2]-f[i+2*sy-2]-f[i-2*sy+2]+f[i-2*sy-2]))
+
+		g := a*a*xx + b*b*yy + c*c*zz + 2*a*b*cxy + 2*a*c*cxz + 2*b*c*cyz
+		return g, xx + yy + zz
+	}
+
+	for x := reg.X0; x < reg.X1; x++ {
+		for y := reg.Y0; y < reg.Y1; y++ {
+			base := p.Idx(x, y, 0)
+			for z := 0; z < nz; z++ {
+				i := base + z
+				a, b, c := aa[i], bb[i], cc[i]
+				gzzP, lapP := gzz(pd, i, a, b, c)
+				hp := lapP - gzzP
+				gzzQ, _ := gzz(qd, i, a, b, c)
+				pv := (2*pd[i] - dm1[i]*pnd[i] + mdt2[i]*(e2[i]*hp+sqd[i]*gzzQ)) * dp1i[i]
+				if pv < flushEps && pv > -flushEps {
+					pv = 0
+				}
+				pnd[i] = pv
+				qv := (2*qd[i] - dm1[i]*qnd[i] + mdt2[i]*(sqd[i]*hp+gzzQ)) * dp1i[i]
+				if qv < flushEps && qv > -flushEps {
+					qv = 0
+				}
+				qnd[i] = qv
+			}
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Package wavelet provides the source time signatures used by the wave
+// propagators. The paper injects "one time-dependent, spatially localized
+// seismic source wavelet"; the de-facto standard in seismic modelling (and in
+// Devito's examples) is the Ricker wavelet implemented here.
+package wavelet
+
+import "math"
+
+// Ricker evaluates a Ricker wavelet of peak frequency f0 (Hz) at time t
+// (seconds), delayed so that the peak sits at t0 = 1/f0:
+//
+//	r(t) = (1 − 2π²f0²(t−t0)²) · exp(−π²f0²(t−t0)²)
+func Ricker(f0, t float64) float64 {
+	a := math.Pi * f0 * (t - 1/f0)
+	a *= a
+	return (1 - 2*a) * math.Exp(-a)
+}
+
+// RickerSeries samples a Ricker wavelet of peak frequency f0 (Hz) at nt
+// timesteps of dt seconds each, optionally scaled by amp.
+func RickerSeries(f0 float64, nt int, dt, amp float64) []float32 {
+	out := make([]float32, nt)
+	for i := range out {
+		out[i] = float32(amp * Ricker(f0, float64(i)*dt))
+	}
+	return out
+}
+
+// Gaussian evaluates a Gaussian pulse of width parameter sigma centered at
+// t0. It is used by tests that need a strictly positive, smooth signature.
+func Gaussian(sigma, t0, t float64) float64 {
+	d := (t - t0) / sigma
+	return math.Exp(-0.5 * d * d)
+}

@@ -1,0 +1,70 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRickerPeak(t *testing.T) {
+	// Peak of amplitude 1 at t0 = 1/f0.
+	for _, f0 := range []float64{5, 10, 25} {
+		if got := Ricker(f0, 1/f0); math.Abs(got-1) > 1e-14 {
+			t.Fatalf("f0=%g: peak %g", f0, got)
+		}
+		// Strictly smaller on either side.
+		if Ricker(f0, 1/f0+1e-3) >= 1 || Ricker(f0, 1/f0-1e-3) >= 1 {
+			t.Fatalf("f0=%g: peak not a maximum", f0)
+		}
+	}
+}
+
+func TestRickerZeroCrossings(t *testing.T) {
+	// r(t) = 0 where π²f0²(t−t0)² = 1/2.
+	f0 := 12.0
+	off := math.Sqrt(0.5) / (math.Pi * f0)
+	for _, tt := range []float64{1/f0 - off, 1/f0 + off} {
+		if got := Ricker(f0, tt); math.Abs(got) > 1e-12 {
+			t.Fatalf("zero crossing at %g: %g", tt, got)
+		}
+	}
+}
+
+func TestRickerBounded(t *testing.T) {
+	f := func(f0u, tu uint16) bool {
+		f0 := 1 + float64(f0u%100)
+		tt := float64(tu) / 1000
+		v := Ricker(f0, tt)
+		return v <= 1+1e-12 && v >= -2*math.Exp(-1.5)-1e-9 // min of (1-2a)e^-a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRickerSeries(t *testing.T) {
+	s := RickerSeries(10, 100, 0.001, 2.5)
+	if len(s) != 100 {
+		t.Fatalf("len %d", len(s))
+	}
+	// Sample 100 (t=0.1s = 1/f0) would be the peak; with 100 samples the max
+	// should still be close to it near the end.
+	if s[99] <= 0 {
+		t.Fatalf("ramp toward peak should be positive, got %g", s[99])
+	}
+	if float64(s[99]) > 2.5+1e-6 {
+		t.Fatalf("amplitude exceeds scale: %g", s[99])
+	}
+}
+
+func TestGaussian(t *testing.T) {
+	if Gaussian(0.1, 0.5, 0.5) != 1 {
+		t.Fatal("Gaussian peak not 1")
+	}
+	if Gaussian(0.1, 0.5, 0.6) >= 1 || Gaussian(0.1, 0.5, 0.6) <= 0 {
+		t.Fatal("Gaussian off-peak out of (0,1)")
+	}
+	if math.Abs(Gaussian(0.2, 0, 0.2)-math.Exp(-0.5)) > 1e-15 {
+		t.Fatal("Gaussian value at one sigma")
+	}
+}

@@ -1,0 +1,345 @@
+package wavesim
+
+import (
+	"fmt"
+	"time"
+
+	"wavetile/internal/grid"
+	"wavetile/internal/model"
+	"wavetile/internal/sparse"
+	"wavetile/internal/tiling"
+	"wavetile/internal/wave"
+	"wavetile/internal/wavelet"
+)
+
+// New validates the options, builds the earth model, computes a CFL-stable
+// time axis, precomputes the sparse-operator structures and returns a
+// runnable Simulation.
+func New(o Options) (*Simulation, error) {
+	if o.SpaceOrder <= 0 || o.SpaceOrder%2 != 0 {
+		return nil, fmt.Errorf("wavesim: space order must be positive and even, got %d", o.SpaceOrder)
+	}
+	for d := 0; d < 3; d++ {
+		if o.Shape[d] < 2*o.SpaceOrder {
+			return nil, fmt.Errorf("wavesim: shape[%d]=%d too small for space order %d", d, o.Shape[d], o.SpaceOrder)
+		}
+		if o.Spacing[d] <= 0 {
+			return nil, fmt.Errorf("wavesim: spacing[%d] must be positive", d)
+		}
+	}
+	if o.Vp == nil {
+		return nil, fmt.Errorf("wavesim: Vp field is required")
+	}
+	if o.TMax <= 0 && o.Steps <= 0 {
+		return nil, fmt.Errorf("wavesim: set TMax or Steps")
+	}
+	if o.SourceF0 == 0 {
+		o.SourceF0 = 10
+	}
+	if o.SourceAmp == 0 {
+		o.SourceAmp = 1
+	}
+
+	geom := model.Geometry{
+		Nx: o.Shape[0], Ny: o.Shape[1], Nz: o.Shape[2],
+		Hx: o.Spacing[0], Hy: o.Spacing[1], Hz: o.Spacing[2],
+		NBL: o.NBL,
+	}
+	halo := o.SpaceOrder / 2
+	s := &Simulation{opts: o}
+
+	// Probe vmax for the CFL bound (fields re-sample it during build).
+	vmax := probeMax(geom, o.Vp)
+
+	var dt float64
+	switch o.Physics {
+	case Acoustic:
+		dt = geom.CriticalDtAcoustic(o.SpaceOrder, vmax, model.DefaultCFL)
+	case TTI:
+		epsMax := 0.2
+		if o.Epsilon != nil {
+			epsMax = probeMax(geom, o.Epsilon)
+		}
+		dt = geom.CriticalDtTTI(o.SpaceOrder, vmax, epsMax, model.DefaultCFL)
+	case Elastic:
+		dt = geom.CriticalDtElastic(o.SpaceOrder, vmax, model.DefaultCFL)
+	default:
+		return nil, fmt.Errorf("wavesim: unknown physics %v", o.Physics)
+	}
+	if o.DtOverride > 0 {
+		if o.DtOverride > dt {
+			return nil, fmt.Errorf("wavesim: DtOverride %g exceeds the CFL bound %g", o.DtOverride, dt)
+		}
+		dt = o.DtOverride
+	}
+	if o.Steps > 0 {
+		geom.Dt = dt
+		geom.Nt = o.Steps
+	} else {
+		geom.SetTime(o.TMax, dt)
+	}
+	s.geom = geom
+
+	src := &sparse.Points{}
+	for _, c := range o.Sources {
+		src.Coords = append(src.Coords, sparse.Coord(c))
+	}
+	rec := &sparse.Points{}
+	for _, c := range o.Receivers {
+		rec.Coords = append(rec.Coords, sparse.Coord(c))
+	}
+	wavs := o.SourceWavelets
+	if wavs == nil {
+		wavs = make([][]float32, src.N())
+		for i := range wavs {
+			wavs[i] = wavelet.RickerSeries(o.SourceF0, geom.Nt, geom.Dt, o.SourceAmp)
+		}
+	} else if len(wavs) != src.N() {
+		return nil, fmt.Errorf("wavesim: %d wavelets for %d sources", len(wavs), src.N())
+	}
+
+	switch o.Physics {
+	case Acoustic:
+		params := model.NewAcoustic(geom, halo, o.Vp)
+		a, err := wave.NewAcoustic(wave.AcousticOpts{
+			Params: params, SO: o.SpaceOrder, Src: src, SrcWav: wavs, Rec: rec,
+			SincSource: o.SincSources,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.acoustic, s.prop, s.ops = a, a, a.Ops
+	case TTI:
+		eps := orDefault(o.Epsilon, 0.2)
+		del := orDefault(o.Delta, 0.1)
+		th := orDefault(o.Theta, 0.35)
+		ph := orDefault(o.Phi, 0.25)
+		params := model.NewTTI(geom, halo, o.Vp, eps, del, th, ph)
+		w, err := wave.NewTTI(wave.TTIOpts{
+			Params: params, SO: o.SpaceOrder, Src: src, SrcWav: wavs, Rec: rec,
+			SincSource: o.SincSources,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.tti, s.prop, s.ops = w, w, w.Ops
+	case Elastic:
+		vs := o.Vs
+		if vs == nil {
+			vp := o.Vp
+			vs = func(x, y, z float64) float64 { return vp(x, y, z) / 2 }
+		}
+		rho := o.Rho
+		if rho == nil {
+			rho = model.Homogeneous(1800)
+		}
+		params := model.NewElastic(geom, halo, o.Vp, vs, rho)
+		e, err := wave.NewElastic(wave.ElasticOpts{
+			Params: params, SO: o.SpaceOrder, Src: src, SrcWav: wavs, Rec: rec,
+			SincSource: o.SincSources,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.elastic, s.prop, s.ops = e, e, e.Ops
+	}
+	return s, nil
+}
+
+func orDefault(f FieldFunc, v float64) model.FieldFunc {
+	if f != nil {
+		return f
+	}
+	return model.Homogeneous(v)
+}
+
+func probeMax(g model.Geometry, f FieldFunc) float64 {
+	// Probe coarsely in x and y but at full grid resolution in z: subsurface
+	// models are layered in depth, so thin fast layers must not slip between
+	// probe points (they would yield an unstable CFL dt). Models with
+	// sub-grid lateral structure finer than 1/16 of the domain should pass
+	// a DtOverride computed from their true vmax.
+	m := 0.0
+	for i := 0; i <= 16; i++ {
+		for j := 0; j <= 16; j++ {
+			for k := 0; k < g.Nz; k++ {
+				v := f(float64(i)/16*float64(g.Nx-1)*g.Hx,
+					float64(j)/16*float64(g.Ny-1)*g.Hy,
+					float64(k)*g.Hz)
+				if v > m {
+					m = v
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Geometry reports the discretization (shape, spacing, dt, nt).
+func (s *Simulation) Geometry() (shape [3]int, spacing [3]float64, dt float64, nt int) {
+	return [3]int{s.geom.Nx, s.geom.Ny, s.geom.Nz},
+		[3]float64{s.geom.Hx, s.geom.Hy, s.geom.Hz}, s.geom.Dt, s.geom.Nt
+}
+
+// Dt returns the CFL-stable timestep in seconds.
+func (s *Simulation) Dt() float64 { return s.geom.Dt }
+
+// Steps returns the number of timesteps.
+func (s *Simulation) Steps() int { return s.geom.Nt }
+
+// MinTile returns the smallest legal WTB tile edge for this simulation.
+func (s *Simulation) MinTile() int { return s.prop.MinTile() }
+
+// Reset clears wavefields and recordings so the simulation can be re-run.
+func (s *Simulation) Reset() {
+	switch {
+	case s.acoustic != nil:
+		s.acoustic.Reset()
+	case s.tti != nil:
+		s.tti.Reset()
+	case s.elastic != nil:
+		s.elastic.Reset()
+	}
+}
+
+// Run executes the simulation from zero initial conditions under the given
+// schedule and returns throughput and receiver data. The simulation is
+// Reset first, so consecutive Runs are independent.
+func (s *Simulation) Run(sched Schedule) (*Result, error) {
+	s.Reset()
+	start := time.Now()
+	switch c := sched.(type) {
+	case Spatial:
+		bx, by := c.BlockX, c.BlockY
+		if bx == 0 {
+			bx = 8
+		}
+		if by == 0 {
+			by = 8
+		}
+		tiling.RunSpatial(s.prop, bx, by, !c.Unfused)
+	case WTB:
+		cfg := tiling.Config{TT: c.TimeTile, TileX: c.TileX, TileY: c.TileY, BlockX: c.BlockX, BlockY: c.BlockY}
+		if err := tiling.RunWTB(s.prop, cfg); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("wavesim: unknown schedule %T", sched)
+	}
+	elapsed := time.Since(start)
+
+	res := &Result{
+		Schedule: sched.schedule(),
+		Elapsed:  elapsed,
+		Points:   int64(s.geom.Nx) * int64(s.geom.Ny) * int64(s.geom.Nz) * int64(s.geom.Nt),
+	}
+	if elapsed > 0 {
+		res.GPointsPerSec = float64(res.Points) / elapsed.Seconds() / 1e9
+	}
+	rec, err := s.ops.Receivers()
+	if err != nil {
+		return nil, err
+	}
+	res.Receivers = rec
+	return res, nil
+}
+
+// WavefieldSlice returns a z-plane of the final main wavefield (pressure u
+// for Acoustic, p for TTI, vz for Elastic) as rows[x][y], for plotting and
+// snapshot inspection.
+func (s *Simulation) WavefieldSlice(z int) [][]float32 {
+	var g *grid.Grid
+	switch {
+	case s.acoustic != nil:
+		g = s.acoustic.Final()
+	case s.tti != nil:
+		g = s.tti.WavefieldP(s.geom.Nt)
+	case s.elastic != nil:
+		g = s.elastic.Vz
+	}
+	out := make([][]float32, g.Nx)
+	for x := range out {
+		out[x] = make([]float32, g.Ny)
+		for y := range out[x] {
+			out[x][y] = g.At(x, y, z)
+		}
+	}
+	return out
+}
+
+// MaxAbsWavefield returns the maximum |u| of the final main wavefield.
+func (s *Simulation) MaxAbsWavefield() float64 {
+	switch {
+	case s.acoustic != nil:
+		return s.acoustic.Final().MaxAbs()
+	case s.tti != nil:
+		return s.tti.WavefieldP(s.geom.Nt).MaxAbs()
+	case s.elastic != nil:
+		return s.elastic.Vz.MaxAbs()
+	}
+	return 0
+}
+
+// RunWithSnapshots executes the spatially-blocked schedule while capturing
+// the main wavefield's x–z plane at y = yPlane every `every` timesteps —
+// the hook reverse-time migration and FWI gradient builders need (the
+// paper's motivating applications). Snapshot k holds the wavefield at time
+// index k·every+1 as [x][z] rows. Temporal blocking keeps interior
+// timesteps cache-transient, so snapshotting naturally pairs with the
+// spatial schedule.
+func (s *Simulation) RunWithSnapshots(every, yPlane, blockX, blockY int) (*Result, [][][]float32, error) {
+	if every < 1 || yPlane < 0 || yPlane >= s.geom.Ny {
+		return nil, nil, fmt.Errorf("wavesim: bad snapshot spec every=%d y=%d", every, yPlane)
+	}
+	if blockX == 0 {
+		blockX = 8
+	}
+	if blockY == 0 {
+		blockY = 8
+	}
+	s.Reset()
+	start := time.Now()
+	s.prop.SetBlocks(blockX, blockY)
+	off := s.prop.MaxPhaseOffset()
+	full := grid.Region{X0: 0, X1: s.geom.Nx + off, Y0: 0, Y1: s.geom.Ny + off}
+	var snaps [][][]float32
+	for t := 0; t < s.geom.Nt; t++ {
+		s.prop.Step(t, full, true)
+		if t%every == 0 {
+			snaps = append(snaps, s.capturePlane(t+1, yPlane))
+		}
+	}
+	elapsed := time.Since(start)
+	res := &Result{
+		Schedule: "spatial+snapshots",
+		Elapsed:  elapsed,
+		Points:   int64(s.geom.Nx) * int64(s.geom.Ny) * int64(s.geom.Nz) * int64(s.geom.Nt),
+	}
+	if elapsed > 0 {
+		res.GPointsPerSec = float64(res.Points) / elapsed.Seconds() / 1e9
+	}
+	rec, err := s.ops.Receivers()
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Receivers = rec
+	return res, snaps, nil
+}
+
+// capturePlane copies the main wavefield's x–z plane at time index t.
+func (s *Simulation) capturePlane(t, y int) [][]float32 {
+	var g *grid.Grid
+	switch {
+	case s.acoustic != nil:
+		g = s.acoustic.Wavefield(t)
+	case s.tti != nil:
+		g = s.tti.WavefieldP(t)
+	case s.elastic != nil:
+		g = s.elastic.Vz
+	}
+	out := make([][]float32, g.Nx)
+	for x := range out {
+		out[x] = append([]float32(nil), g.Row(x, y)...)
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package wavesim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunWithSnapshots(t *testing.T) {
+	o := smallOpts(Acoustic)
+	sim, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, snaps, err := sim.RunWithSnapshots(4, 18, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Receivers == nil {
+		t.Fatal("snapshot run lost receivers")
+	}
+	want := (sim.Steps() + 3) / 4
+	if len(snaps) != want {
+		t.Fatalf("%d snapshots, want %d", len(snaps), want)
+	}
+	if len(snaps[0]) != 36 || len(snaps[0][0]) != 36 {
+		t.Fatalf("snapshot shape %dx%d", len(snaps[0]), len(snaps[0][0]))
+	}
+	// Energy grows from the injection over the first snapshots.
+	e := func(s [][]float32) float64 {
+		acc := 0.0
+		for _, row := range s {
+			for _, v := range row {
+				acc += float64(v) * float64(v)
+			}
+		}
+		return acc
+	}
+	if e(snaps[len(snaps)-1]) == 0 {
+		t.Fatal("final snapshot silent")
+	}
+	// Snapshot-mode receivers match a plain spatial run bitwise.
+	ref, err := sim.Run(Spatial{BlockX: 8, BlockY: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := range ref.Receivers {
+		for r := range ref.Receivers[ti] {
+			if ref.Receivers[ti][r] != res.Receivers[ti][r] {
+				t.Fatalf("snapshot-mode receiver differs at t=%d r=%d", ti, r)
+			}
+		}
+	}
+}
+
+func TestRunWithSnapshotsValidation(t *testing.T) {
+	sim, err := New(smallOpts(Acoustic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sim.RunWithSnapshots(0, 5, 8, 8); err == nil {
+		t.Fatal("every=0 accepted")
+	}
+	if _, _, err := sim.RunWithSnapshots(2, 99, 8, 8); err == nil {
+		t.Fatal("out-of-range plane accepted")
+	}
+}
+
+func TestDtOverride(t *testing.T) {
+	o := smallOpts(Acoustic)
+	base, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.DtOverride = base.Dt() * 0.5
+	sim, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sim.Dt()-base.Dt()*0.5) > 1e-15 {
+		t.Fatalf("dt %g, want %g", sim.Dt(), base.Dt()*0.5)
+	}
+	o.DtOverride = base.Dt() * 2 // beyond CFL
+	if _, err := New(o); err == nil {
+		t.Fatal("unstable DtOverride accepted")
+	}
+}
+
+func TestSincSourcesOption(t *testing.T) {
+	o := smallOpts(Acoustic)
+	o.SincSources = true
+	sim, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sim.Run(Spatial{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wtb, err := sim.Run(WTB{TimeTile: 4, TileX: 12, TileY: 12, BlockX: 6, BlockY: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := range ref.Receivers {
+		for r := range ref.Receivers[ti] {
+			if ref.Receivers[ti][r] != wtb.Receivers[ti][r] {
+				t.Fatalf("sinc schedules differ at t=%d r=%d", ti, r)
+			}
+		}
+	}
+	// A sinc source near the boundary must be rejected.
+	o.Sources = []Coord{{15, 170, 170}}
+	if _, err := New(o); err == nil {
+		t.Fatal("near-boundary sinc source accepted")
+	}
+}

@@ -1,0 +1,182 @@
+package wavesim
+
+import (
+	"math"
+	"testing"
+)
+
+func smallOpts(phys Physics) Options {
+	return Options{
+		Physics:    phys,
+		SpaceOrder: 4,
+		Shape:      [3]int{36, 36, 36},
+		Spacing:    [3]float64{10, 10, 10},
+		NBL:        4,
+		Steps:      16,
+		Vp:         Layered(360, 1500, 2500, 3000),
+		SourceF0:   25,
+		SourceAmp:  100,
+		Sources:    []Coord{{171, 168, 122}},
+		Receivers:  LineCoords(6, Coord{60, 170, 60}, Coord{290, 170, 60}),
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []func(*Options){
+		func(o *Options) { o.SpaceOrder = 3 },
+		func(o *Options) { o.SpaceOrder = 0 },
+		func(o *Options) { o.Shape = [3]int{4, 36, 36} },
+		func(o *Options) { o.Spacing = [3]float64{0, 10, 10} },
+		func(o *Options) { o.Vp = nil },
+		func(o *Options) { o.TMax, o.Steps = 0, 0 },
+		func(o *Options) { o.SourceWavelets = [][]float32{} },
+		func(o *Options) { o.Sources = []Coord{{-50, 0, 0}} },
+	}
+	for i, mutate := range cases {
+		o := smallOpts(Acoustic)
+		mutate(&o)
+		if _, err := New(o); err == nil {
+			t.Fatalf("case %d: invalid options accepted", i)
+		}
+	}
+}
+
+func TestRunSchedulesAgreeBitwise(t *testing.T) {
+	for _, phys := range []Physics{Acoustic, TTI, Elastic} {
+		phys := phys
+		t.Run(phys.String(), func(t *testing.T) {
+			sim, err := New(smallOpts(phys))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := sim.Run(Spatial{BlockX: 8, BlockY: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Receivers == nil {
+				t.Fatal("no receiver data")
+			}
+			mt := sim.MinTile()
+			wtb, err := sim.Run(WTB{TimeTile: 4, TileX: 3 * mt, TileY: 2 * mt, BlockX: 8, BlockY: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ti := range ref.Receivers {
+				for r := range ref.Receivers[ti] {
+					if ref.Receivers[ti][r] != wtb.Receivers[ti][r] {
+						t.Fatalf("receiver %d t=%d: %g vs %g", r, ti,
+							ref.Receivers[ti][r], wtb.Receivers[ti][r])
+					}
+				}
+			}
+			if wtb.GPointsPerSec <= 0 || wtb.Points != ref.Points {
+				t.Fatalf("bad result accounting: %+v", wtb)
+			}
+		})
+	}
+}
+
+func TestUnfusedBaselineClose(t *testing.T) {
+	sim, err := New(smallOpts(Acoustic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := sim.Run(Spatial{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfused, err := sim.Run(Spatial{Unfused: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxAbs := 0.0
+	for ti := range fused.Receivers {
+		for r := range fused.Receivers[ti] {
+			if v := math.Abs(float64(fused.Receivers[ti][r])); v > maxAbs {
+				maxAbs = v
+			}
+		}
+	}
+	if maxAbs == 0 {
+		t.Fatal("silent receivers")
+	}
+	for ti := range fused.Receivers {
+		for r := range fused.Receivers[ti] {
+			d := math.Abs(float64(fused.Receivers[ti][r] - unfused.Receivers[ti][r]))
+			if d > 1e-4*maxAbs {
+				t.Fatalf("fused vs unfused receiver diff %g at t=%d r=%d", d, ti, r)
+			}
+		}
+	}
+}
+
+func TestWTBValidatesTiles(t *testing.T) {
+	sim, err := New(smallOpts(Acoustic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(WTB{TimeTile: 4, TileX: 1, TileY: 1, BlockX: 4, BlockY: 4}); err == nil {
+		t.Fatal("undersized tiles accepted")
+	}
+}
+
+func TestGeometryAndHelpers(t *testing.T) {
+	sim, err := New(smallOpts(Acoustic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape, spacing, dt, nt := sim.Geometry()
+	if shape != [3]int{36, 36, 36} || spacing != [3]float64{10, 10, 10} {
+		t.Fatalf("geometry %v %v", shape, spacing)
+	}
+	if dt <= 0 || nt != 16 || sim.Dt() != dt || sim.Steps() != 16 {
+		t.Fatalf("time axis dt=%g nt=%d", dt, nt)
+	}
+	if _, err := sim.Run(Spatial{}); err != nil {
+		t.Fatal(err)
+	}
+	sl := sim.WavefieldSlice(12)
+	if len(sl) != 36 || len(sl[0]) != 36 {
+		t.Fatalf("slice shape %dx%d", len(sl), len(sl[0]))
+	}
+	if sim.MaxAbsWavefield() == 0 {
+		t.Fatal("wavefield silent")
+	}
+	// TMax path: nt = ceil(tmax/dt)+1.
+	o := smallOpts(Acoustic)
+	o.Steps = 0
+	o.TMax = 0.05
+	sim2, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(math.Ceil(0.05/sim2.Dt())) + 1
+	if sim2.Steps() != want {
+		t.Fatalf("TMax nt=%d want %d", sim2.Steps(), want)
+	}
+}
+
+func TestCoordHelpers(t *testing.T) {
+	l := LineCoords(3, Coord{0, 0, 0}, Coord{2, 2, 2})
+	if l[1] != (Coord{1, 1, 1}) {
+		t.Fatalf("LineCoords midpoint %v", l[1])
+	}
+	if Homogeneous(5)(1, 2, 3) != 5 {
+		t.Fatal("Homogeneous")
+	}
+	if Gradient(0, 10, 10)(0, 0, 5) != 5 {
+		t.Fatal("Gradient")
+	}
+	if Layered(10, 1, 2)(0, 0, 9) != 2 {
+		t.Fatal("Layered")
+	}
+}
+
+func TestPhysicsString(t *testing.T) {
+	if Acoustic.String() != "acoustic" || TTI.String() != "tti" || Elastic.String() != "elastic" {
+		t.Fatal("physics names")
+	}
+	if Physics(99).String() == "" {
+		t.Fatal("unknown physics name empty")
+	}
+}
