@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race-obs bench fmt vet check
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrency-heavy packages: the parallel
+# runtime, the schedules, and the observability layer they feed.
+race-obs:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/obs/... ./internal/par/... ./internal/tiling/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race-obs

@@ -7,14 +7,20 @@
 //
 //	propagate -physics acoustic -so 8 -n 96 -tmax 0.2 -schedule wtb -out shot.csv
 //	propagate -physics elastic -so 4 -n 64 -steps 100 -schedule spatial
+//	propagate -n 128 -json -trace trace.json         # phase breakdown + Chrome trace
+//	propagate -n 256 -progress -debug-addr localhost:6060
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
+	"time"
 
+	"wavetile/internal/obs"
 	"wavetile/wavesim"
 )
 
@@ -33,7 +39,32 @@ func main() {
 	block := flag.Int("block", 8, "parallel block edge")
 	out := flag.String("out", "", "shot-record CSV path (default stdout summary only)")
 	snap := flag.Bool("snap", false, "render an ASCII snapshot of the final wavefield (x–y plane through the source depth)")
+	jsonOut := flag.Bool("json", false, "emit the run result as JSON (incl. phase breakdown) instead of the text summary")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the tile schedule to this path")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
+	progress := flag.Bool("progress", false, "log structured propagation progress (steps/s, GPts/s, ETA) to stderr")
 	flag.Parse()
+
+	// Any observability consumer installs the process-global registry; the
+	// run then reports through it.
+	var reg *obs.Registry
+	if *jsonOut || *tracePath != "" || *debugAddr != "" || *progress {
+		reg = obs.NewRegistry()
+		obs.SetActive(reg)
+	}
+	if *tracePath != "" {
+		reg.StartTrace()
+	}
+	if *progress {
+		reg.EnableProgress(slog.New(slog.NewTextHandler(os.Stderr, nil)), 2*time.Second)
+	}
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "propagate: debug server on http://%s/debug/obs\n", addr)
+	}
 
 	var phys wavesim.Physics
 	switch strings.ToLower(*physics) {
@@ -83,8 +114,21 @@ func main() {
 	}
 
 	_, _, dt, nt := func() ([3]int, [3]float64, float64, int) { return sim.Geometry() }()
-	fmt.Printf("%s O(·,%d) %d³, nt=%d dt=%.3gms: %s schedule, %.3f GPts/s, %v\n",
-		*physics, *so, *n, nt, dt*1e3, res.Schedule, res.GPointsPerSec, res.Elapsed.Round(1e6))
+	if *tracePath != "" {
+		if err := writeTrace(reg, *tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "propagate: wrote %d schedule spans to %s\n", reg.Tracer().Len(), *tracePath)
+	}
+	if *jsonOut {
+		if err := emitJSON(os.Stdout, *physics, *so, *n, nt, dt, *schedule, res); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("%s O(·,%d) %d³, nt=%d dt=%.3gms: %s schedule, %.3f GPts/s, %v\n",
+			*physics, *so, *n, nt, dt*1e3, res.Schedule, res.GPointsPerSec, res.Elapsed.Round(1e6))
+		printPhases(res)
+	}
 
 	if *snap {
 		renderSnapshot(sim, int((float64(*nbl)+5)*1) /* z index near source */)
@@ -103,8 +147,80 @@ func main() {
 			}
 			fmt.Fprintln(f, strings.Join(cols, ","))
 		}
-		fmt.Printf("wrote %d×%d shot record to %s\n", len(res.Receivers), *nrec, *out)
+		fmt.Fprintf(os.Stderr, "wrote %d×%d shot record to %s\n", len(res.Receivers), *nrec, *out)
 	}
+}
+
+// runJSON is the machine-readable result record emitted by -json; the
+// BENCH_*.json trajectory files are built from these.
+type runJSON struct {
+	Physics       string           `json:"physics"`
+	SpaceOrder    int              `json:"space_order"`
+	N             int              `json:"n"`
+	Steps         int              `json:"steps"`
+	DtSeconds     float64          `json:"dt_seconds"`
+	Schedule      string           `json:"schedule"`
+	ElapsedNS     int64            `json:"elapsed_ns"`
+	Points        int64            `json:"points"`
+	GPointsPerSec float64          `json:"gpoints_per_sec"`
+	PhasesNS      map[string]int64 `json:"phases_ns,omitempty"`
+	Counters      map[string]int64 `json:"counters,omitempty"`
+	Receivers     int              `json:"receivers"`
+}
+
+func emitJSON(w *os.File, physics string, so, n, nt int, dt float64, schedule string, res *wavesim.Result) error {
+	rec := runJSON{
+		Physics:       physics,
+		SpaceOrder:    so,
+		N:             n,
+		Steps:         nt,
+		DtSeconds:     dt,
+		Schedule:      res.Schedule,
+		ElapsedNS:     res.Elapsed.Nanoseconds(),
+		Points:        res.Points,
+		GPointsPerSec: res.GPointsPerSec,
+		Counters:      res.Counters,
+	}
+	if res.Phases != nil {
+		rec.PhasesNS = map[string]int64{}
+		for k, v := range res.Phases {
+			rec.PhasesNS[k] = v.Nanoseconds()
+		}
+	}
+	if res.Receivers != nil && len(res.Receivers) > 0 {
+		rec.Receivers = len(res.Receivers[0])
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}
+
+// printPhases renders the phase breakdown table of an observed run.
+func printPhases(res *wavesim.Result) {
+	if res.Phases == nil {
+		return
+	}
+	fmt.Println("phase breakdown:")
+	for _, name := range []string{"stencil", "inject", "sample", "sparse", "overhead"} {
+		d, ok := res.Phases[name]
+		if !ok {
+			continue
+		}
+		pct := 0.0
+		if res.Elapsed > 0 {
+			pct = 100 * float64(d) / float64(res.Elapsed)
+		}
+		fmt.Printf("  %-9s %12v  %5.1f%%\n", name, d.Round(time.Microsecond), pct)
+	}
+}
+
+func writeTrace(reg *obs.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return reg.Tracer().WriteChrome(f)
 }
 
 // renderSnapshot prints a coarse ASCII view of the final wavefield plane:

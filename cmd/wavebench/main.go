@@ -17,16 +17,21 @@
 //
 //	wavebench -mode sim -tracen 64 -models acoustic,elastic,tti -orders 4,8,12
 //	wavebench -mode wall -n 128 -steps 32 -csv
+//	wavebench -mode wall -json -trace out.json    # JSON rows + Chrome trace
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"wavetile/internal/bench"
+	"wavetile/internal/obs"
 	"wavetile/internal/roofline"
 )
 
@@ -40,7 +45,30 @@ func main() {
 	orders := flag.String("orders", "4,8,12", "comma-separated space orders")
 	tuneSteps := flag.Int("tunesteps", 8, "timesteps per autotune measurement (wall mode)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	jsonOut := flag.Bool("json", false, "emit rows as JSON (incl. phase breakdown in wall mode)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the tile schedules to this path")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
+	progress := flag.Bool("progress", false, "log structured run progress to stderr")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *jsonOut || *tracePath != "" || *debugAddr != "" || *progress {
+		reg = obs.NewRegistry()
+		obs.SetActive(reg)
+	}
+	if *tracePath != "" {
+		reg.StartTrace()
+	}
+	if *progress {
+		reg.EnableProgress(slog.New(slog.NewTextHandler(os.Stderr, nil)), 2*time.Second)
+	}
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wavebench: debug server on http://%s/debug/obs\n", addr)
+	}
 
 	var specs []bench.Spec
 	for _, m := range strings.Split(*models, ",") {
@@ -54,6 +82,7 @@ func main() {
 	}
 
 	var table *bench.Table
+	var jsonRows any
 	switch *mode {
 	case "sim":
 		rows, err := bench.Fig9Sim(specs,
@@ -62,6 +91,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		jsonRows = rows
 		table = &bench.Table{
 			Title: fmt.Sprintf("Fig. 9 (simulated) — WTB vs spatially-blocked, trace %d³×%d steps", *tracen, *tracent),
 			Header: []string{"kernel", "machine", "spatial GPts/s", "spatial bound",
@@ -80,6 +110,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		jsonRows = rows
 		table = &bench.Table{
 			Title:  fmt.Sprintf("Fig. 9 (host wall-clock) — %d³ grid, %d steps", *n, *steps),
 			Header: []string{"kernel", "spatial GPts/s", "WTB GPts/s", "speedup", "best WTB cfg"},
@@ -91,11 +122,58 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
 
-	if *csv {
+	if *tracePath != "" {
+		if err := writeTrace(reg, *tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wavebench: wrote %d schedule spans to %s\n", reg.Tracer().Len(), *tracePath)
+	}
+	switch {
+	case *jsonOut:
+		if err := emitJSON(os.Stdout, *mode, jsonRows, reg); err != nil {
+			fatal(err)
+		}
+	case *csv:
 		table.FprintCSV(os.Stdout)
-	} else {
+	default:
 		table.Fprint(os.Stdout)
 	}
+}
+
+// benchJSON is the machine-readable output of -json: the mode's result rows
+// plus, when the runs were instrumented (wall mode), the aggregate phase
+// breakdown and counters across every measured run — including the
+// autotuning probes — so BENCH_*.json trajectory files can be produced
+// reproducibly from one invocation.
+type benchJSON struct {
+	Mode     string           `json:"mode"`
+	Rows     any              `json:"rows"`
+	PhasesNS map[string]int64 `json:"phases_ns,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+func emitJSON(w *os.File, mode string, rows any, reg *obs.Registry) error {
+	out := benchJSON{Mode: mode, Rows: rows}
+	if reg != nil {
+		snap := reg.Snapshot()
+		out.Counters = snap.Counters
+		out.PhasesNS = map[string]int64{}
+		for k, v := range snap.Phases {
+			out.PhasesNS[k] = v.Nanoseconds()
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func writeTrace(reg *obs.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return reg.Tracer().WriteChrome(f)
 }
 
 func fatal(err error) {

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the one-time expvar publication: expvar.Publish panics
+// on duplicate names, and ServeDebug may be called more than once.
+var expvarOnce sync.Once
+
+// ServeDebug starts an HTTP debug server on addr (e.g. "localhost:6060")
+// exposing
+//
+//	/debug/pprof/...   the standard runtime profiles
+//	/debug/vars        expvar, including an "obs" var with the live snapshot
+//	/debug/obs         the active registry's snapshot as JSON
+//	/debug/obs/trace   the recorded schedule spans as Chrome trace JSON
+//
+// The snapshot endpoints read the *active* registry at request time, so a
+// long run can be inspected live. Returns the bound address (useful with
+// ":0") after the listener is up; the server itself runs until process
+// exit.
+func ServeDebug(addr string) (string, error) {
+	expvarOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any {
+			if r := Active(); r != nil {
+				return r.Snapshot()
+			}
+			return nil
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		r := Active()
+		if r == nil {
+			http.Error(w, "observability disabled (no active registry)", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/debug/obs/trace", func(w http.ResponseWriter, _ *http.Request) {
+		t := Active().Tracer()
+		if t == nil {
+			http.Error(w, "tracing disabled", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.WriteChrome(w)
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug server: %w", err)
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// HistBuckets is the bucket count of a Histogram: bucket 0 holds
+// observations below 1µs, bucket i ≥ 1 holds [2^(i-1), 2^i) µs, and the
+// last bucket absorbs everything at or above 2^(HistBuckets-2) µs
+// (≈ 2.3 hours), so no observation is dropped.
+const HistBuckets = 34
+
+// Histogram is a lock-free duration histogram over exponentially growing
+// microsecond buckets, plus an exact count and sum.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// histBucket maps a duration to its bucket index.
+func histBucket(d time.Duration) int {
+	us := d.Nanoseconds() / 1e3
+	if us <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(us))
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	return i
+}
+
+// HistBucketBound returns the exclusive upper bound of bucket i; the last
+// bucket is unbounded and reports a zero duration.
+func HistBucketBound(i int) time.Duration {
+	if i < 0 || i >= HistBuckets-1 {
+		return 0
+	}
+	return time.Duration(1<<uint(i)) * time.Microsecond
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.buckets[histBucket(d)].Add(1)
+	h.count.Add(1)
+	if ns := d.Nanoseconds(); ns > 0 {
+		h.sum.Add(ns)
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Buckets [HistBuckets]int64 `json:"buckets"`
+	Count   int64              `json:"count"`
+	SumNS   int64              `json:"sum_ns"`
+}
+
+// Snapshot is a consistent-enough point-in-time copy of a registry: each
+// value is read atomically (the set of values is not mutually atomic, which
+// is fine for monotone counters).
+type Snapshot struct {
+	Counters   map[string]int64           `json:"counters"`
+	Gauges     map[string]int64           `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot    `json:"histograms,omitempty"`
+	Phases     map[string]time.Duration   `json:"phases"`
+	Workers    []map[string]time.Duration `json:"workers,omitempty"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+		Phases:   map[string]time.Duration{},
+	}
+	s.Counters["steps"] = r.steps.Load()
+	s.Counters["points"] = r.points.Load()
+	for p := Phase(0); p < NumPhases; p++ {
+		s.Phases[p.String()] = time.Duration(r.phaseWall[p].Load())
+	}
+
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for k, v := range counters {
+		s.Counters[k] = v.Load()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Load()
+	}
+	if len(hists) > 0 {
+		s.Histograms = map[string]HistSnapshot{}
+		for k, h := range hists {
+			var hs HistSnapshot
+			for i := range hs.Buckets {
+				hs.Buckets[i] = h.buckets[i].Load()
+			}
+			hs.Count = h.count.Load()
+			hs.SumNS = h.sum.Load()
+			s.Histograms[k] = hs
+		}
+	}
+
+	// Per-worker busy table, trimmed to workers that did anything.
+	for w := range r.workers {
+		var row map[string]time.Duration
+		for p := Phase(0); p < NumPhases; p++ {
+			if ns := r.workers[w].busy[p].Load(); ns > 0 {
+				if row == nil {
+					row = map[string]time.Duration{}
+				}
+				row[p.String()] = time.Duration(ns)
+			}
+		}
+		if row != nil {
+			for len(s.Workers) < w {
+				s.Workers = append(s.Workers, nil)
+			}
+			s.Workers = append(s.Workers, row)
+		}
+	}
+	return s
+}
+
+// PhaseTotal sums the attributed phase durations of the snapshot.
+func (s Snapshot) PhaseTotal() time.Duration {
+	var t time.Duration
+	for _, d := range s.Phases {
+		t += d
+	}
+	return t
+}
+
+// DeltaFrom subtracts an earlier snapshot's counters and phases, recovering
+// the numbers of one run on a shared registry. Gauges, histograms and the
+// worker table are taken from s unchanged (they are either instantaneous or
+// not meaningfully subtractable).
+func (s Snapshot) DeltaFrom(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     s.Gauges,
+		Histograms: s.Histograms,
+		Phases:     map[string]time.Duration{},
+		Workers:    s.Workers,
+	}
+	for k, v := range s.Counters {
+		d.Counters[k] = v - prev.Counters[k]
+	}
+	for k, v := range s.Phases {
+		d.Phases[k] = v - prev.Phases[k]
+	}
+	return d
+}

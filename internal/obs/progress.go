@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// progress throttles and emits structured run-progress records.
+type progress struct {
+	log   *slog.Logger
+	every int64 // ns between records
+	start time.Time
+
+	lastLog atomic.Int64 // ns since start of the last emitted record
+}
+
+// EnableProgress makes the schedules emit a structured progress record
+// (steps done, steps/s, live GPts/s, ETA) through l at most once per
+// `every`. A nil logger uses slog.Default().
+func (r *Registry) EnableProgress(l *slog.Logger, every time.Duration) {
+	if l == nil {
+		l = slog.Default()
+	}
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	r.prog.Store(&progress{log: l, every: every.Nanoseconds(), start: time.Now()})
+}
+
+// StepsDone reports cumulative schedule progress: done of total timesteps
+// are complete. Called by the run drivers (once per timestep under the
+// spatial schedule, once per time tile under WTB); it no-ops unless
+// EnableProgress was called and the throttle interval has passed.
+func (r *Registry) StepsDone(done, total int) {
+	p := r.prog.Load()
+	if p == nil {
+		return
+	}
+	now := time.Since(p.start).Nanoseconds()
+	last := p.lastLog.Load()
+	if now-last < p.every || !p.lastLog.CompareAndSwap(last, now) {
+		return
+	}
+	elapsed := float64(now) / 1e9
+	if elapsed <= 0 || done <= 0 {
+		return
+	}
+	rate := float64(done) / elapsed
+	eta := time.Duration(float64(total-done) / rate * 1e9).Round(time.Second)
+	p.log.Info("propagation progress",
+		"steps", done,
+		"total", total,
+		"steps_per_s", float64(int(rate*10))/10,
+		"gpts_per_s", float64(int(float64(r.points.Load())/elapsed/1e9*1000))/1000,
+		"eta", eta.String(),
+	)
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// maxTraceEvents caps the tracer's buffer; events beyond the cap are
+// counted as dropped instead of growing memory without bound (an autotune
+// sweep can drive thousands of WTB runs through one registry).
+const maxTraceEvents = 1 << 20
+
+// TraceEvent is one Chrome trace_event record ("ph":"X" complete events
+// only). Timestamps and durations are microseconds, per the format.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer records schedule spans — each (time-tile, space-tile) execution of
+// the WTB schedule and each timestep of the spatial schedule — for export
+// as Chrome trace_event JSON, loadable in chrome://tracing or Perfetto.
+type Tracer struct {
+	start time.Time
+
+	mu      sync.Mutex
+	events  []TraceEvent
+	dropped int
+}
+
+// StartTrace installs (or returns the already-installed) tracer on r; the
+// schedules in internal/tiling begin recording spans once one is present.
+func (r *Registry) StartTrace() *Tracer {
+	t := &Tracer{start: time.Now()}
+	if r.tracer.CompareAndSwap(nil, t) {
+		return t
+	}
+	return r.tracer.Load()
+}
+
+// Tracer returns the installed tracer, or nil when tracing is off.
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer.Load()
+}
+
+// Complete records a complete span that started at start and lasted d, on
+// virtual thread tid. Safe for concurrent use; a nil tracer is a no-op.
+func (t *Tracer) Complete(name, cat string, tid int, start time.Time, d time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	ev := TraceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		TS:   float64(start.Sub(t.start).Nanoseconds()) / 1e3,
+		Dur:  float64(d.Nanoseconds()) / 1e3,
+		TID:  tid,
+		Args: args,
+	}
+	t.mu.Lock()
+	if len(t.events) >= maxTraceEvents {
+		t.dropped++
+	} else {
+		t.events = append(t.events, ev)
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many spans were discarded after the buffer filled.
+func (t *Tracer) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns a copy of the recorded spans (tests, custom exporters).
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// WriteChrome writes the spans as a Chrome trace_event JSON object.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	doc := struct {
+		TraceEvents     []TraceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+		Dropped         int          `json:"droppedEventCount,omitempty"`
+	}{
+		TraceEvents:     t.Events(),
+		DisplayTimeUnit: "ms",
+		Dropped:         t.Dropped(),
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -20,17 +20,16 @@ var Workers = runtime.GOMAXPROCS(0)
 // workers with dynamic (work-stealing-by-counter) scheduling. It returns
 // when all iterations are complete. f must be safe for concurrent calls with
 // distinct i.
+//
+// Zero and negative n return immediately; n == 1 (or Workers == 1) runs
+// inline on the calling goroutine without spawning anything, so nested or
+// degenerate calls cost nothing beyond the function call. Nesting is safe:
+// each call owns its claim counter and wait group.
 func For(n int, f func(i int)) {
 	if n <= 0 {
 		return
 	}
-	w := Workers
-	if w < 1 {
-		w = 1
-	}
-	if w > n {
-		w = n
-	}
+	w := clampWorkers(n)
 	if w == 1 {
 		for i := 0; i < n; i++ {
 			f(i)
@@ -53,4 +52,49 @@ func For(n int, f func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ForWorkers is For with the claiming worker's index (0 ≤ worker < the
+// effective worker count) passed to f alongside the iteration index, so
+// instrumented callers can attribute work per worker. The inline fast paths
+// report worker 0.
+func ForWorkers(n int, f func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	w := clampWorkers(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			f(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				f(worker, int(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// clampWorkers returns the effective worker count for n items.
+func clampWorkers(n int) int {
+	w := Workers
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	return w
 }

@@ -1,8 +1,10 @@
 package par
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForVisitsAll(t *testing.T) {
@@ -45,5 +47,76 @@ func TestForSingleWorker(t *testing.T) {
 	For(3, func(int) { count++ })
 	if count != 3 {
 		t.Fatalf("Workers=0: count %d", count)
+	}
+}
+
+// TestForNoGoroutinesForDegenerateCalls asserts the zero-length and
+// single-item fast paths run inline: no worker goroutines are spawned.
+func TestForNoGoroutinesForDegenerateCalls(t *testing.T) {
+	time.Sleep(10 * time.Millisecond) // let goroutines of earlier tests drain
+	before := runtime.NumGoroutine()
+	For(0, func(int) { t.Error("called for n=0") })
+	ForWorkers(0, func(int, int) { t.Error("called for n=0") })
+	For(-1, func(int) { t.Error("called for n<0") })
+	ran := 0
+	For(1, func(int) {
+		// Inline execution: the goroutine count does not grow *during* f.
+		if g := runtime.NumGoroutine(); g > before {
+			t.Errorf("n=1 spawned goroutines: %d -> %d", before, g)
+		}
+		ran++
+	})
+	if ran != 1 {
+		t.Fatal("n=1 not executed")
+	}
+}
+
+// TestForNested asserts nested parallel-fors complete without deadlock and
+// visit every (outer, inner) pair exactly once.
+func TestForNested(t *testing.T) {
+	const outer, inner = 8, 16
+	var cells [outer * inner]atomic.Int32
+	done := make(chan struct{})
+	go func() {
+		For(outer, func(i int) {
+			For(inner, func(j int) {
+				cells[i*inner+j].Add(1)
+			})
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested For deadlocked")
+	}
+	for i := range cells {
+		if c := cells[i].Load(); c != 1 {
+			t.Fatalf("cell %d visited %d times", i, c)
+		}
+	}
+}
+
+// TestForWorkersCoverage asserts ForWorkers visits every index once with
+// in-range worker ids.
+func TestForWorkersCoverage(t *testing.T) {
+	const n = 500
+	seen := make([]atomic.Bool, n)
+	var badWorker atomic.Bool
+	ForWorkers(n, func(w, i int) {
+		if w < 0 || w >= max(Workers, 1) {
+			badWorker.Store(true)
+		}
+		if seen[i].Swap(true) {
+			t.Errorf("index %d visited twice", i)
+		}
+	})
+	for i := range seen {
+		if !seen[i].Load() {
+			t.Fatalf("index %d not visited", i)
+		}
+	}
+	if badWorker.Load() {
+		t.Fatal("worker id out of range")
 	}
 }

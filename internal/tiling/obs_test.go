@@ -1,0 +1,95 @@
+package tiling
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wavetile/internal/obs"
+)
+
+// TestRunWTBObservability runs the WTB schedule against an installed
+// registry + tracer and checks the schedule-level counters, the per-time-
+// tile spans, and the sparse-phase attribution of the spatial schedule.
+func TestRunWTBObservability(t *testing.T) {
+	r := obs.NewRegistry()
+	restore := obs.Swap(r)
+	defer restore()
+	tr := r.StartTrace()
+
+	m := newMock(20, 20, 9, 2, []int{0})
+	cfg := Config{TT: 4, TileX: 8, TileY: 8, BlockX: 4, BlockY: 4}
+	if err := RunWTB(m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	m.assertExactlyOnce(t)
+
+	snap := r.Snapshot()
+	wantTT := int64(3) // ceil(9/4)
+	if got := snap.Counters["wtb_time_tiles"]; got != wantTT {
+		t.Fatalf("wtb_time_tiles = %d, want %d", got, wantTT)
+	}
+	if snap.Counters["wtb_space_tiles"] <= 0 {
+		t.Fatal("no space tiles counted")
+	}
+
+	var timeTileSpans, tileSpans int
+	for _, ev := range tr.Events() {
+		switch {
+		case strings.HasPrefix(ev.Name, "time-tile"):
+			timeTileSpans++
+		case strings.HasPrefix(ev.Name, "tile"):
+			tileSpans++
+			if ev.Args["t0"] == nil || ev.Args["bx"] == nil {
+				t.Fatalf("tile span missing args: %+v", ev.Args)
+			}
+		}
+	}
+	if int64(timeTileSpans) != wantTT {
+		t.Fatalf("%d time-tile spans, want %d (≥ one per time tile)", timeTileSpans, wantTT)
+	}
+	if int64(tileSpans) != snap.Counters["wtb_space_tiles"] {
+		t.Fatalf("%d tile spans vs %d counted tiles", tileSpans, snap.Counters["wtb_space_tiles"])
+	}
+}
+
+// TestRunSpatialObservability checks the unfused sparse pass is attributed
+// to PhaseSparse and per-step spans are recorded.
+func TestRunSpatialObservability(t *testing.T) {
+	r := obs.NewRegistry()
+	restore := obs.Swap(r)
+	defer restore()
+	tr := r.StartTrace()
+
+	m := newMock(16, 16, 5, 2, []int{0})
+	m.sparseDelay = 200 * time.Microsecond
+	RunSpatial(m, 4, 4, false)
+	m.assertExactlyOnce(t)
+
+	snap := r.Snapshot()
+	if d := snap.Phases[obs.PhaseSparse.String()]; d < 5*m.sparseDelay {
+		t.Fatalf("sparse phase = %v, want ≥ %v", d, 5*m.sparseDelay)
+	}
+	steps := 0
+	for _, ev := range tr.Events() {
+		if strings.HasPrefix(ev.Name, "step") {
+			steps++
+		}
+	}
+	if steps != 5 {
+		t.Fatalf("%d step spans, want 5", steps)
+	}
+}
+
+// TestSchedulesUnobservedUnchanged re-runs both schedules with the registry
+// removed: coverage must be identical (the instrumentation must not alter
+// scheduling decisions).
+func TestSchedulesUnobservedUnchanged(t *testing.T) {
+	restore := obs.Swap(nil)
+	defer restore()
+	m := newMock(20, 20, 9, 2, []int{0})
+	if err := RunWTB(m, Config{TT: 4, TileX: 8, TileY: 8, BlockX: 4, BlockY: 4}); err != nil {
+		t.Fatal(err)
+	}
+	m.assertExactlyOnce(t)
+}

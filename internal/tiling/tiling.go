@@ -20,8 +20,10 @@ package tiling
 
 import (
 	"fmt"
+	"time"
 
 	"wavetile/internal/grid"
+	"wavetile/internal/obs"
 	"wavetile/internal/par"
 )
 
@@ -87,6 +89,18 @@ func ForBlocks(reg grid.Region, bx, by int, f func(grid.Region)) {
 	par.For(len(blocks), func(i int) { f(blocks[i]) })
 }
 
+// ForBlocksIndexed is ForBlocks with the parallel worker index passed to f,
+// so instrumented propagators can attribute block work per worker (making
+// par contention and load imbalance visible in obs snapshots).
+func ForBlocksIndexed(reg grid.Region, bx, by int, f func(worker int, b grid.Region)) {
+	blocks := reg.SplitBlocks(bx, by)
+	if len(blocks) == 1 {
+		f(0, blocks[0])
+		return
+	}
+	par.ForWorkers(len(blocks), func(w, i int) { f(w, blocks[i]) })
+}
+
 // RunSpatial executes the spatially-blocked baseline schedule: for every
 // timestep, the full grid is stepped in parallel blocks; the sparse
 // operators are then applied — fused (precomputed scheme) or unfused
@@ -100,10 +114,29 @@ func RunSpatial(p Propagator, blockX, blockY int, fused bool) {
 	off := p.MaxPhaseOffset()
 	full := grid.Region{X0: 0, X1: nx + off, Y0: 0, Y1: ny + off}
 	nt := p.Steps()
+	r := obs.Active()
+	tr := r.Tracer()
 	for t := 0; t < nt; t++ {
+		var stepStart time.Time
+		if tr != nil {
+			stepStart = time.Now()
+		}
 		p.Step(t, full, fused)
 		if !fused {
-			p.ApplySparse(t)
+			if r != nil {
+				sparseStart := time.Now()
+				p.ApplySparse(t)
+				r.AddPhase(obs.PhaseSparse, time.Since(sparseStart))
+			} else {
+				p.ApplySparse(t)
+			}
+		}
+		if tr != nil {
+			tr.Complete(fmt.Sprintf("step %d", t), "spatial", 0, stepStart, time.Since(stepStart),
+				map[string]any{"t": t})
+		}
+		if r != nil {
+			r.StepsDone(t+1, nt)
 		}
 	}
 }
@@ -136,8 +169,29 @@ func RunWTBRange(p Propagator, cfg Config, tFrom, tTo int) error {
 	s := p.TimeSkew()
 	off := p.MaxPhaseOffset()
 
+	// Observability: counters are looked up once outside the tile loops, the
+	// tracer records one span per (time-tile, space-tile) plus one per time
+	// tile. All of it is skipped (r == nil) when observability is off.
+	r := obs.Active()
+	tr := r.Tracer()
+	var cTimeTiles, cTiles, cSkipped *obs.Counter
+	if r != nil {
+		cTimeTiles = r.Counter("wtb_time_tiles")
+		cTiles = r.Counter("wtb_space_tiles")
+		cSkipped = r.Counter("wtb_subtiles_skipped")
+	}
+
 	for t0 := tFrom; t0 < tTo; t0 += cfg.TT {
 		tt := min(cfg.TT, tTo-t0)
+		var ttStart time.Time
+		var phasesBefore [obs.NumPhases]int64
+		if r != nil {
+			cTimeTiles.Add(1)
+			ttStart = time.Now()
+			if tr != nil {
+				phasesBefore = r.PhaseWalls()
+			}
+		}
 		// Total leftward shift a region experiences inside this time tile;
 		// enough extra tiles must start beyond the right/bottom edge so
 		// that shifted regions still cover the domain at the last level.
@@ -146,6 +200,11 @@ func RunWTBRange(p Propagator, cfg Config, tFrom, tTo int) error {
 		nby := (ny + shift + cfg.TileY - 1) / cfg.TileY
 		for bx := 0; bx < nbx; bx++ {
 			for by := 0; by < nby; by++ {
+				var tileStart time.Time
+				if tr != nil {
+					tileStart = time.Now()
+				}
+				worked := false
 				for k := 0; k < tt; k++ {
 					raw := grid.Region{
 						X0: bx*cfg.TileX - k*s,
@@ -156,11 +215,37 @@ func RunWTBRange(p Propagator, cfg Config, tFrom, tTo int) error {
 					// Skip raw tiles that cannot intersect the domain for
 					// any field phase (phases shift further left by ≤ off).
 					if raw.X1 <= 0 || raw.Y1 <= 0 || raw.X0-off >= nx || raw.Y0-off >= ny {
+						if cSkipped != nil {
+							cSkipped.Add(1)
+						}
 						continue
 					}
+					worked = true
 					p.Step(t0+k, raw, true)
 				}
+				if r != nil && worked {
+					cTiles.Add(1)
+					if tr != nil {
+						tr.Complete(fmt.Sprintf("tile %d,%d", bx, by), "wtb", 1,
+							tileStart, time.Since(tileStart),
+							map[string]any{"bx": bx, "by": by, "t0": t0, "t1": t0 + tt, "worker": 0})
+					}
+				}
 			}
+		}
+		if r != nil {
+			if tr != nil {
+				args := map[string]any{"t0": t0, "t1": t0 + tt}
+				after := r.PhaseWalls()
+				for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {
+					if d := after[ph] - phasesBefore[ph]; d > 0 {
+						args[ph.String()+"_ms"] = float64(d) / 1e6
+					}
+				}
+				tr.Complete(fmt.Sprintf("time-tile %d..%d", t0, t0+tt), "wtb", 0,
+					ttStart, time.Since(ttStart), args)
+			}
+			r.StepsDone(t0+tt, p.Steps())
 		}
 	}
 	return nil

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"wavetile/internal/grid"
 )
@@ -20,7 +21,8 @@ type mockProp struct {
 	counts      [][]int32 // [phase][t*nx*ny + x*ny + y]
 	blockX      int
 	blockY      int
-	sparseCount []int32 // fused sparse applications per (t)
+	sparseCount []int32       // fused sparse applications per (t)
+	sparseDelay time.Duration // artificial ApplySparse cost (obs tests)
 }
 
 func newMock(nx, ny, nt, skew int, phaseOffs []int) *mockProp {
@@ -47,7 +49,12 @@ func (m *mockProp) MaxPhaseOffset() int {
 }
 func (m *mockProp) MinTile() int         { return 2 * m.skew }
 func (m *mockProp) SetBlocks(bx, by int) { m.blockX, m.blockY = bx, by }
-func (m *mockProp) ApplySparse(t int)    { m.sparseCount[t]++ }
+func (m *mockProp) ApplySparse(t int) {
+	if m.sparseDelay > 0 {
+		time.Sleep(m.sparseDelay)
+	}
+	m.sparseCount[t]++
+}
 
 func (m *mockProp) Step(t int, raw grid.Region, fused bool) {
 	for p, off := range m.phaseOffs {

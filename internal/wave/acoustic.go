@@ -2,10 +2,12 @@ package wave
 
 import (
 	"fmt"
+	"time"
 
 	"wavetile/internal/fd"
 	"wavetile/internal/grid"
 	"wavetile/internal/model"
+	"wavetile/internal/obs"
 	"wavetile/internal/sparse"
 	"wavetile/internal/tiling"
 )
@@ -132,6 +134,10 @@ func (a *Acoustic) Step(t int, raw grid.Region, fused bool) {
 	}
 	a.Ops.setFused(fused)
 	un := a.U[(t+1)&1]
+	if sec := obs.SectionStart(); sec != nil {
+		a.stepObserved(sec, t, reg, fused, un)
+		return
+	}
 	tiling.ForBlocks(reg, a.blockX, a.blockY, func(b grid.Region) {
 		a.kern(t, b)
 		if fused {
@@ -139,6 +145,30 @@ func (a *Acoustic) Step(t int, raw grid.Region, fused bool) {
 			a.Ops.SampleFused(un, t, b)
 		}
 	})
+}
+
+// stepObserved is Step's instrumented twin: identical work in identical
+// order, with per-block phase timings attributed per worker and the block
+// update duration fed to the "block_ns" histogram.
+func (a *Acoustic) stepObserved(sec *obs.Section, t int, reg grid.Region, fused bool, un *grid.Grid) {
+	r := sec.Registry()
+	hist := r.Histogram("block_ns")
+	tiling.ForBlocksIndexed(reg, a.blockX, a.blockY, func(w int, b grid.Region) {
+		t0 := time.Now()
+		a.kern(t, b)
+		sec.Observe(obs.PhaseStencil, w, t0)
+		if fused {
+			t1 := time.Now()
+			a.Ops.InjectFused(un, t, b)
+			sec.Observe(obs.PhaseInject, w, t1)
+			t2 := time.Now()
+			a.Ops.SampleFused(un, t, b)
+			sec.Observe(obs.PhaseSample, w, t2)
+		}
+		hist.Observe(time.Since(t0))
+	})
+	r.AddStep(int64(reg.NumPoints()) * int64(a.P.Geom.Nz))
+	sec.End()
 }
 
 // ApplySparse runs the Listing-1 baseline sparse operators after a full

@@ -2,10 +2,12 @@ package wave
 
 import (
 	"fmt"
+	"time"
 
 	"wavetile/internal/fd"
 	"wavetile/internal/grid"
 	"wavetile/internal/model"
+	"wavetile/internal/obs"
 	"wavetile/internal/sparse"
 	"wavetile/internal/tiling"
 )
@@ -131,6 +133,11 @@ func (e *Elastic) Step(t int, raw grid.Region, fused bool) {
 	g := e.P.Geom
 	e.Ops.setFused(fused)
 	vreg := raw.Clamp(g.Nx, g.Ny)
+	sreg := raw.Shift(-e.R, -e.R).Clamp(g.Nx, g.Ny)
+	if sec := obs.SectionStart(); sec != nil {
+		e.stepObserved(sec, t, vreg, sreg, fused)
+		return
+	}
 	if !vreg.Empty() {
 		tiling.ForBlocks(vreg, e.blockX, e.blockY, func(b grid.Region) {
 			e.velKern(b)
@@ -139,7 +146,6 @@ func (e *Elastic) Step(t int, raw grid.Region, fused bool) {
 			}
 		})
 	}
-	sreg := raw.Shift(-e.R, -e.R).Clamp(g.Nx, g.Ny)
 	if !sreg.Empty() {
 		tiling.ForBlocks(sreg, e.blockX, e.blockY, func(b grid.Region) {
 			e.stressKern(b)
@@ -150,6 +156,45 @@ func (e *Elastic) Step(t int, raw grid.Region, fused bool) {
 			}
 		})
 	}
+}
+
+// stepObserved is Step's instrumented twin: one section spans both the
+// velocity and stress phases (both count as PhaseStencil; sampling and
+// injection are attributed to their own phases).
+func (e *Elastic) stepObserved(sec *obs.Section, t int, vreg, sreg grid.Region, fused bool) {
+	r := sec.Registry()
+	hist := r.Histogram("block_ns")
+	if !vreg.Empty() {
+		tiling.ForBlocksIndexed(vreg, e.blockX, e.blockY, func(w int, b grid.Region) {
+			t0 := time.Now()
+			e.velKern(b)
+			sec.Observe(obs.PhaseStencil, w, t0)
+			if fused {
+				t1 := time.Now()
+				e.Ops.SampleFused(e.Vz, t, b)
+				sec.Observe(obs.PhaseSample, w, t1)
+			}
+			hist.Observe(time.Since(t0))
+		})
+	}
+	if !sreg.Empty() {
+		tiling.ForBlocksIndexed(sreg, e.blockX, e.blockY, func(w int, b grid.Region) {
+			t0 := time.Now()
+			e.stressKern(b)
+			sec.Observe(obs.PhaseStencil, w, t0)
+			if fused {
+				t1 := time.Now()
+				e.Ops.InjectFused(e.Txx, t, b)
+				e.Ops.InjectFused(e.Tyy, t, b)
+				e.Ops.InjectFused(e.Tzz, t, b)
+				sec.Observe(obs.PhaseInject, w, t1)
+			}
+			hist.Observe(time.Since(t0))
+		})
+	}
+	nz := int64(e.P.Geom.Nz)
+	r.AddStep(int64(vreg.NumPoints())*nz + int64(sreg.NumPoints())*nz)
+	sec.End()
 }
 
 // ApplySparse runs the Listing-1 baseline sparse operators: explosive

@@ -3,10 +3,12 @@ package wave
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"wavetile/internal/fd"
 	"wavetile/internal/grid"
 	"wavetile/internal/model"
+	"wavetile/internal/obs"
 	"wavetile/internal/sparse"
 	"wavetile/internal/tiling"
 )
@@ -155,6 +157,10 @@ func (w *TTI) Step(t int, raw grid.Region, fused bool) {
 	}
 	w.Ops.setFused(fused)
 	pn, qn := w.Pw[(t+1)&1], w.Qw[(t+1)&1]
+	if sec := obs.SectionStart(); sec != nil {
+		w.stepObserved(sec, t, reg, fused, pn, qn)
+		return
+	}
 	tiling.ForBlocks(reg, w.blockX, w.blockY, func(b grid.Region) {
 		w.kern(t, b)
 		if fused {
@@ -163,6 +169,29 @@ func (w *TTI) Step(t int, raw grid.Region, fused bool) {
 			w.Ops.SampleFused(pn, t, b)
 		}
 	})
+}
+
+// stepObserved is Step's instrumented twin (see Acoustic.stepObserved).
+func (w *TTI) stepObserved(sec *obs.Section, t int, reg grid.Region, fused bool, pn, qn *grid.Grid) {
+	r := sec.Registry()
+	hist := r.Histogram("block_ns")
+	tiling.ForBlocksIndexed(reg, w.blockX, w.blockY, func(wk int, b grid.Region) {
+		t0 := time.Now()
+		w.kern(t, b)
+		sec.Observe(obs.PhaseStencil, wk, t0)
+		if fused {
+			t1 := time.Now()
+			w.Ops.InjectFused(pn, t, b)
+			w.Ops.InjectFused(qn, t, b)
+			sec.Observe(obs.PhaseInject, wk, t1)
+			t2 := time.Now()
+			w.Ops.SampleFused(pn, t, b)
+			sec.Observe(obs.PhaseSample, wk, t2)
+		}
+		hist.Observe(time.Since(t0))
+	})
+	r.AddStep(int64(reg.NumPoints()) * int64(w.P.Geom.Nz))
+	sec.End()
 }
 
 // ApplySparse runs the Listing-1 baseline sparse operators.

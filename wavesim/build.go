@@ -6,6 +6,7 @@ import (
 
 	"wavetile/internal/grid"
 	"wavetile/internal/model"
+	"wavetile/internal/obs"
 	"wavetile/internal/sparse"
 	"wavetile/internal/tiling"
 	"wavetile/internal/wave"
@@ -205,8 +206,19 @@ func (s *Simulation) Reset() {
 // Run executes the simulation from zero initial conditions under the given
 // schedule and returns throughput and receiver data. The simulation is
 // Reset first, so consecutive Runs are independent.
+//
+// With Options.Observe set (or a process-global obs registry installed),
+// the returned Result additionally carries the per-phase wall-time
+// breakdown and counter deltas of this run.
 func (s *Simulation) Run(sched Schedule) (*Result, error) {
 	s.Reset()
+	reg, restore := s.obsRegistry()
+	defer restore()
+	var before obs.Snapshot
+	if reg != nil {
+		before = reg.Snapshot()
+	}
+
 	start := time.Now()
 	switch c := sched.(type) {
 	case Spatial:
@@ -228,13 +240,10 @@ func (s *Simulation) Run(sched Schedule) (*Result, error) {
 	}
 	elapsed := time.Since(start)
 
-	res := &Result{
-		Schedule: sched.schedule(),
-		Elapsed:  elapsed,
-		Points:   int64(s.geom.Nx) * int64(s.geom.Ny) * int64(s.geom.Nz) * int64(s.geom.Nt),
-	}
-	if elapsed > 0 {
-		res.GPointsPerSec = float64(res.Points) / elapsed.Seconds() / 1e9
+	res := newResult(sched.schedule(), elapsed,
+		int64(s.geom.Nx)*int64(s.geom.Ny)*int64(s.geom.Nz)*int64(s.geom.Nt))
+	if reg != nil {
+		res.attachObs(reg.Snapshot().DeltaFrom(before))
 	}
 	rec, err := s.ops.Receivers()
 	if err != nil {
@@ -242,6 +251,32 @@ func (s *Simulation) Run(sched Schedule) (*Result, error) {
 	}
 	res.Receivers = rec
 	return res, nil
+}
+
+// obsRegistry resolves the registry a run reports to: a process-global one
+// if installed, a run-scoped one if Options.Observe is set (restored by the
+// returned func), nil otherwise.
+func (s *Simulation) obsRegistry() (*obs.Registry, func()) {
+	if r := obs.Active(); r != nil {
+		return r, func() {}
+	}
+	if !s.opts.Observe {
+		return nil, func() {}
+	}
+	r := obs.NewRegistry()
+	return r, obs.Swap(r)
+}
+
+// attachObs fills the Result's Phases and Counters from a run's snapshot
+// delta, adding the "overhead" residual so the phases sum to Elapsed.
+func (r *Result) attachObs(snap obs.Snapshot) {
+	r.Phases = snap.Phases
+	r.Counters = snap.Counters
+	overhead := r.Elapsed - snap.PhaseTotal()
+	if overhead < 0 {
+		overhead = 0
+	}
+	r.Phases[obs.PhaseOverhead] = overhead
 }
 
 // WavefieldSlice returns a z-plane of the final main wavefield (pressure u
@@ -298,6 +333,12 @@ func (s *Simulation) RunWithSnapshots(every, yPlane, blockX, blockY int) (*Resul
 		blockY = 8
 	}
 	s.Reset()
+	reg, restore := s.obsRegistry()
+	defer restore()
+	var before obs.Snapshot
+	if reg != nil {
+		before = reg.Snapshot()
+	}
 	start := time.Now()
 	s.prop.SetBlocks(blockX, blockY)
 	off := s.prop.MaxPhaseOffset()
@@ -310,13 +351,10 @@ func (s *Simulation) RunWithSnapshots(every, yPlane, blockX, blockY int) (*Resul
 		}
 	}
 	elapsed := time.Since(start)
-	res := &Result{
-		Schedule: "spatial+snapshots",
-		Elapsed:  elapsed,
-		Points:   int64(s.geom.Nx) * int64(s.geom.Ny) * int64(s.geom.Nz) * int64(s.geom.Nt),
-	}
-	if elapsed > 0 {
-		res.GPointsPerSec = float64(res.Points) / elapsed.Seconds() / 1e9
+	res := newResult("spatial+snapshots", elapsed,
+		int64(s.geom.Nx)*int64(s.geom.Ny)*int64(s.geom.Nz)*int64(s.geom.Nt))
+	if reg != nil {
+		res.attachObs(reg.Snapshot().DeltaFrom(before))
 	}
 	rec, err := s.ops.Receivers()
 	if err != nil {

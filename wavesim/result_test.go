@@ -1,0 +1,166 @@
+package wavesim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestNewResultZeroElapsed asserts degenerate runs produce well-defined
+// results: no NaN/Inf throughput for zero elapsed time or zero points.
+func TestNewResultZeroElapsed(t *testing.T) {
+	cases := []struct {
+		elapsed time.Duration
+		points  int64
+	}{
+		{0, 1000},
+		{time.Second, 0},
+		{0, 0},
+		{-time.Second, 1000},
+		{time.Nanosecond, 1 << 50},
+	}
+	for _, c := range cases {
+		res := newResult("spatial", c.elapsed, c.points)
+		if math.IsNaN(res.GPointsPerSec) || math.IsInf(res.GPointsPerSec, 0) {
+			t.Fatalf("elapsed=%v points=%d: GPointsPerSec = %v", c.elapsed, c.points, res.GPointsPerSec)
+		}
+		if (c.elapsed <= 0 || c.points <= 0) && res.GPointsPerSec != 0 {
+			t.Fatalf("elapsed=%v points=%d: GPointsPerSec = %v, want 0", c.elapsed, c.points, res.GPointsPerSec)
+		}
+		if res.Points != c.points || res.Elapsed != c.elapsed {
+			t.Fatal("fields not carried through")
+		}
+	}
+	if g := newResult("wtb", time.Second, 2e9).GPointsPerSec; math.Abs(g-2) > 1e-9 {
+		t.Fatalf("sane run throughput = %v, want 2", g)
+	}
+}
+
+// observedSim builds a small acoustic simulation with Observe enabled.
+func observedSim(t *testing.T) *Simulation {
+	t.Helper()
+	sim, err := New(Options{
+		Physics:    Acoustic,
+		SpaceOrder: 4,
+		Shape:      [3]int{48, 48, 48},
+		Spacing:    [3]float64{10, 10, 10},
+		NBL:        6,
+		Steps:      8,
+		Vp:         Homogeneous(2000),
+		Sources:    []Coord{{235, 235, 100}},
+		Receivers:  LineCoords(8, Coord{100, 235, 80}, Coord{380, 235, 80}),
+		Observe:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// TestObservedPhasesSumToElapsed runs both schedules with Observe set and
+// asserts the phase breakdown exists, sums to Elapsed (the "overhead"
+// residual closes the budget), and counts every grid point exactly once —
+// the temporal-blocking correctness invariant made visible by obs.
+func TestObservedPhasesSumToElapsed(t *testing.T) {
+	sim := observedSim(t)
+	shape, _, _, nt := sim.Geometry()
+	wantPoints := int64(shape[0]) * int64(shape[1]) * int64(shape[2]) * int64(nt)
+
+	for _, sched := range []Schedule{
+		Spatial{BlockX: 8, BlockY: 8},
+		WTB{TimeTile: 4, TileX: 16, TileY: 16, BlockX: 8, BlockY: 8},
+	} {
+		res, err := sim.Run(sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Phases == nil || res.Counters == nil {
+			t.Fatalf("%s: no observability data on Result", res.Schedule)
+		}
+		var sum time.Duration
+		for name, d := range res.Phases {
+			if d < 0 {
+				t.Fatalf("%s: negative phase %s = %v", res.Schedule, name, d)
+			}
+			sum += d
+		}
+		// The residual construction makes the sum match Elapsed up to
+		// attribution rounding — well inside the 10% acceptance budget.
+		if diff := (sum - res.Elapsed).Abs(); diff > res.Elapsed/10+time.Millisecond {
+			t.Fatalf("%s: phases sum %v vs elapsed %v", res.Schedule, sum, res.Elapsed)
+		}
+		if res.Phases["stencil"] <= 0 {
+			t.Fatalf("%s: stencil phase not measured: %v", res.Schedule, res.Phases)
+		}
+		if got := res.Counters["points"]; got != wantPoints {
+			t.Fatalf("%s: points counter = %d, want %d (each point exactly once)",
+				res.Schedule, got, wantPoints)
+		}
+	}
+}
+
+// TestObserveOffLeavesResultBare asserts the default path attaches nothing.
+func TestObserveOffLeavesResultBare(t *testing.T) {
+	sim, err := New(Options{
+		Physics:    Acoustic,
+		SpaceOrder: 4,
+		Shape:      [3]int{32, 32, 32},
+		Spacing:    [3]float64{10, 10, 10},
+		Steps:      2,
+		Vp:         Homogeneous(2000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(Spatial{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases != nil || res.Counters != nil {
+		t.Fatal("observability data attached without Observe")
+	}
+}
+
+// TestObservedRunsStayBitwiseIdentical guards the core paper invariant
+// under instrumentation: observed and unobserved runs, spatial and WTB,
+// produce identical receiver data.
+func TestObservedRunsStayBitwiseIdentical(t *testing.T) {
+	mk := func(observe bool) *Simulation {
+		sim, err := New(Options{
+			Physics:    Acoustic,
+			SpaceOrder: 4,
+			Shape:      [3]int{40, 40, 40},
+			Spacing:    [3]float64{10, 10, 10},
+			NBL:        6,
+			Steps:      6,
+			Vp:         Homogeneous(2000),
+			Sources:    []Coord{{195, 195, 100}},
+			Receivers:  LineCoords(6, Coord{100, 195, 80}, Coord{300, 195, 80}),
+			Observe:    observe,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+	ref, err := mk(false).Run(Spatial{BlockX: 8, BlockY: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sched := range []Schedule{
+		Spatial{BlockX: 8, BlockY: 8},
+		WTB{TimeTile: 3, TileX: 16, TileY: 16, BlockX: 8, BlockY: 8},
+	} {
+		res, err := mk(true).Run(sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ti := range ref.Receivers {
+			for ri := range ref.Receivers[ti] {
+				if ref.Receivers[ti][ri] != res.Receivers[ti][ri] {
+					t.Fatalf("%s observed: receiver (%d,%d) differs", res.Schedule, ti, ri)
+				}
+			}
+		}
+	}
+}

@@ -116,6 +116,15 @@ type Options struct {
 	// supports, Hicks 2002) instead of trilinear. Sources must then sit at
 	// least 4 grid points inside the domain.
 	SincSources bool
+
+	// Observe collects a per-phase wall-time breakdown and counters during
+	// Run, returned in Result.Phases / Result.Counters. It costs a few
+	// clock readings per parallel block (typically 1–3% of the run); when
+	// false (the default) the instrumentation reduces to one atomic load
+	// per Step. If a process-global obs registry is already installed
+	// (e.g. by a -debug-addr CLI flag), Run reports through it regardless
+	// of this flag.
+	Observe bool
 }
 
 // Simulation is a configured propagator ready to run under any schedule.
@@ -160,4 +169,25 @@ type Result struct {
 	// Receivers[t][r] is the shot record (time index t+1), nil without
 	// receivers.
 	Receivers [][]float32
+
+	// Phases breaks Elapsed down by work category when observability was
+	// on for the run (Options.Observe or a globally installed registry):
+	// "stencil" (grid update), "inject" (fused source injection), "sample"
+	// (fused receiver sampling), "sparse" (unfused Listing-1 operators)
+	// and "overhead" (schedule bookkeeping and fork/join — the residual,
+	// so the phases sum to Elapsed). Nil when observability was off.
+	Phases map[string]time.Duration
+	// Counters holds the run's counter deltas (e.g. "steps", "points",
+	// "wtb_time_tiles"). Nil when observability was off.
+	Counters map[string]int64
+}
+
+// newResult assembles a Result with a well-defined throughput: runs with
+// zero elapsed time or zero points report 0 GPts/s rather than NaN/Inf.
+func newResult(schedule string, elapsed time.Duration, points int64) *Result {
+	res := &Result{Schedule: schedule, Elapsed: elapsed, Points: points}
+	if elapsed > 0 && points > 0 {
+		res.GPointsPerSec = float64(points) / elapsed.Seconds() / 1e9
+	}
+	return res
 }
