@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race-obs bench fmt vet check
+.PHONY: all build test race-obs bench bench-json bce-check fmt vet check
 
 all: build test
 
@@ -19,10 +19,28 @@ race-obs:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-fmt:
-	gofmt -l .
+# Wall-clock throughput across model x order x schedule, as JSON rows.
+# BENCH_PR3.json in the repo root holds the committed before/after
+# trajectory for the PR-3 kernel overhaul, produced from these runs.
+BENCH_JSON ?= bench.json
+bench-json:
+	$(GO) build -o /tmp/wavebench ./cmd/wavebench
+	/tmp/wavebench -mode wall -models acoustic,elastic,tti -orders 4,8 \
+		-n 96 -steps 8 -tunesteps 2 -json > $(BENCH_JSON)
+	@echo "wrote $(BENCH_JSON)"
 
-vet:
-	$(GO) vet ./...
+# Bounds-check-elimination gate: the radius-specialized kernels (*_kern.go)
+# must compile with zero IsInBounds checks — the per-row sub-slice
+# discipline documented in internal/wave/acoustic_kern.go makes the prove
+# pass eliminate them all, and this target fails if a kernel edit
+# reintroduces any. IsSliceInBounds (once-per-row slicing setup) is allowed.
+bce-check:
+	@out=$$($(GO) build -gcflags='-d=ssa/check_bce' ./internal/wave 2>&1 | \
+		grep '_kern\.go' | grep 'Found IsInBounds'; exit 0); \
+	if [ -n "$$out" ]; then \
+		echo "bce-check: bounds checks reappeared in radius-specialized kernels:"; \
+		echo "$$out"; exit 1; \
+	fi; \
+	echo "bce-check: kernels are bounds-check free"
 
-check: build vet test race-obs
+check: build vet test race-obs bce-check

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"wavetile/internal/obs"
+	"wavetile/internal/par"
 	"wavetile/wavesim"
 )
 
@@ -43,7 +44,12 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the tile schedule to this path")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
 	progress := flag.Bool("progress", false, "log structured propagation progress (steps/s, GPts/s, ETA) to stderr")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	if *workers > 0 {
+		par.Workers = *workers
+	}
 
 	// Any observability consumer installs the process-global registry; the
 	// run then reports through it.

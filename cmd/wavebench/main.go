@@ -32,6 +32,7 @@ import (
 
 	"wavetile/internal/bench"
 	"wavetile/internal/obs"
+	"wavetile/internal/par"
 	"wavetile/internal/roofline"
 )
 
@@ -49,7 +50,12 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the tile schedules to this path")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
 	progress := flag.Bool("progress", false, "log structured run progress to stderr")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	if *workers > 0 {
+		par.Workers = *workers
+	}
 
 	var reg *obs.Registry
 	if *jsonOut || *tracePath != "" || *debugAddr != "" || *progress {

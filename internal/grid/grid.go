@@ -14,6 +14,8 @@ package grid
 import (
 	"fmt"
 	"math"
+
+	"wavetile/internal/par"
 )
 
 // Grid is a 3-D float32 field with halo padding.
@@ -83,31 +85,43 @@ func (g *Grid) Fill(v float32) {
 	}
 }
 
-// FillFunc sets every interior point to f(x, y, z).
+// FillFunc sets every interior point to f(x, y, z). The x-slabs are filled
+// in parallel, so f must be safe to call concurrently from several
+// goroutines (pure functions of the coordinates always are).
 func (g *Grid) FillFunc(f func(x, y, z int) float32) {
-	for x := 0; x < g.Nx; x++ {
+	par.For(g.Nx, func(x int) {
 		for y := 0; y < g.Ny; y++ {
 			row := g.Row(x, y)
 			for z := range row {
 				row[z] = f(x, y, z)
 			}
 		}
-	}
+	})
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g. Large model grids are cloned once per
+// schedule comparison, so the copy is spread over the parallel workers by
+// padded x-plane.
 func (g *Grid) Clone() *Grid {
 	c := *g
 	c.Data = make([]float32, len(g.Data))
-	copy(c.Data, g.Data)
+	px := len(g.Data) / g.SX
+	par.For(px, func(xp int) {
+		copy(c.Data[xp*g.SX:][:g.SX], g.Data[xp*g.SX:][:g.SX])
+	})
 	return &c
 }
 
-// Zero clears the whole buffer, halo included.
+// Zero clears the whole buffer, halo included, one padded x-plane per
+// parallel work item.
 func (g *Grid) Zero() {
-	for i := range g.Data {
-		g.Data[i] = 0
-	}
+	px := len(g.Data) / g.SX
+	par.For(px, func(xp int) {
+		plane := g.Data[xp*g.SX:][:g.SX]
+		for i := range plane {
+			plane[i] = 0
+		}
+	})
 }
 
 // SameShape reports whether o has identical interior shape and halo.

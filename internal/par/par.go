@@ -1,8 +1,15 @@
 // Package par is the shared-memory parallel runtime of the repository: a
 // dynamically scheduled parallel-for over a fixed worker count, the
 // stand-in for the paper's "OpenMP shared-memory parallelism with dynamic
-// scheduling". Work items are claimed with an atomic counter, so uneven item
-// costs (clamped edge blocks, sparse-operator blocks) balance automatically.
+// scheduling". Work items are claimed in small chunks off an atomic counter,
+// so uneven item costs (clamped edge blocks, sparse-operator blocks) balance
+// automatically.
+//
+// Worker goroutines are persistent: the first parallel call lazily starts a
+// pool of up to Workers−1 helpers that park on a channel between calls, so
+// the wave-front temporal-blocking schedule — which issues one parallel-for
+// per space tile per local timestep, thousands per run — pays a channel
+// wake-up per helper instead of a goroutine spawn + teardown per call.
 package par
 
 import (
@@ -13,18 +20,22 @@ import (
 
 // Workers is the degree of parallelism used by For. It defaults to
 // GOMAXPROCS and may be lowered (e.g. to 1) to serialize execution for
-// debugging; values < 1 are treated as 1.
+// debugging, or raised to grow the persistent pool; values < 1 are treated
+// as 1. It must not be mutated concurrently with parallel calls.
 var Workers = runtime.GOMAXPROCS(0)
 
 // For invokes f(i) for every i in [0, n), distributing iterations across
-// workers with dynamic (work-stealing-by-counter) scheduling. It returns
-// when all iterations are complete. f must be safe for concurrent calls with
-// distinct i.
+// workers with dynamic chunked claiming. It returns when all iterations are
+// complete. f must be safe for concurrent calls with distinct i.
 //
 // Zero and negative n return immediately; n == 1 (or Workers == 1) runs
-// inline on the calling goroutine without spawning anything, so nested or
+// inline on the calling goroutine without touching the pool, so nested or
 // degenerate calls cost nothing beyond the function call. Nesting is safe:
-// each call owns its claim counter and wait group.
+// each call owns its claim counter, and a nested call that finds every pool
+// helper busy (the usual case when called from inside a pool worker) simply
+// runs its iterations inline on the caller. A panic in f is re-raised on
+// the calling goroutine with its original panic value once every claimed
+// iteration has finished; it never deadlocks the pool.
 func For(n int, f func(i int)) {
 	if n <= 0 {
 		return
@@ -36,28 +47,13 @@ func For(n int, f func(i int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := next.Add(1) - 1
-				if i >= int64(n) {
-					return
-				}
-				f(int(i))
-			}
-		}()
-	}
-	wg.Wait()
+	run(n, w, func(_, i int) { f(i) })
 }
 
 // ForWorkers is For with the claiming worker's index (0 ≤ worker < the
 // effective worker count) passed to f alongside the iteration index, so
 // instrumented callers can attribute work per worker. The inline fast paths
-// report worker 0.
+// report worker 0; the calling goroutine always participates as worker 0.
 func ForWorkers(n int, f func(worker, i int)) {
 	if n <= 0 {
 		return
@@ -69,22 +65,7 @@ func ForWorkers(n int, f func(worker, i int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func(worker int) {
-			defer wg.Done()
-			for {
-				i := next.Add(1) - 1
-				if i >= int64(n) {
-					return
-				}
-				f(worker, int(i))
-			}
-		}(g)
-	}
-	wg.Wait()
+	run(n, w, f)
 }
 
 // clampWorkers returns the effective worker count for n items.
@@ -97,4 +78,142 @@ func clampWorkers(n int) int {
 		w = n
 	}
 	return w
+}
+
+// ---------------------------------------------------------------------------
+// Persistent pool
+
+// work hands tasks to parked pool helpers. The channel is unbuffered on
+// purpose: a non-blocking send succeeds only when a helper is actually
+// parked in receive, which is exactly the "is anyone idle?" question the
+// dispatcher needs answered — busy helpers (e.g. during nested calls) are
+// simply not recruited.
+var work = make(chan *task)
+
+var (
+	poolMu   sync.Mutex
+	poolSize int // persistent helpers spawned so far
+)
+
+// task is one parallel-for invocation. Iterations are claimed in chunks off
+// next; done counts finished iterations and the claimer that completes the
+// last one closes fin.
+type task struct {
+	f     func(worker, i int)
+	n     int64
+	chunk int64
+	next  atomic.Int64
+	done  atomic.Int64
+	ids   atomic.Int64 // helper worker-id allocator (caller is 0)
+	fin   chan struct{}
+	pan   atomic.Pointer[panicked]
+}
+
+// panicked records the first panic raised inside f, with the stack of the
+// goroutine that raised it.
+type panicked struct {
+	val   any
+	stack []byte
+}
+
+// run executes n iterations over w workers: up to w−1 parked helpers are
+// woken (or lazily spawned), and the caller claims chunks alongside them as
+// worker 0.
+func run(n, w int, f func(worker, i int)) {
+	t := &task{f: f, n: int64(n), fin: make(chan struct{})}
+	// Adaptive chunking: roughly 8 chunks per worker keeps the claim counter
+	// off the coherence hot path on large n while preserving dynamic load
+	// balancing; small n (the many-small-blocks WTB path) degenerates to
+	// chunk 1, i.e. pure dynamic scheduling.
+	t.chunk = int64(n) / int64(8*w)
+	if t.chunk < 1 {
+		t.chunk = 1
+	}
+	dispatch(t, w-1)
+	t.claim(0)
+	<-t.fin
+	if p := t.pan.Load(); p != nil {
+		panic(p.val)
+	}
+}
+
+// dispatch recruits up to helpers pool workers for t: parked helpers are
+// woken with a non-blocking send; if none is parked and the pool is below
+// its cap, a new persistent helper is spawned with t as its first
+// assignment. When neither is possible the remaining share of the work
+// falls to the caller and any recruited helpers — never to a blocked send.
+func dispatch(t *task, helpers int) {
+	for h := 0; h < helpers; h++ {
+		select {
+		case work <- t:
+			continue
+		default:
+		}
+		if !spawn(t) {
+			return
+		}
+	}
+}
+
+// spawn starts a new persistent pool helper whose first assignment is t.
+// The pool is capped at Workers−1 helpers: the caller of a parallel-for is
+// always the w-th worker, and refusing to grow past the cap is what makes
+// nested calls from pool workers run inline instead of oversubscribing.
+func spawn(t *task) bool {
+	limit := Workers - 1
+	poolMu.Lock()
+	if poolSize >= limit {
+		poolMu.Unlock()
+		return false
+	}
+	poolSize++
+	poolMu.Unlock()
+	go func() {
+		t.claimHelper()
+		for t := range work {
+			t.claimHelper()
+		}
+	}()
+	return true
+}
+
+// claimHelper runs the claim loop with a freshly allocated helper id
+// (1 ≤ id ≤ helpers recruited, so ids stay below the effective worker
+// count).
+func (t *task) claimHelper() { t.claim(int(t.ids.Add(1))) }
+
+// claim repeatedly grabs chunks of iterations until the counter is
+// exhausted. The claimer that finishes the task's last iteration closes
+// fin; claimed chunks always count as done even if f panicked, so the
+// caller can never be left waiting.
+func (t *task) claim(worker int) {
+	for {
+		start := t.next.Add(t.chunk) - t.chunk
+		if start >= t.n {
+			return
+		}
+		end := start + t.chunk
+		if end > t.n {
+			end = t.n
+		}
+		t.exec(worker, start, end)
+		if t.done.Add(end-start) == t.n {
+			close(t.fin)
+		}
+	}
+}
+
+// exec runs one claimed chunk, capturing the first panic instead of letting
+// it kill the helper goroutine (or unwind the caller mid-claim).
+func (t *task) exec(worker int, start, end int64) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 8192)
+			buf = buf[:runtime.Stack(buf, false)]
+			t.pan.CompareAndSwap(nil, &panicked{val: r, stack: buf})
+		}
+	}()
+	for i := start; i < end; i++ {
+		t.f(worker, int(i))
+	}
 }

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -93,6 +94,162 @@ func TestForNested(t *testing.T) {
 	for i := range cells {
 		if c := cells[i].Load(); c != 1 {
 			t.Fatalf("cell %d visited %d times", i, c)
+		}
+	}
+}
+
+// setWorkers forces the pool degree for a test and restores it afterwards,
+// so pool paths are exercised even on single-CPU hosts.
+func setWorkers(t *testing.T, w int) {
+	t.Helper()
+	old := Workers
+	Workers = w
+	t.Cleanup(func() { Workers = old })
+}
+
+// TestPoolNestedFromWorker drives nested parallel-fors through the
+// persistent pool: the outer call occupies every helper, so the inner calls
+// must run inline on their pool workers rather than deadlocking on an idle
+// helper that will never come.
+func TestPoolNestedFromWorker(t *testing.T) {
+	setWorkers(t, 4)
+	const outer, inner = 8, 64
+	var cells [outer * inner]atomic.Int32
+	done := make(chan struct{})
+	go func() {
+		For(outer, func(i int) {
+			For(inner, func(j int) {
+				cells[i*inner+j].Add(1)
+			})
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested For through the pool deadlocked")
+	}
+	for i := range cells {
+		if c := cells[i].Load(); c != 1 {
+			t.Fatalf("cell %d visited %d times", i, c)
+		}
+	}
+}
+
+// TestPoolWorkersRaisedLowered re-sizes Workers between calls: the pool must
+// keep full coverage and in-range worker ids as it grows on demand and
+// ignores surplus parked helpers when shrunk.
+func TestPoolWorkersRaisedLowered(t *testing.T) {
+	for _, w := range []int{2, 6, 3, 1, 5} {
+		setWorkers(t, w)
+		const n = 777
+		seen := make([]atomic.Int32, n)
+		var badWorker atomic.Int32
+		ForWorkers(n, func(worker, i int) {
+			if worker < 0 || worker >= w {
+				badWorker.Store(int32(worker) + 1)
+			}
+			seen[i].Add(1)
+		})
+		if b := badWorker.Load(); b != 0 {
+			t.Fatalf("Workers=%d: worker id %d out of range", w, b-1)
+		}
+		for i := range seen {
+			if c := seen[i].Load(); c != 1 {
+				t.Fatalf("Workers=%d: index %d visited %d times", w, i, c)
+			}
+		}
+	}
+}
+
+// TestPoolPanicPropagates asserts a panic inside f is re-raised on the
+// caller with its original value — not swallowed, not a deadlock, and not a
+// crash of a helper goroutine — and that the pool stays usable afterwards.
+func TestPoolPanicPropagates(t *testing.T) {
+	setWorkers(t, 4)
+	type marker struct{ i int }
+	res := make(chan any, 1)
+	go func() {
+		defer func() { res <- recover() }()
+		For(100, func(i int) {
+			if i == 37 {
+				panic(marker{i})
+			}
+		})
+		res <- nil
+	}()
+	select {
+	case r := <-res:
+		m, ok := r.(marker)
+		if !ok || m.i != 37 {
+			t.Fatalf("recovered %#v, want marker{37}", r)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("panicking For deadlocked")
+	}
+	// The pool must still schedule work after a panic.
+	var visited atomic.Int64
+	For(50, func(int) { visited.Add(1) })
+	if visited.Load() != 50 {
+		t.Fatalf("pool broken after panic: visited %d/50", visited.Load())
+	}
+}
+
+// TestPoolPanicInline asserts the single-worker inline path panics through
+// unchanged.
+func TestPoolPanicInline(t *testing.T) {
+	setWorkers(t, 1)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	For(3, func(i int) {
+		if i == 1 {
+			panic("boom")
+		}
+	})
+	t.Fatal("panic not propagated")
+}
+
+// TestPoolChunkedClaiming exercises the chunk>1 claim path (n large enough
+// that n/(8·w) > 1) plus the tail chunk, checking exact coverage.
+func TestPoolChunkedClaiming(t *testing.T) {
+	setWorkers(t, 3)
+	for _, n := range []int{24*3*8 + 1, 10000, 97} {
+		seen := make([]atomic.Int32, n)
+		For(n, func(i int) { seen[i].Add(1) })
+		for i := range seen {
+			if c := seen[i].Load(); c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+// TestPoolConcurrentCallers runs parallel-fors from several goroutines at
+// once: tasks compete for the same parked helpers and must each retain
+// exact coverage.
+func TestPoolConcurrentCallers(t *testing.T) {
+	setWorkers(t, 4)
+	const callers, n = 6, 500
+	errs := make(chan error, callers)
+	for c := 0; c < callers; c++ {
+		go func() {
+			seen := make([]atomic.Int32, n)
+			For(n, func(i int) { seen[i].Add(1) })
+			for i := range seen {
+				if v := seen[i].Load(); v != 1 {
+					errs <- fmt.Errorf("index %d visited %d times", i, v)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for c := 0; c < callers; c++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
 		}
 	}
 }

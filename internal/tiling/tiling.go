@@ -226,9 +226,12 @@ func RunWTBRange(p Propagator, cfg Config, tFrom, tTo int) error {
 				if r != nil && worked {
 					cTiles.Add(1)
 					if tr != nil {
+						// No worker field: this loop runs the wavefront's
+						// tiles sequentially, so there is no worker
+						// attribution to record.
 						tr.Complete(fmt.Sprintf("tile %d,%d", bx, by), "wtb", 1,
 							tileStart, time.Since(tileStart),
-							map[string]any{"bx": bx, "by": by, "t0": t0, "t1": t0 + tt, "worker": 0})
+							map[string]any{"bx": bx, "by": by, "t0": t0, "t1": t0 + tt})
 					}
 				}
 			}

@@ -235,11 +235,7 @@ func (a *Acoustic) kernelGeneric(t int, reg grid.Region) {
 						a.cy[k]*(ud[i+k*sy]+ud[i-k*sy]) +
 						a.cz[k]*(ud[i+k]+ud[i-k])
 				}
-				v := (2*ud[i] - dm1[i]*und[i] + mdt2[i]*lap) * dp1i[i]
-				if v < flushEps && v > -flushEps {
-					v = 0
-				}
-				und[i] = v
+				und[i] = ftz((2*ud[i] - dm1[i]*und[i] + mdt2[i]*lap) * dp1i[i])
 			}
 		}
 	}

@@ -8,6 +8,14 @@ import "wavetile/internal/grid"
 // loop tightly. Each variant evaluates the same per-point expression as
 // kernelGeneric; a propagator instance always uses a single variant, so
 // schedule comparisons remain bitwise exact.
+//
+// BCE discipline (enforced by `make bce-check`): every stencil offset is
+// hoisted into a per-row sub-slice of length exactly nz before the z loop,
+// and the loop indexes all of them with the bare induction variable. The
+// prove pass then sees one shared length for every access and eliminates
+// all bounds checks from the stream; offset arithmetic inside the loop
+// (e.g. row[z+1]) would defeat it. The row slicing itself may emit
+// IsSliceInBounds — that is setup cost, once per row, and allowed.
 
 func (a *Acoustic) kernelR2(t int, reg grid.Region) {
 	u := a.U[t&1]
@@ -15,25 +23,30 @@ func (a *Acoustic) kernelR2(t int, reg grid.Region) {
 	nz := u.Nz
 	sx, sy := u.SX, u.SY
 	ud, und := u.Data, un.Data
-	dm1, dp1i, mdt2 := a.dm1.Data, a.dp1i.Data, a.mdt2.Data
+	dm1d, dp1id, mdt2d := a.dm1.Data, a.dp1i.Data, a.mdt2.Data
 	c0 := a.c0
-	cx1, cx2 := a.cx[1], a.cx[2]
-	cy1, cy2 := a.cy[1], a.cy[2]
-	cz1, cz2 := a.cz[1], a.cz[2]
+	cx, cy, cz := a.cx[:3], a.cy[:3], a.cz[:3]
+	cx1, cx2 := cx[1], cx[2]
+	cy1, cy2 := cy[1], cy[2]
+	cz1, cz2 := cz[1], cz[2]
 	for x := reg.X0; x < reg.X1; x++ {
 		for y := reg.Y0; y < reg.Y1; y++ {
-			base := u.Idx(x, y, 0)
-			for z := 0; z < nz; z++ {
-				i := base + z
-				lap := c0*ud[i] +
-					cx1*(ud[i+sx]+ud[i-sx]) + cx2*(ud[i+2*sx]+ud[i-2*sx]) +
-					cy1*(ud[i+sy]+ud[i-sy]) + cy2*(ud[i+2*sy]+ud[i-2*sy]) +
-					cz1*(ud[i+1]+ud[i-1]) + cz2*(ud[i+2]+ud[i-2])
-				v := (2*ud[i] - dm1[i]*und[i] + mdt2[i]*lap) * dp1i[i]
-				if v < flushEps && v > -flushEps {
-					v = 0
-				}
-				und[i] = v
+			o := u.Idx(x, y, 0)
+			uc := ud[o:][:nz]
+			xp1, xm1 := ud[o+sx:][:nz], ud[o-sx:][:nz]
+			xp2, xm2 := ud[o+2*sx:][:nz], ud[o-2*sx:][:nz]
+			yp1, ym1 := ud[o+sy:][:nz], ud[o-sy:][:nz]
+			yp2, ym2 := ud[o+2*sy:][:nz], ud[o-2*sy:][:nz]
+			zp1, zm1 := ud[o+1:][:nz], ud[o-1:][:nz]
+			zp2, zm2 := ud[o+2:][:nz], ud[o-2:][:nz]
+			un0 := und[o:][:nz]
+			dm1, dp1i, mdt2 := dm1d[o:][:nz], dp1id[o:][:nz], mdt2d[o:][:nz]
+			for z := range un0 {
+				lap := c0*uc[z] +
+					cx1*(xp1[z]+xm1[z]) + cx2*(xp2[z]+xm2[z]) +
+					cy1*(yp1[z]+ym1[z]) + cy2*(yp2[z]+ym2[z]) +
+					cz1*(zp1[z]+zm1[z]) + cz2*(zp2[z]+zm2[z])
+				un0[z] = ftz((2*uc[z] - dm1[z]*un0[z] + mdt2[z]*lap) * dp1i[z])
 			}
 		}
 	}
@@ -45,28 +58,39 @@ func (a *Acoustic) kernelR4(t int, reg grid.Region) {
 	nz := u.Nz
 	sx, sy := u.SX, u.SY
 	ud, und := u.Data, un.Data
-	dm1, dp1i, mdt2 := a.dm1.Data, a.dp1i.Data, a.mdt2.Data
+	dm1d, dp1id, mdt2d := a.dm1.Data, a.dp1i.Data, a.mdt2.Data
 	c0 := a.c0
-	cx1, cx2, cx3, cx4 := a.cx[1], a.cx[2], a.cx[3], a.cx[4]
-	cy1, cy2, cy3, cy4 := a.cy[1], a.cy[2], a.cy[3], a.cy[4]
-	cz1, cz2, cz3, cz4 := a.cz[1], a.cz[2], a.cz[3], a.cz[4]
+	cx, cy, cz := a.cx[:5], a.cy[:5], a.cz[:5]
+	cx1, cx2, cx3, cx4 := cx[1], cx[2], cx[3], cx[4]
+	cy1, cy2, cy3, cy4 := cy[1], cy[2], cy[3], cy[4]
+	cz1, cz2, cz3, cz4 := cz[1], cz[2], cz[3], cz[4]
 	for x := reg.X0; x < reg.X1; x++ {
 		for y := reg.Y0; y < reg.Y1; y++ {
-			base := u.Idx(x, y, 0)
-			for z := 0; z < nz; z++ {
-				i := base + z
-				lap := c0*ud[i] +
-					cx1*(ud[i+sx]+ud[i-sx]) + cx2*(ud[i+2*sx]+ud[i-2*sx]) +
-					cx3*(ud[i+3*sx]+ud[i-3*sx]) + cx4*(ud[i+4*sx]+ud[i-4*sx]) +
-					cy1*(ud[i+sy]+ud[i-sy]) + cy2*(ud[i+2*sy]+ud[i-2*sy]) +
-					cy3*(ud[i+3*sy]+ud[i-3*sy]) + cy4*(ud[i+4*sy]+ud[i-4*sy]) +
-					cz1*(ud[i+1]+ud[i-1]) + cz2*(ud[i+2]+ud[i-2]) +
-					cz3*(ud[i+3]+ud[i-3]) + cz4*(ud[i+4]+ud[i-4])
-				v := (2*ud[i] - dm1[i]*und[i] + mdt2[i]*lap) * dp1i[i]
-				if v < flushEps && v > -flushEps {
-					v = 0
-				}
-				und[i] = v
+			o := u.Idx(x, y, 0)
+			uc := ud[o:][:nz]
+			xp1, xm1 := ud[o+sx:][:nz], ud[o-sx:][:nz]
+			xp2, xm2 := ud[o+2*sx:][:nz], ud[o-2*sx:][:nz]
+			xp3, xm3 := ud[o+3*sx:][:nz], ud[o-3*sx:][:nz]
+			xp4, xm4 := ud[o+4*sx:][:nz], ud[o-4*sx:][:nz]
+			yp1, ym1 := ud[o+sy:][:nz], ud[o-sy:][:nz]
+			yp2, ym2 := ud[o+2*sy:][:nz], ud[o-2*sy:][:nz]
+			yp3, ym3 := ud[o+3*sy:][:nz], ud[o-3*sy:][:nz]
+			yp4, ym4 := ud[o+4*sy:][:nz], ud[o-4*sy:][:nz]
+			zp1, zm1 := ud[o+1:][:nz], ud[o-1:][:nz]
+			zp2, zm2 := ud[o+2:][:nz], ud[o-2:][:nz]
+			zp3, zm3 := ud[o+3:][:nz], ud[o-3:][:nz]
+			zp4, zm4 := ud[o+4:][:nz], ud[o-4:][:nz]
+			un0 := und[o:][:nz]
+			dm1, dp1i, mdt2 := dm1d[o:][:nz], dp1id[o:][:nz], mdt2d[o:][:nz]
+			for z := range un0 {
+				lap := c0*uc[z] +
+					cx1*(xp1[z]+xm1[z]) + cx2*(xp2[z]+xm2[z]) +
+					cx3*(xp3[z]+xm3[z]) + cx4*(xp4[z]+xm4[z]) +
+					cy1*(yp1[z]+ym1[z]) + cy2*(yp2[z]+ym2[z]) +
+					cy3*(yp3[z]+ym3[z]) + cy4*(yp4[z]+ym4[z]) +
+					cz1*(zp1[z]+zm1[z]) + cz2*(zp2[z]+zm2[z]) +
+					cz3*(zp3[z]+zm3[z]) + cz4*(zp4[z]+zm4[z])
+				un0[z] = ftz((2*uc[z] - dm1[z]*un0[z] + mdt2[z]*lap) * dp1i[z])
 			}
 		}
 	}
@@ -78,31 +102,48 @@ func (a *Acoustic) kernelR6(t int, reg grid.Region) {
 	nz := u.Nz
 	sx, sy := u.SX, u.SY
 	ud, und := u.Data, un.Data
-	dm1, dp1i, mdt2 := a.dm1.Data, a.dp1i.Data, a.mdt2.Data
+	dm1d, dp1id, mdt2d := a.dm1.Data, a.dp1i.Data, a.mdt2.Data
 	c0 := a.c0
-	cx1, cx2, cx3, cx4, cx5, cx6 := a.cx[1], a.cx[2], a.cx[3], a.cx[4], a.cx[5], a.cx[6]
-	cy1, cy2, cy3, cy4, cy5, cy6 := a.cy[1], a.cy[2], a.cy[3], a.cy[4], a.cy[5], a.cy[6]
-	cz1, cz2, cz3, cz4, cz5, cz6 := a.cz[1], a.cz[2], a.cz[3], a.cz[4], a.cz[5], a.cz[6]
+	cx, cy, cz := a.cx[:7], a.cy[:7], a.cz[:7]
+	cx1, cx2, cx3, cx4, cx5, cx6 := cx[1], cx[2], cx[3], cx[4], cx[5], cx[6]
+	cy1, cy2, cy3, cy4, cy5, cy6 := cy[1], cy[2], cy[3], cy[4], cy[5], cy[6]
+	cz1, cz2, cz3, cz4, cz5, cz6 := cz[1], cz[2], cz[3], cz[4], cz[5], cz[6]
 	for x := reg.X0; x < reg.X1; x++ {
 		for y := reg.Y0; y < reg.Y1; y++ {
-			base := u.Idx(x, y, 0)
-			for z := 0; z < nz; z++ {
-				i := base + z
-				lap := c0*ud[i] +
-					cx1*(ud[i+sx]+ud[i-sx]) + cx2*(ud[i+2*sx]+ud[i-2*sx]) +
-					cx3*(ud[i+3*sx]+ud[i-3*sx]) + cx4*(ud[i+4*sx]+ud[i-4*sx]) +
-					cx5*(ud[i+5*sx]+ud[i-5*sx]) + cx6*(ud[i+6*sx]+ud[i-6*sx]) +
-					cy1*(ud[i+sy]+ud[i-sy]) + cy2*(ud[i+2*sy]+ud[i-2*sy]) +
-					cy3*(ud[i+3*sy]+ud[i-3*sy]) + cy4*(ud[i+4*sy]+ud[i-4*sy]) +
-					cy5*(ud[i+5*sy]+ud[i-5*sy]) + cy6*(ud[i+6*sy]+ud[i-6*sy]) +
-					cz1*(ud[i+1]+ud[i-1]) + cz2*(ud[i+2]+ud[i-2]) +
-					cz3*(ud[i+3]+ud[i-3]) + cz4*(ud[i+4]+ud[i-4]) +
-					cz5*(ud[i+5]+ud[i-5]) + cz6*(ud[i+6]+ud[i-6])
-				v := (2*ud[i] - dm1[i]*und[i] + mdt2[i]*lap) * dp1i[i]
-				if v < flushEps && v > -flushEps {
-					v = 0
-				}
-				und[i] = v
+			o := u.Idx(x, y, 0)
+			uc := ud[o:][:nz]
+			xp1, xm1 := ud[o+sx:][:nz], ud[o-sx:][:nz]
+			xp2, xm2 := ud[o+2*sx:][:nz], ud[o-2*sx:][:nz]
+			xp3, xm3 := ud[o+3*sx:][:nz], ud[o-3*sx:][:nz]
+			xp4, xm4 := ud[o+4*sx:][:nz], ud[o-4*sx:][:nz]
+			xp5, xm5 := ud[o+5*sx:][:nz], ud[o-5*sx:][:nz]
+			xp6, xm6 := ud[o+6*sx:][:nz], ud[o-6*sx:][:nz]
+			yp1, ym1 := ud[o+sy:][:nz], ud[o-sy:][:nz]
+			yp2, ym2 := ud[o+2*sy:][:nz], ud[o-2*sy:][:nz]
+			yp3, ym3 := ud[o+3*sy:][:nz], ud[o-3*sy:][:nz]
+			yp4, ym4 := ud[o+4*sy:][:nz], ud[o-4*sy:][:nz]
+			yp5, ym5 := ud[o+5*sy:][:nz], ud[o-5*sy:][:nz]
+			yp6, ym6 := ud[o+6*sy:][:nz], ud[o-6*sy:][:nz]
+			zp1, zm1 := ud[o+1:][:nz], ud[o-1:][:nz]
+			zp2, zm2 := ud[o+2:][:nz], ud[o-2:][:nz]
+			zp3, zm3 := ud[o+3:][:nz], ud[o-3:][:nz]
+			zp4, zm4 := ud[o+4:][:nz], ud[o-4:][:nz]
+			zp5, zm5 := ud[o+5:][:nz], ud[o-5:][:nz]
+			zp6, zm6 := ud[o+6:][:nz], ud[o-6:][:nz]
+			un0 := und[o:][:nz]
+			dm1, dp1i, mdt2 := dm1d[o:][:nz], dp1id[o:][:nz], mdt2d[o:][:nz]
+			for z := range un0 {
+				lap := c0*uc[z] +
+					cx1*(xp1[z]+xm1[z]) + cx2*(xp2[z]+xm2[z]) +
+					cx3*(xp3[z]+xm3[z]) + cx4*(xp4[z]+xm4[z]) +
+					cx5*(xp5[z]+xm5[z]) + cx6*(xp6[z]+xm6[z]) +
+					cy1*(yp1[z]+ym1[z]) + cy2*(yp2[z]+ym2[z]) +
+					cy3*(yp3[z]+ym3[z]) + cy4*(yp4[z]+ym4[z]) +
+					cy5*(yp5[z]+ym5[z]) + cy6*(yp6[z]+ym6[z]) +
+					cz1*(zp1[z]+zm1[z]) + cz2*(zp2[z]+zm2[z]) +
+					cz3*(zp3[z]+zm3[z]) + cz4*(zp4[z]+zm4[z]) +
+					cz5*(zp5[z]+zm5[z]) + cz6*(zp6[z]+zm6[z])
+				un0[z] = ftz((2*uc[z] - dm1[z]*un0[z] + mdt2[z]*lap) * dp1i[z])
 			}
 		}
 	}

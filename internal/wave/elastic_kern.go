@@ -7,6 +7,11 @@ import "wavetile/internal/grid"
 // straight-line code, the form Devito's code generation emits. The
 // expressions match velKernel/stressKernel exactly up to floating-point
 // re-association of the derivative accumulations.
+//
+// Like the acoustic specializations, the kernels follow the BCE discipline
+// (`make bce-check`): one per-row sub-slice of length nz per field offset,
+// indexed with the bare induction variable, so the z stream carries no
+// bounds checks.
 
 func (e *Elastic) velKernelR2(reg grid.Region) {
 	nz := e.Vx.Nz
@@ -14,29 +19,53 @@ func (e *Elastic) velKernelR2(reg grid.Region) {
 	vx, vy, vz := e.Vx.Data, e.Vy.Data, e.Vz.Data
 	txx, tyy, tzz := e.Txx.Data, e.Tyy.Data, e.Tzz.Data
 	txy, txz, tyz := e.Txy.Data, e.Txz.Data, e.Tyz.Data
-	bdt, taper := e.bdt.Data, e.taper.Data
-	cx1, cx2 := e.csx[1], e.csx[2]
-	cy1, cy2 := e.csy[1], e.csy[2]
-	cz1, cz2 := e.csz[1], e.csz[2]
+	bdtD, taperD := e.bdt.Data, e.taper.Data
+	csx, csy, csz := e.csx[:3], e.csy[:3], e.csz[:3]
+	cx1, cx2 := csx[1], csx[2]
+	cy1, cy2 := csy[1], csy[2]
+	cz1, cz2 := csz[1], csz[2]
 	for x := reg.X0; x < reg.X1; x++ {
 		for y := reg.Y0; y < reg.Y1; y++ {
-			base := e.Vx.Idx(x, y, 0)
-			for z := 0; z < nz; z++ {
-				i := base + z
-				dxfTxx := cx1*(txx[i+sx]-txx[i]) + cx2*(txx[i+2*sx]-txx[i-sx])
-				dybTxy := cy1*(txy[i]-txy[i-sy]) + cy2*(txy[i+sy]-txy[i-2*sy])
-				dzbTxz := cz1*(txz[i]-txz[i-1]) + cz2*(txz[i+1]-txz[i-2])
-				vx[i] = ftz((vx[i] + bdt[i]*(dxfTxx+dybTxy+dzbTxz)) * taper[i])
+			o := e.Vx.Idx(x, y, 0)
+			vxc, vyc, vzc := vx[o:][:nz], vy[o:][:nz], vz[o:][:nz]
+			bdt, taper := bdtD[o:][:nz], taperD[o:][:nz]
 
-				dxbTxy := cx1*(txy[i]-txy[i-sx]) + cx2*(txy[i+sx]-txy[i-2*sx])
-				dyfTyy := cy1*(tyy[i+sy]-tyy[i]) + cy2*(tyy[i+2*sy]-tyy[i-sy])
-				dzbTyz := cz1*(tyz[i]-tyz[i-1]) + cz2*(tyz[i+1]-tyz[i-2])
-				vy[i] = ftz((vy[i] + bdt[i]*(dxbTxy+dyfTyy+dzbTyz)) * taper[i])
+			txxc, txxXp1 := txx[o:][:nz], txx[o+sx:][:nz]
+			txxXp2, txxXm1 := txx[o+2*sx:][:nz], txx[o-sx:][:nz]
 
-				dxbTxz := cx1*(txz[i]-txz[i-sx]) + cx2*(txz[i+sx]-txz[i-2*sx])
-				dybTyz := cy1*(tyz[i]-tyz[i-sy]) + cy2*(tyz[i+sy]-tyz[i-2*sy])
-				dzfTzz := cz1*(tzz[i+1]-tzz[i]) + cz2*(tzz[i+2]-tzz[i-1])
-				vz[i] = ftz((vz[i] + bdt[i]*(dxbTxz+dybTyz+dzfTzz)) * taper[i])
+			txyc := txy[o:][:nz]
+			txyXp1, txyXm1, txyXm2 := txy[o+sx:][:nz], txy[o-sx:][:nz], txy[o-2*sx:][:nz]
+			txyYp1, txyYm1, txyYm2 := txy[o+sy:][:nz], txy[o-sy:][:nz], txy[o-2*sy:][:nz]
+
+			txzc := txz[o:][:nz]
+			txzXp1, txzXm1, txzXm2 := txz[o+sx:][:nz], txz[o-sx:][:nz], txz[o-2*sx:][:nz]
+			txzZp1, txzZm1, txzZm2 := txz[o+1:][:nz], txz[o-1:][:nz], txz[o-2:][:nz]
+
+			tyyc, tyyYp1 := tyy[o:][:nz], tyy[o+sy:][:nz]
+			tyyYp2, tyyYm1 := tyy[o+2*sy:][:nz], tyy[o-sy:][:nz]
+
+			tyzc := tyz[o:][:nz]
+			tyzYp1, tyzYm1, tyzYm2 := tyz[o+sy:][:nz], tyz[o-sy:][:nz], tyz[o-2*sy:][:nz]
+			tyzZp1, tyzZm1, tyzZm2 := tyz[o+1:][:nz], tyz[o-1:][:nz], tyz[o-2:][:nz]
+
+			tzzc, tzzZp1 := tzz[o:][:nz], tzz[o+1:][:nz]
+			tzzZp2, tzzZm1 := tzz[o+2:][:nz], tzz[o-1:][:nz]
+
+			for z := range vxc {
+				dxfTxx := cx1*(txxXp1[z]-txxc[z]) + cx2*(txxXp2[z]-txxXm1[z])
+				dybTxy := cy1*(txyc[z]-txyYm1[z]) + cy2*(txyYp1[z]-txyYm2[z])
+				dzbTxz := cz1*(txzc[z]-txzZm1[z]) + cz2*(txzZp1[z]-txzZm2[z])
+				vxc[z] = ftz((vxc[z] + bdt[z]*(dxfTxx+dybTxy+dzbTxz)) * taper[z])
+
+				dxbTxy := cx1*(txyc[z]-txyXm1[z]) + cx2*(txyXp1[z]-txyXm2[z])
+				dyfTyy := cy1*(tyyYp1[z]-tyyc[z]) + cy2*(tyyYp2[z]-tyyYm1[z])
+				dzbTyz := cz1*(tyzc[z]-tyzZm1[z]) + cz2*(tyzZp1[z]-tyzZm2[z])
+				vyc[z] = ftz((vyc[z] + bdt[z]*(dxbTxy+dyfTyy+dzbTyz)) * taper[z])
+
+				dxbTxz := cx1*(txzc[z]-txzXm1[z]) + cx2*(txzXp1[z]-txzXm2[z])
+				dybTyz := cy1*(tyzc[z]-tyzYm1[z]) + cy2*(tyzYp1[z]-tyzYm2[z])
+				dzfTzz := cz1*(tzzZp1[z]-tzzc[z]) + cz2*(tzzZp2[z]-tzzZm1[z])
+				vzc[z] = ftz((vzc[z] + bdt[z]*(dxbTxz+dybTyz+dzfTzz)) * taper[z])
 			}
 		}
 	}
@@ -48,33 +77,53 @@ func (e *Elastic) stressKernelR2(reg grid.Region) {
 	vx, vy, vz := e.Vx.Data, e.Vy.Data, e.Vz.Data
 	txx, tyy, tzz := e.Txx.Data, e.Tyy.Data, e.Tzz.Data
 	txy, txz, tyz := e.Txy.Data, e.Txz.Data, e.Tyz.Data
-	l2mdt, lamdt, mudt, taper := e.l2mdt.Data, e.lamdt.Data, e.mudt.Data, e.taper.Data
-	cx1, cx2 := e.csx[1], e.csx[2]
-	cy1, cy2 := e.csy[1], e.csy[2]
-	cz1, cz2 := e.csz[1], e.csz[2]
+	l2mdtD, lamdtD, mudtD, taperD := e.l2mdt.Data, e.lamdt.Data, e.mudt.Data, e.taper.Data
+	csx, csy, csz := e.csx[:3], e.csy[:3], e.csz[:3]
+	cx1, cx2 := csx[1], csx[2]
+	cy1, cy2 := csy[1], csy[2]
+	cz1, cz2 := csz[1], csz[2]
 	for x := reg.X0; x < reg.X1; x++ {
 		for y := reg.Y0; y < reg.Y1; y++ {
-			base := e.Vx.Idx(x, y, 0)
-			for z := 0; z < nz; z++ {
-				i := base + z
-				dvxdx := cx1*(vx[i]-vx[i-sx]) + cx2*(vx[i+sx]-vx[i-2*sx])
-				dvydy := cy1*(vy[i]-vy[i-sy]) + cy2*(vy[i+sy]-vy[i-2*sy])
-				dvzdz := cz1*(vz[i]-vz[i-1]) + cz2*(vz[i+1]-vz[i-2])
-				txx[i] = ftz((txx[i] + l2mdt[i]*dvxdx + lamdt[i]*(dvydy+dvzdz)) * taper[i])
-				tyy[i] = ftz((tyy[i] + l2mdt[i]*dvydy + lamdt[i]*(dvxdx+dvzdz)) * taper[i])
-				tzz[i] = ftz((tzz[i] + l2mdt[i]*dvzdz + lamdt[i]*(dvxdx+dvydy)) * taper[i])
+			o := e.Vx.Idx(x, y, 0)
+			vxc := vx[o:][:nz]
+			vxXp1, vxXm1, vxXm2 := vx[o+sx:][:nz], vx[o-sx:][:nz], vx[o-2*sx:][:nz]
+			vxYp1, vxYp2, vxYm1 := vx[o+sy:][:nz], vx[o+2*sy:][:nz], vx[o-sy:][:nz]
+			vxZp1, vxZp2, vxZm1 := vx[o+1:][:nz], vx[o+2:][:nz], vx[o-1:][:nz]
 
-				dxfVy := cx1*(vy[i+sx]-vy[i]) + cx2*(vy[i+2*sx]-vy[i-sx])
-				dyfVx := cy1*(vx[i+sy]-vx[i]) + cy2*(vx[i+2*sy]-vx[i-sy])
-				txy[i] = ftz((txy[i] + mudt[i]*(dxfVy+dyfVx)) * taper[i])
+			vyc := vy[o:][:nz]
+			vyXp1, vyXp2, vyXm1 := vy[o+sx:][:nz], vy[o+2*sx:][:nz], vy[o-sx:][:nz]
+			vyYp1, vyYm1, vyYm2 := vy[o+sy:][:nz], vy[o-sy:][:nz], vy[o-2*sy:][:nz]
+			vyZp1, vyZp2, vyZm1 := vy[o+1:][:nz], vy[o+2:][:nz], vy[o-1:][:nz]
 
-				dxfVz := cx1*(vz[i+sx]-vz[i]) + cx2*(vz[i+2*sx]-vz[i-sx])
-				dzfVx := cz1*(vx[i+1]-vx[i]) + cz2*(vx[i+2]-vx[i-1])
-				txz[i] = ftz((txz[i] + mudt[i]*(dxfVz+dzfVx)) * taper[i])
+			vzc := vz[o:][:nz]
+			vzXp1, vzXp2, vzXm1 := vz[o+sx:][:nz], vz[o+2*sx:][:nz], vz[o-sx:][:nz]
+			vzYp1, vzYp2, vzYm1 := vz[o+sy:][:nz], vz[o+2*sy:][:nz], vz[o-sy:][:nz]
+			vzZp1, vzZm1, vzZm2 := vz[o+1:][:nz], vz[o-1:][:nz], vz[o-2:][:nz]
 
-				dyfVz := cy1*(vz[i+sy]-vz[i]) + cy2*(vz[i+2*sy]-vz[i-sy])
-				dzfVy := cz1*(vy[i+1]-vy[i]) + cz2*(vy[i+2]-vy[i-1])
-				tyz[i] = ftz((tyz[i] + mudt[i]*(dyfVz+dzfVy)) * taper[i])
+			txxc, tyyc, tzzc := txx[o:][:nz], tyy[o:][:nz], tzz[o:][:nz]
+			txyc, txzc, tyzc := txy[o:][:nz], txz[o:][:nz], tyz[o:][:nz]
+			l2mdt, lamdt := l2mdtD[o:][:nz], lamdtD[o:][:nz]
+			mudt, taper := mudtD[o:][:nz], taperD[o:][:nz]
+
+			for z := range txxc {
+				dvxdx := cx1*(vxc[z]-vxXm1[z]) + cx2*(vxXp1[z]-vxXm2[z])
+				dvydy := cy1*(vyc[z]-vyYm1[z]) + cy2*(vyYp1[z]-vyYm2[z])
+				dvzdz := cz1*(vzc[z]-vzZm1[z]) + cz2*(vzZp1[z]-vzZm2[z])
+				txxc[z] = ftz((txxc[z] + l2mdt[z]*dvxdx + lamdt[z]*(dvydy+dvzdz)) * taper[z])
+				tyyc[z] = ftz((tyyc[z] + l2mdt[z]*dvydy + lamdt[z]*(dvxdx+dvzdz)) * taper[z])
+				tzzc[z] = ftz((tzzc[z] + l2mdt[z]*dvzdz + lamdt[z]*(dvxdx+dvydy)) * taper[z])
+
+				dxfVy := cx1*(vyXp1[z]-vyc[z]) + cx2*(vyXp2[z]-vyXm1[z])
+				dyfVx := cy1*(vxYp1[z]-vxc[z]) + cy2*(vxYp2[z]-vxYm1[z])
+				txyc[z] = ftz((txyc[z] + mudt[z]*(dxfVy+dyfVx)) * taper[z])
+
+				dxfVz := cx1*(vzXp1[z]-vzc[z]) + cx2*(vzXp2[z]-vzXm1[z])
+				dzfVx := cz1*(vxZp1[z]-vxc[z]) + cz2*(vxZp2[z]-vxZm1[z])
+				txzc[z] = ftz((txzc[z] + mudt[z]*(dxfVz+dzfVx)) * taper[z])
+
+				dyfVz := cy1*(vzYp1[z]-vzc[z]) + cy2*(vzYp2[z]-vzYm1[z])
+				dzfVy := cz1*(vyZp1[z]-vyc[z]) + cz2*(vyZp2[z]-vyZm1[z])
+				tyzc[z] = ftz((tyzc[z] + mudt[z]*(dyfVz+dzfVy)) * taper[z])
 			}
 		}
 	}

@@ -1,0 +1,71 @@
+package wave
+
+import (
+	"math"
+	"testing"
+)
+
+// ftzBranchy is the comparison form the branchless ftz replaced; it is the
+// reference the bit-mask implementation must match bit for bit.
+func ftzBranchy(v float32) float32 {
+	if v < flushEps && v > -flushEps {
+		return 0
+	}
+	return v
+}
+
+// TestFlushBitsMatchesEps pins the hardcoded bit pattern to the threshold.
+func TestFlushBitsMatchesEps(t *testing.T) {
+	if got := math.Float32bits(flushEps); got != flushBits {
+		t.Fatalf("flushBits = %#08x, want math.Float32bits(flushEps) = %#08x", flushBits, got)
+	}
+}
+
+// TestFtzBitIdentical sweeps denormal, normal, negative, boundary, NaN and
+// Inf inputs and asserts the branchless flush returns bit-identical results
+// to the branchy comparison form.
+func TestFtzBitIdentical(t *testing.T) {
+	cases := []float32{
+		0, float32(math.Copysign(0, -1)), // ±0
+		math.SmallestNonzeroFloat32, -math.SmallestNonzeroFloat32, // extreme denormals
+		1e-44, -1e-44, 1e-39, -1e-39, // denormals
+		1.1754944e-38, -1.1754944e-38, // smallest normals
+		1e-31, -1e-31, // normal but below threshold
+		flushEps, -flushEps, // exactly at threshold (kept: strict <)
+		math.Float32frombits(flushBits - 1), // one ulp below threshold
+		math.Float32frombits(flushBits + 1), // one ulp above threshold
+		1e-29, -1e-29, 1, -1, 3.5e12, -3.5e12,
+		math.MaxFloat32, -math.MaxFloat32,
+		float32(math.Inf(1)), float32(math.Inf(-1)),
+		float32(math.NaN()), float32(-math.Sqrt(-1)),
+		math.Float32frombits(0x7FC00001), // quiet NaN with payload
+		math.Float32frombits(0xFF800001), // signalling NaN pattern
+	}
+	for _, v := range cases {
+		want := math.Float32bits(ftzBranchy(v))
+		got := math.Float32bits(ftz(v))
+		if got != want {
+			t.Errorf("ftz(%g / %#08x) = %#08x, want %#08x",
+				v, math.Float32bits(v), got, want)
+		}
+	}
+}
+
+// TestFtzBitIdenticalSweep walks the whole float32 exponent range (both
+// signs, several mantissa patterns each) so the boundary logic is checked
+// far beyond the handpicked cases.
+func TestFtzBitIdenticalSweep(t *testing.T) {
+	for exp := uint32(0); exp < 256; exp++ {
+		for _, man := range []uint32{0, 1, 0x400000, 0x7FFFFF} {
+			for _, sign := range []uint32{0, 0x80000000} {
+				bits := sign | exp<<23 | man
+				v := math.Float32frombits(bits)
+				want := math.Float32bits(ftzBranchy(v))
+				got := math.Float32bits(ftz(v))
+				if got != want {
+					t.Fatalf("ftz(%#08x) = %#08x, want %#08x", bits, got, want)
+				}
+			}
+		}
+	}
+}

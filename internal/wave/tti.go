@@ -312,16 +312,8 @@ func (w *TTI) kernel(t int, reg grid.Region) {
 					2*b*c*cross(pd, i, d1y, d1z, sy, 1)
 				hp := (pxx + pyy + pzz) - gzzP
 				gzzQ := gzz(qd, i, a, b, c)
-				pv := (2*pd[i] - dm1[i]*pnd[i] + mdt2[i]*(e2[i]*hp+sqd[i]*gzzQ)) * dp1i[i]
-				if pv < flushEps && pv > -flushEps {
-					pv = 0
-				}
-				pnd[i] = pv
-				qv := (2*qd[i] - dm1[i]*qnd[i] + mdt2[i]*(sqd[i]*hp+gzzQ)) * dp1i[i]
-				if qv < flushEps && qv > -flushEps {
-					qv = 0
-				}
-				qnd[i] = qv
+				pnd[i] = ftz((2*pd[i] - dm1[i]*pnd[i] + mdt2[i]*(e2[i]*hp+sqd[i]*gzzQ)) * dp1i[i])
+				qnd[i] = ftz((2*qd[i] - dm1[i]*qnd[i] + mdt2[i]*(sqd[i]*hp+gzzQ)) * dp1i[i])
 			}
 		}
 	}

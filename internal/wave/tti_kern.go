@@ -5,6 +5,13 @@ import "wavetile/internal/grid"
 // kernelR2 is the radius-2 (space order 4) specialization of the TTI
 // update: pure and cross second derivatives fully unrolled, matching the
 // generic kernel's expressions up to floating-point re-association.
+//
+// The rotated second derivative (gzz in the generic kernel) is inlined
+// straight-line for both wavefields rather than shared through a closure:
+// closure calls carry their own slice-length values through SSA, which
+// blocks the prove pass, while the flat form below follows the BCE
+// discipline (`make bce-check`) — one per-row sub-slice of length nz per
+// (dx,dy,dz) stencil offset, all indexed with the bare induction variable.
 func (w *TTI) kernelR2(t int, reg grid.Region) {
 	p := w.Pw[t&1]
 	pn := w.Pw[(t+1)&1]
@@ -13,59 +20,131 @@ func (w *TTI) kernelR2(t int, reg grid.Region) {
 	nz := p.Nz
 	sx, sy := p.SX, p.SY
 	pd, pnd, qd, qnd := p.Data, pn.Data, q.Data, qn.Data
-	aa, bb, cc := w.aa.Data, w.bb.Data, w.cc.Data
-	e2, sqd := w.e2.Data, w.sqd.Data
-	dm1, dp1i, mdt2 := w.dm1.Data, w.dp1i.Data, w.mdt2.Data
-	x20, x21, x22 := w.c2x[0], w.c2x[1], w.c2x[2]
-	y20, y21, y22 := w.c2y[0], w.c2y[1], w.c2y[2]
-	z20, z21, z22 := w.c2z[0], w.c2z[1], w.c2z[2]
-	dx1, dx2 := w.d1x[1], w.d1x[2]
-	dy1, dy2 := w.d1y[1], w.d1y[2]
-	dz1, dz2 := w.d1z[1], w.d1z[2]
-
-	// gzz evaluates the rotated second derivative of f at i with the
-	// unrolled 2-point first-derivative cross terms.
-	gzz := func(f []float32, i int, a, b, c float32) (float32, float32) {
-		xx := x20*f[i] + x21*(f[i+sx]+f[i-sx]) + x22*(f[i+2*sx]+f[i-2*sx])
-		yy := y20*f[i] + y21*(f[i+sy]+f[i-sy]) + y22*(f[i+2*sy]+f[i-2*sy])
-		zz := z20*f[i] + z21*(f[i+1]+f[i-1]) + z22*(f[i+2]+f[i-2])
-
-		cxy := dx1*(dy1*(f[i+sx+sy]-f[i+sx-sy]-f[i-sx+sy]+f[i-sx-sy])+
-			dy2*(f[i+sx+2*sy]-f[i+sx-2*sy]-f[i-sx+2*sy]+f[i-sx-2*sy])) +
-			dx2*(dy1*(f[i+2*sx+sy]-f[i+2*sx-sy]-f[i-2*sx+sy]+f[i-2*sx-sy])+
-				dy2*(f[i+2*sx+2*sy]-f[i+2*sx-2*sy]-f[i-2*sx+2*sy]+f[i-2*sx-2*sy]))
-		cxz := dx1*(dz1*(f[i+sx+1]-f[i+sx-1]-f[i-sx+1]+f[i-sx-1])+
-			dz2*(f[i+sx+2]-f[i+sx-2]-f[i-sx+2]+f[i-sx-2])) +
-			dx2*(dz1*(f[i+2*sx+1]-f[i+2*sx-1]-f[i-2*sx+1]+f[i-2*sx-1])+
-				dz2*(f[i+2*sx+2]-f[i+2*sx-2]-f[i-2*sx+2]+f[i-2*sx-2]))
-		cyz := dy1*(dz1*(f[i+sy+1]-f[i+sy-1]-f[i-sy+1]+f[i-sy-1])+
-			dz2*(f[i+sy+2]-f[i+sy-2]-f[i-sy+2]+f[i-sy-2])) +
-			dy2*(dz1*(f[i+2*sy+1]-f[i+2*sy-1]-f[i-2*sy+1]+f[i-2*sy-1])+
-				dz2*(f[i+2*sy+2]-f[i+2*sy-2]-f[i-2*sy+2]+f[i-2*sy-2]))
-
-		g := a*a*xx + b*b*yy + c*c*zz + 2*a*b*cxy + 2*a*c*cxz + 2*b*c*cyz
-		return g, xx + yy + zz
-	}
+	aaD, bbD, ccD := w.aa.Data, w.bb.Data, w.cc.Data
+	e2D, sqdD := w.e2.Data, w.sqd.Data
+	dm1D, dp1iD, mdt2D := w.dm1.Data, w.dp1i.Data, w.mdt2.Data
+	c2x, c2y, c2z := w.c2x[:3], w.c2y[:3], w.c2z[:3]
+	x20, x21, x22 := c2x[0], c2x[1], c2x[2]
+	y20, y21, y22 := c2y[0], c2y[1], c2y[2]
+	z20, z21, z22 := c2z[0], c2z[1], c2z[2]
+	d1x, d1y, d1z := w.d1x[:3], w.d1y[:3], w.d1z[:3]
+	dx1, dx2 := d1x[1], d1x[2]
+	dy1, dy2 := d1y[1], d1y[2]
+	dz1, dz2 := d1z[1], d1z[2]
 
 	for x := reg.X0; x < reg.X1; x++ {
 		for y := reg.Y0; y < reg.Y1; y++ {
-			base := p.Idx(x, y, 0)
-			for z := 0; z < nz; z++ {
-				i := base + z
-				a, b, c := aa[i], bb[i], cc[i]
-				gzzP, lapP := gzz(pd, i, a, b, c)
-				hp := lapP - gzzP
-				gzzQ, _ := gzz(qd, i, a, b, c)
-				pv := (2*pd[i] - dm1[i]*pnd[i] + mdt2[i]*(e2[i]*hp+sqd[i]*gzzQ)) * dp1i[i]
-				if pv < flushEps && pv > -flushEps {
-					pv = 0
-				}
-				pnd[i] = pv
-				qv := (2*qd[i] - dm1[i]*qnd[i] + mdt2[i]*(sqd[i]*hp+gzzQ)) * dp1i[i]
-				if qv < flushEps && qv > -flushEps {
-					qv = 0
-				}
-				qnd[i] = qv
+			o := p.Idx(x, y, 0)
+
+			pc := pd[o:][:nz]
+			pXp1, pXm1 := pd[o+sx:][:nz], pd[o-sx:][:nz]
+			pXp2, pXm2 := pd[o+2*sx:][:nz], pd[o-2*sx:][:nz]
+			pYp1, pYm1 := pd[o+sy:][:nz], pd[o-sy:][:nz]
+			pYp2, pYm2 := pd[o+2*sy:][:nz], pd[o-2*sy:][:nz]
+			pZp1, pZm1 := pd[o+1:][:nz], pd[o-1:][:nz]
+			pZp2, pZm2 := pd[o+2:][:nz], pd[o-2:][:nz]
+			pXp1Yp1, pXp1Ym1 := pd[o+sx+sy:][:nz], pd[o+sx-sy:][:nz]
+			pXm1Yp1, pXm1Ym1 := pd[o-sx+sy:][:nz], pd[o-sx-sy:][:nz]
+			pXp1Yp2, pXp1Ym2 := pd[o+sx+2*sy:][:nz], pd[o+sx-2*sy:][:nz]
+			pXm1Yp2, pXm1Ym2 := pd[o-sx+2*sy:][:nz], pd[o-sx-2*sy:][:nz]
+			pXp2Yp1, pXp2Ym1 := pd[o+2*sx+sy:][:nz], pd[o+2*sx-sy:][:nz]
+			pXm2Yp1, pXm2Ym1 := pd[o-2*sx+sy:][:nz], pd[o-2*sx-sy:][:nz]
+			pXp2Yp2, pXp2Ym2 := pd[o+2*sx+2*sy:][:nz], pd[o+2*sx-2*sy:][:nz]
+			pXm2Yp2, pXm2Ym2 := pd[o-2*sx+2*sy:][:nz], pd[o-2*sx-2*sy:][:nz]
+			pXp1Zp1, pXp1Zm1 := pd[o+sx+1:][:nz], pd[o+sx-1:][:nz]
+			pXm1Zp1, pXm1Zm1 := pd[o-sx+1:][:nz], pd[o-sx-1:][:nz]
+			pXp1Zp2, pXp1Zm2 := pd[o+sx+2:][:nz], pd[o+sx-2:][:nz]
+			pXm1Zp2, pXm1Zm2 := pd[o-sx+2:][:nz], pd[o-sx-2:][:nz]
+			pXp2Zp1, pXp2Zm1 := pd[o+2*sx+1:][:nz], pd[o+2*sx-1:][:nz]
+			pXm2Zp1, pXm2Zm1 := pd[o-2*sx+1:][:nz], pd[o-2*sx-1:][:nz]
+			pXp2Zp2, pXp2Zm2 := pd[o+2*sx+2:][:nz], pd[o+2*sx-2:][:nz]
+			pXm2Zp2, pXm2Zm2 := pd[o-2*sx+2:][:nz], pd[o-2*sx-2:][:nz]
+			pYp1Zp1, pYp1Zm1 := pd[o+sy+1:][:nz], pd[o+sy-1:][:nz]
+			pYm1Zp1, pYm1Zm1 := pd[o-sy+1:][:nz], pd[o-sy-1:][:nz]
+			pYp1Zp2, pYp1Zm2 := pd[o+sy+2:][:nz], pd[o+sy-2:][:nz]
+			pYm1Zp2, pYm1Zm2 := pd[o-sy+2:][:nz], pd[o-sy-2:][:nz]
+			pYp2Zp1, pYp2Zm1 := pd[o+2*sy+1:][:nz], pd[o+2*sy-1:][:nz]
+			pYm2Zp1, pYm2Zm1 := pd[o-2*sy+1:][:nz], pd[o-2*sy-1:][:nz]
+			pYp2Zp2, pYp2Zm2 := pd[o+2*sy+2:][:nz], pd[o+2*sy-2:][:nz]
+			pYm2Zp2, pYm2Zm2 := pd[o-2*sy+2:][:nz], pd[o-2*sy-2:][:nz]
+
+			qc := qd[o:][:nz]
+			qXp1, qXm1 := qd[o+sx:][:nz], qd[o-sx:][:nz]
+			qXp2, qXm2 := qd[o+2*sx:][:nz], qd[o-2*sx:][:nz]
+			qYp1, qYm1 := qd[o+sy:][:nz], qd[o-sy:][:nz]
+			qYp2, qYm2 := qd[o+2*sy:][:nz], qd[o-2*sy:][:nz]
+			qZp1, qZm1 := qd[o+1:][:nz], qd[o-1:][:nz]
+			qZp2, qZm2 := qd[o+2:][:nz], qd[o-2:][:nz]
+			qXp1Yp1, qXp1Ym1 := qd[o+sx+sy:][:nz], qd[o+sx-sy:][:nz]
+			qXm1Yp1, qXm1Ym1 := qd[o-sx+sy:][:nz], qd[o-sx-sy:][:nz]
+			qXp1Yp2, qXp1Ym2 := qd[o+sx+2*sy:][:nz], qd[o+sx-2*sy:][:nz]
+			qXm1Yp2, qXm1Ym2 := qd[o-sx+2*sy:][:nz], qd[o-sx-2*sy:][:nz]
+			qXp2Yp1, qXp2Ym1 := qd[o+2*sx+sy:][:nz], qd[o+2*sx-sy:][:nz]
+			qXm2Yp1, qXm2Ym1 := qd[o-2*sx+sy:][:nz], qd[o-2*sx-sy:][:nz]
+			qXp2Yp2, qXp2Ym2 := qd[o+2*sx+2*sy:][:nz], qd[o+2*sx-2*sy:][:nz]
+			qXm2Yp2, qXm2Ym2 := qd[o-2*sx+2*sy:][:nz], qd[o-2*sx-2*sy:][:nz]
+			qXp1Zp1, qXp1Zm1 := qd[o+sx+1:][:nz], qd[o+sx-1:][:nz]
+			qXm1Zp1, qXm1Zm1 := qd[o-sx+1:][:nz], qd[o-sx-1:][:nz]
+			qXp1Zp2, qXp1Zm2 := qd[o+sx+2:][:nz], qd[o+sx-2:][:nz]
+			qXm1Zp2, qXm1Zm2 := qd[o-sx+2:][:nz], qd[o-sx-2:][:nz]
+			qXp2Zp1, qXp2Zm1 := qd[o+2*sx+1:][:nz], qd[o+2*sx-1:][:nz]
+			qXm2Zp1, qXm2Zm1 := qd[o-2*sx+1:][:nz], qd[o-2*sx-1:][:nz]
+			qXp2Zp2, qXp2Zm2 := qd[o+2*sx+2:][:nz], qd[o+2*sx-2:][:nz]
+			qXm2Zp2, qXm2Zm2 := qd[o-2*sx+2:][:nz], qd[o-2*sx-2:][:nz]
+			qYp1Zp1, qYp1Zm1 := qd[o+sy+1:][:nz], qd[o+sy-1:][:nz]
+			qYm1Zp1, qYm1Zm1 := qd[o-sy+1:][:nz], qd[o-sy-1:][:nz]
+			qYp1Zp2, qYp1Zm2 := qd[o+sy+2:][:nz], qd[o+sy-2:][:nz]
+			qYm1Zp2, qYm1Zm2 := qd[o-sy+2:][:nz], qd[o-sy-2:][:nz]
+			qYp2Zp1, qYp2Zm1 := qd[o+2*sy+1:][:nz], qd[o+2*sy-1:][:nz]
+			qYm2Zp1, qYm2Zm1 := qd[o-2*sy+1:][:nz], qd[o-2*sy-1:][:nz]
+			qYp2Zp2, qYp2Zm2 := qd[o+2*sy+2:][:nz], qd[o+2*sy-2:][:nz]
+			qYm2Zp2, qYm2Zm2 := qd[o-2*sy+2:][:nz], qd[o-2*sy-2:][:nz]
+
+			pnc, qnc := pnd[o:][:nz], qnd[o:][:nz]
+			aa, bb, cc := aaD[o:][:nz], bbD[o:][:nz], ccD[o:][:nz]
+			e2, sqd := e2D[o:][:nz], sqdD[o:][:nz]
+			dm1, dp1i, mdt2 := dm1D[o:][:nz], dp1iD[o:][:nz], mdt2D[o:][:nz]
+
+			for z := range pnc {
+				a, b, c := aa[z], bb[z], cc[z]
+
+				xxP := x20*pc[z] + x21*(pXp1[z]+pXm1[z]) + x22*(pXp2[z]+pXm2[z])
+				yyP := y20*pc[z] + y21*(pYp1[z]+pYm1[z]) + y22*(pYp2[z]+pYm2[z])
+				zzP := z20*pc[z] + z21*(pZp1[z]+pZm1[z]) + z22*(pZp2[z]+pZm2[z])
+				cxyP := dx1*(dy1*(pXp1Yp1[z]-pXp1Ym1[z]-pXm1Yp1[z]+pXm1Ym1[z])+
+					dy2*(pXp1Yp2[z]-pXp1Ym2[z]-pXm1Yp2[z]+pXm1Ym2[z])) +
+					dx2*(dy1*(pXp2Yp1[z]-pXp2Ym1[z]-pXm2Yp1[z]+pXm2Ym1[z])+
+						dy2*(pXp2Yp2[z]-pXp2Ym2[z]-pXm2Yp2[z]+pXm2Ym2[z]))
+				cxzP := dx1*(dz1*(pXp1Zp1[z]-pXp1Zm1[z]-pXm1Zp1[z]+pXm1Zm1[z])+
+					dz2*(pXp1Zp2[z]-pXp1Zm2[z]-pXm1Zp2[z]+pXm1Zm2[z])) +
+					dx2*(dz1*(pXp2Zp1[z]-pXp2Zm1[z]-pXm2Zp1[z]+pXm2Zm1[z])+
+						dz2*(pXp2Zp2[z]-pXp2Zm2[z]-pXm2Zp2[z]+pXm2Zm2[z]))
+				cyzP := dy1*(dz1*(pYp1Zp1[z]-pYp1Zm1[z]-pYm1Zp1[z]+pYm1Zm1[z])+
+					dz2*(pYp1Zp2[z]-pYp1Zm2[z]-pYm1Zp2[z]+pYm1Zm2[z])) +
+					dy2*(dz1*(pYp2Zp1[z]-pYp2Zm1[z]-pYm2Zp1[z]+pYm2Zm1[z])+
+						dz2*(pYp2Zp2[z]-pYp2Zm2[z]-pYm2Zp2[z]+pYm2Zm2[z]))
+				gzzP := a*a*xxP + b*b*yyP + c*c*zzP + 2*a*b*cxyP + 2*a*c*cxzP + 2*b*c*cyzP
+				hp := xxP + yyP + zzP - gzzP
+
+				xxQ := x20*qc[z] + x21*(qXp1[z]+qXm1[z]) + x22*(qXp2[z]+qXm2[z])
+				yyQ := y20*qc[z] + y21*(qYp1[z]+qYm1[z]) + y22*(qYp2[z]+qYm2[z])
+				zzQ := z20*qc[z] + z21*(qZp1[z]+qZm1[z]) + z22*(qZp2[z]+qZm2[z])
+				cxyQ := dx1*(dy1*(qXp1Yp1[z]-qXp1Ym1[z]-qXm1Yp1[z]+qXm1Ym1[z])+
+					dy2*(qXp1Yp2[z]-qXp1Ym2[z]-qXm1Yp2[z]+qXm1Ym2[z])) +
+					dx2*(dy1*(qXp2Yp1[z]-qXp2Ym1[z]-qXm2Yp1[z]+qXm2Ym1[z])+
+						dy2*(qXp2Yp2[z]-qXp2Ym2[z]-qXm2Yp2[z]+qXm2Ym2[z]))
+				cxzQ := dx1*(dz1*(qXp1Zp1[z]-qXp1Zm1[z]-qXm1Zp1[z]+qXm1Zm1[z])+
+					dz2*(qXp1Zp2[z]-qXp1Zm2[z]-qXm1Zp2[z]+qXm1Zm2[z])) +
+					dx2*(dz1*(qXp2Zp1[z]-qXp2Zm1[z]-qXm2Zp1[z]+qXm2Zm1[z])+
+						dz2*(qXp2Zp2[z]-qXp2Zm2[z]-qXm2Zp2[z]+qXm2Zm2[z]))
+				cyzQ := dy1*(dz1*(qYp1Zp1[z]-qYp1Zm1[z]-qYm1Zp1[z]+qYm1Zm1[z])+
+					dz2*(qYp1Zp2[z]-qYp1Zm2[z]-qYm1Zp2[z]+qYm1Zm2[z])) +
+					dy2*(dz1*(qYp2Zp1[z]-qYp2Zm1[z]-qYm2Zp1[z]+qYm2Zm1[z])+
+						dz2*(qYp2Zp2[z]-qYp2Zm2[z]-qYm2Zp2[z]+qYm2Zm2[z]))
+				gzzQ := a*a*xxQ + b*b*yyQ + c*c*zzQ + 2*a*b*cxyQ + 2*a*c*cxzQ + 2*b*c*cyzQ
+
+				pnc[z] = ftz((2*pc[z] - dm1[z]*pnc[z] + mdt2[z]*(e2[z]*hp+sqd[z]*gzzQ)) * dp1i[z])
+				qnc[z] = ftz((2*qc[z] - dm1[z]*qnc[z] + mdt2[z]*(sqd[z]*hp+gzzQ)) * dp1i[z])
 			}
 		}
 	}

@@ -15,6 +15,7 @@ package wave
 
 import (
 	"fmt"
+	"math"
 
 	"wavetile/internal/core"
 	"wavetile/internal/grid"
@@ -295,10 +296,24 @@ func (s *SparseOps) Reset() {
 // schedule-equivalence property is preserved.
 const flushEps = 1e-30
 
-// ftz flushes subnormal-scale values to zero.
+// flushBits is math.Float32bits(flushEps); ftz_test.go asserts the two stay
+// in sync. Keeping it a constant lets ftz compile to four branch-free
+// integer ops.
+const flushBits = 0x0DA24260
+
+// ftz flushes values below flushEps in magnitude to +0, branchlessly.
+//
+// The magnitude bits of v (sign masked off) order like the floats they
+// encode, so |v| < flushEps ⟺ magBits < flushBits; the subtraction's sign
+// bit, smeared into a full-width mask, then selects between the original
+// bits and zero. NaN and ±Inf have magnitude bits above every finite
+// threshold and pass through untouched; −0 flushes to +0, exactly like the
+// branchy comparison form it replaces (ftz_test.go proves bit-identity over
+// denormal/normal/negative/NaN inputs). Keeping the per-point flush free of
+// compare-and-branch matters in the kernels' z-stream loops, where the
+// branch sits between every FMA group.
 func ftz(v float32) float32 {
-	if v < flushEps && v > -flushEps {
-		return 0
-	}
-	return v
+	b := math.Float32bits(v)
+	flush := uint32(int32(b&0x7FFFFFFF-flushBits) >> 31) // all-ones iff |v| < flushEps
+	return math.Float32frombits(b &^ flush)
 }
