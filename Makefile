@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: all build test race-obs bench bench-json bce-check fmt vet check
+.PHONY: all build test race-obs bench bench-json bce-check fmt vet check \
+	verify fuzz-smoke golden
 
 all: build test
 
@@ -9,6 +10,12 @@ build:
 
 test:
 	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
 
 # Race-detector pass over the concurrency-heavy packages: the parallel
 # runtime, the schedules, and the observability layer they feed.
@@ -43,4 +50,32 @@ bce-check:
 	fi; \
 	echo "bce-check: kernels are bounds-check free"
 
-check: build vet test race-obs bce-check
+# Differential verification sweep: VERIFY_N random scenarios through the
+# schedule-equivalence oracle plus the metamorphic, fault-injection and
+# golden-corpus tests, all under the race detector. A failing scenario
+# prints its seed; replay it with
+#   go test ./internal/verify -run TestVerifyScenarios -verify.seed=<N>
+VERIFY_N ?= 50
+VERIFY_SEED ?= 0
+verify:
+	$(GO) test -race ./internal/verify -verify.n=$(VERIFY_N) -verify.seed=$(VERIFY_SEED)
+
+# Short deterministic pass over every native fuzz target (corpus + 10s of
+# active fuzzing each). `go test -fuzz` accepts a single target per run, so
+# each gets its own invocation.
+FUZZ_TIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/fd -run=^$$ -fuzz=FuzzSecondDeriv -fuzztime=$(FUZZ_TIME)
+	$(GO) test ./internal/fd -run=^$$ -fuzz=FuzzFirstDeriv$$ -fuzztime=$(FUZZ_TIME)
+	$(GO) test ./internal/fd -run=^$$ -fuzz=FuzzStaggeredFirstDeriv -fuzztime=$(FUZZ_TIME)
+	$(GO) test ./internal/grid -run=^$$ -fuzz=FuzzRegion -fuzztime=$(FUZZ_TIME)
+	$(GO) test ./internal/core -run=^$$ -fuzz=FuzzMasks -fuzztime=$(FUZZ_TIME)
+
+# Regenerate the committed golden regression corpus. Only run this when a
+# numerical change is intended and understood; commit the refreshed JSON
+# together with the change that explains it.
+golden:
+	$(GO) test ./internal/verify -run TestGoldenCorpus -golden.update
+	@git -C . status --short internal/verify/testdata/golden || true
+
+check: build vet test race-obs bce-check verify

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"wavetile/internal/grid"
+	"wavetile/internal/sparse"
+)
+
+// FuzzMasks drives the precomputation scheme (Listing 2 → Fig. 5 → Listing
+// 5) with random point clouds, asserting the structural invariants every
+// fused schedule depends on: SID uniqueness and scan order, nnz/Sp_SID
+// consistency, dense/compressed agreement, and region-split injection
+// equivalence.
+func FuzzMasks(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(12))
+	f.Add(int64(99), uint8(1), uint8(5))
+	f.Add(int64(7), uint8(20), uint8(20))
+	f.Fuzz(func(t *testing.T, seed int64, npts, dim uint8) {
+		n := 4 + int(dim%24) // grid edge 4..27
+		np := int(npts % 24) // 0..23 off-the-grid points
+		rng := rand.New(rand.NewSource(seed))
+		pts := &sparse.Points{}
+		for i := 0; i < np; i++ {
+			pts.Coords = append(pts.Coords, sparse.Coord{
+				rng.Float64() * float64(n-1),
+				rng.Float64() * float64(n-1),
+				rng.Float64() * float64(n-1),
+			})
+		}
+		sups, err := pts.Supports(n, n, n, 1, 1, 1)
+		if err != nil {
+			t.Fatalf("supports: %v", err)
+		}
+		m := BuildMasks(n, n, n, sups)
+
+		// SID: ascending scan order, one ID per distinct affected point,
+		// and ID() round-trips for every ID.
+		seen := map[[3]int32]bool{}
+		prevKey := int64(-1)
+		for id := 0; id < m.Npts; id++ {
+			x, y, z := m.PointX[id], m.PointY[id], m.PointZ[id]
+			k := (int64(x)*int64(n)+int64(y))*int64(n) + int64(z)
+			if k <= prevKey {
+				t.Fatalf("SID %d at (%d,%d,%d) breaks scan order", id, x, y, z)
+			}
+			prevKey = k
+			if seen[[3]int32{x, y, z}] {
+				t.Fatalf("grid point (%d,%d,%d) has two IDs", x, y, z)
+			}
+			seen[[3]int32{x, y, z}] = true
+			got, ok := m.ID(int(x), int(y), int(z))
+			if !ok || got != int32(id) {
+				t.Fatalf("ID round-trip failed at (%d,%d,%d): got %d,%v want %d", x, y, z, got, ok, id)
+			}
+		}
+		// Every support corner maps to some ID.
+		for i := range sups {
+			for c := 0; c < 8; c++ {
+				if _, ok := m.ID(int(sups[i].X[c]), int(sups[i].Y[c]), int(sups[i].Z[c])); !ok {
+					t.Fatalf("support corner (%d,%d,%d) missing from masks",
+						sups[i].X[c], sups[i].Y[c], sups[i].Z[c])
+				}
+			}
+		}
+
+		// nnz_mask sums to Npts; MaxNNZ is the true column maximum; Sp_SID
+		// columns are ascending in z with matching IDs.
+		sum, maxnnz := 0, 0
+		for col, cnt := range m.NNZ {
+			sum += int(cnt)
+			if int(cnt) > maxnnz {
+				maxnnz = int(cnt)
+			}
+			for j := 0; j < int(cnt); j++ {
+				z := m.SpZ[col*m.MaxNNZ+j]
+				id := m.SpID[col*m.MaxNNZ+j]
+				if j > 0 && z <= m.SpZ[col*m.MaxNNZ+j-1] {
+					t.Fatalf("column %d: Sp_SID z entries not ascending", col)
+				}
+				x, y := col/n, col%n
+				if got, ok := m.ID(x, y, int(z)); !ok || got != id {
+					t.Fatalf("column %d entry %d: SpID %d disagrees with ID map", col, j, id)
+				}
+			}
+		}
+		if sum != m.Npts {
+			t.Fatalf("nnz_mask sums to %d, Npts is %d", sum, m.Npts)
+		}
+		if maxnnz != m.MaxNNZ {
+			t.Fatalf("MaxNNZ %d, columns say %d", m.MaxNNZ, maxnnz)
+		}
+
+		// Dense materializations agree with the compressed structures.
+		sm, sid := m.DenseSM(), m.DenseSID()
+		for i := range sm {
+			if (sm[i] == 1) != (sid[i] >= 0) {
+				t.Fatalf("DenseSM and DenseSID disagree at linear index %d", i)
+			}
+		}
+
+		// Injection through any region split equals full-region injection,
+		// bitwise — the disjointness property that makes fusion legal.
+		if m.Npts > 0 {
+			src := make([]float32, m.Npts)
+			for i := range src {
+				src[i] = rng.Float32()*2 - 1
+			}
+			full := grid.New(n, n, n, 0)
+			m.InjectRegion(full, grid.FullRegion(n, n), src)
+			split := grid.New(n, n, n, 0)
+			bx, by := 1+int(dim%5), 1+int(npts%5)
+			for _, b := range grid.FullRegion(n, n).SplitBlocks(bx, by) {
+				m.InjectRegion(split, b, src)
+			}
+			if !full.Equal(split) {
+				t.Fatalf("split-region injection differs from full-region injection (blocks %dx%d)", bx, by)
+			}
+		}
+	})
+}

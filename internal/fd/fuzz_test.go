@@ -1,0 +1,136 @@
+package fd
+
+import (
+	"math"
+	"testing"
+)
+
+// Native fuzz targets for the coefficient tables. The fuzzer drives the
+// space order through every even value the solver accepts; the properties
+// are the defining moment conditions of the Taylor construction, so any
+// change to the linear solve that still passes here is a correct table.
+
+// fuzzOrder maps arbitrary fuzz input onto a legal even order in [2, 16].
+func fuzzOrder(x uint8) int { return 2 + 2*int(x%8) }
+
+// FuzzSecondDeriv checks the second-derivative stencil: symmetry, a zero
+// row sum (constants have zero second derivative), exactness on x² (the
+// defining normalization), and annihilation of all even powers up to the
+// order.
+func FuzzSecondDeriv(f *testing.F) {
+	f.Add(uint8(1))
+	f.Add(uint8(3))
+	f.Fuzz(func(t *testing.T, x uint8) {
+		order := fuzzOrder(x)
+		c := SecondDeriv(order)
+		m := Radius(order)
+		if len(c) != m+1 {
+			t.Fatalf("order %d: got %d coefficients, want %d", order, len(c), m+1)
+		}
+		// Row sum: c0 + 2Σck must vanish (derivative of a constant).
+		sum := c[0]
+		for k := 1; k <= m; k++ {
+			sum += 2 * c[k]
+		}
+		if math.Abs(sum) > 1e-10 {
+			t.Errorf("order %d: constant not annihilated: row sum %g", order, sum)
+		}
+		// Even moments: Σ 2·ck·k^(2j) = {order-2 zeros, and 1 at j=1 (×2/2!)}.
+		for j := 1; 2*j <= order; j++ {
+			mom := 0.0
+			for k := 1; k <= m; k++ {
+				mom += 2 * c[k] * math.Pow(float64(k), float64(2*j))
+			}
+			want := 0.0
+			if j == 1 {
+				want = 2 // d²/dx² x² = 2 with factorial folded in
+			}
+			if math.Abs(mom-want) > 1e-8*math.Max(1, momentScale(c, 2*j, m)) {
+				t.Errorf("order %d: moment 2j=%d = %g, want %g", order, 2*j, mom, want)
+			}
+		}
+	})
+}
+
+// FuzzFirstDeriv checks the centered first-derivative stencil: exactness on
+// x (moment 1) and annihilation of odd powers up to the order.
+func FuzzFirstDeriv(f *testing.F) {
+	f.Add(uint8(0))
+	f.Add(uint8(5))
+	f.Fuzz(func(t *testing.T, x uint8) {
+		order := fuzzOrder(x)
+		c := FirstDeriv(order)
+		m := Radius(order)
+		if len(c) != m+1 {
+			t.Fatalf("order %d: got %d coefficients, want %d", order, len(c), m+1)
+		}
+		if c[0] != 0 {
+			t.Errorf("order %d: centered first derivative has nonzero center %g", order, c[0])
+		}
+		for j := 0; 2*j+1 <= order-1; j++ {
+			p := 2*j + 1
+			mom := 0.0
+			for k := 1; k <= m; k++ {
+				mom += 2 * c[k] * math.Pow(float64(k), float64(p))
+			}
+			want := 0.0
+			if p == 1 {
+				want = 1 // d/dx x = 1
+			}
+			if math.Abs(mom-want) > 1e-8*math.Max(1, momentScale(c, p, m)) {
+				t.Errorf("order %d: moment p=%d = %g, want %g", order, p, mom, want)
+			}
+		}
+	})
+}
+
+// FuzzStaggeredFirstDeriv checks the staggered stencil at half-point
+// offsets: exactness on x and annihilation of higher odd powers.
+func FuzzStaggeredFirstDeriv(f *testing.F) {
+	f.Add(uint8(2))
+	f.Add(uint8(7))
+	f.Fuzz(func(t *testing.T, x uint8) {
+		order := fuzzOrder(x)
+		c := StaggeredFirstDeriv(order)
+		m := Radius(order)
+		if len(c) != m+1 {
+			t.Fatalf("order %d: got %d coefficients, want %d", order, len(c), m+1)
+		}
+		if c[0] != 0 {
+			t.Errorf("order %d: staggered stencil has nonzero unused slot %g", order, c[0])
+		}
+		for j := 0; 2*j+1 <= order-1; j++ {
+			p := 2*j + 1
+			mom := 0.0
+			for k := 1; k <= m; k++ {
+				off := float64(k) - 0.5
+				mom += 2 * c[k] * math.Pow(off, float64(p))
+			}
+			want := 0.0
+			if p == 1 {
+				want = 1
+			}
+			if math.Abs(mom-want) > 1e-8*math.Max(1, staggeredScale(c, p, m)) {
+				t.Errorf("order %d: staggered moment p=%d = %g, want %g", order, p, mom, want)
+			}
+		}
+	})
+}
+
+// momentScale bounds the cancellation magnitude of a moment sum, so the
+// tolerance tracks the condition of the high-order solves.
+func momentScale(c []float64, p, m int) float64 {
+	s := 0.0
+	for k := 1; k <= m; k++ {
+		s += 2 * math.Abs(c[k]) * math.Pow(float64(k), float64(p))
+	}
+	return s
+}
+
+func staggeredScale(c []float64, p, m int) float64 {
+	s := 0.0
+	for k := 1; k <= m; k++ {
+		s += 2 * math.Abs(c[k]) * math.Pow(float64(k)-0.5, float64(p))
+	}
+	return s
+}

@@ -1,0 +1,83 @@
+package grid
+
+import "testing"
+
+// FuzzRegion drives the region algebra — the foundation every schedule's
+// disjointness guarantee rests on — through arbitrary rectangles and block
+// shapes, asserting the partition and clamping laws.
+func FuzzRegion(f *testing.F) {
+	f.Add(0, 16, 0, 16, 4, 4, 12, 12)
+	f.Add(-3, 7, 2, 2, 1, 3, 5, 9)
+	f.Add(5, 40, -8, 31, 7, 13, 20, 20)
+	f.Fuzz(func(t *testing.T, x0, x1, y0, y1, bx, by, nx, ny int) {
+		// Bound the universe so the dense cover check stays cheap.
+		clampTo := func(v, lo, hi int) int {
+			if v < lo {
+				return lo
+			}
+			if v > hi {
+				return hi
+			}
+			return v
+		}
+		x0, x1 = clampTo(x0, -64, 64), clampTo(x1, -64, 64)
+		y0, y1 = clampTo(y0, -64, 64), clampTo(y1, -64, 64)
+		bx, by = clampTo(bx, -4, 32), clampTo(by, -4, 32)
+		nx, ny = clampTo(nx, 1, 64), clampTo(ny, 1, 64)
+		r := Region{X0: x0, X1: x1, Y0: y0, Y1: y1}
+
+		// SplitBlocks must partition r exactly: every point covered once.
+		if bx > 0 && by > 0 {
+			blocks := r.SplitBlocks(bx, by)
+			total := 0
+			for _, b := range blocks {
+				if b.Empty() {
+					t.Fatalf("SplitBlocks(%v, %d, %d) emitted empty block %v", r, bx, by, b)
+				}
+				if b.X0 < r.X0 || b.X1 > r.X1 || b.Y0 < r.Y0 || b.Y1 > r.Y1 {
+					t.Fatalf("block %v escapes region %v", b, r)
+				}
+				if b.X1-b.X0 > bx || b.Y1-b.Y0 > by {
+					t.Fatalf("block %v exceeds requested shape %dx%d", b, bx, by)
+				}
+				total += b.NumPoints()
+			}
+			if total != r.NumPoints() {
+				t.Fatalf("SplitBlocks(%v, %d, %d): blocks cover %d columns, region has %d",
+					r, bx, by, total, r.NumPoints())
+			}
+			// Pairwise disjoint (point count equality + containment already
+			// implies it only if no overlaps; check directly on small sets).
+			for i := range blocks {
+				for j := i + 1; j < len(blocks); j++ {
+					if !blocks[i].Intersect(blocks[j]).Empty() {
+						t.Fatalf("blocks %v and %v overlap", blocks[i], blocks[j])
+					}
+				}
+			}
+		}
+
+		// Clamp agrees with intersecting the full domain, and is idempotent.
+		c := r.Clamp(nx, ny)
+		ifull := r.Intersect(FullRegion(nx, ny))
+		if c.NumPoints() != ifull.NumPoints() {
+			t.Fatalf("Clamp(%v, %d, %d) = %v disagrees with Intersect(full) = %v", r, nx, ny, c, ifull)
+		}
+		if !c.Empty() && c != ifull {
+			t.Fatalf("Clamp(%v, %d, %d) = %v, want %v", r, nx, ny, c, ifull)
+		}
+		if c2 := c.Clamp(nx, ny); c2 != c {
+			t.Fatalf("Clamp not idempotent: %v → %v", c, c2)
+		}
+		// Clamped region lies inside the domain.
+		if !c.Empty() && (c.X0 < 0 || c.X1 > nx || c.Y0 < 0 || c.Y1 > ny) {
+			t.Fatalf("Clamp(%v, %d, %d) = %v escapes the domain", r, nx, ny, c)
+		}
+
+		// Shift is exactly invertible and preserves the point count.
+		sh := r.Shift(bx, by).Shift(-bx, -by)
+		if sh != r {
+			t.Fatalf("Shift not invertible: %v → %v", r, sh)
+		}
+	})
+}

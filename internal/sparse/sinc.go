@@ -72,6 +72,11 @@ func SincSupport(c Coord, nx, ny, nz int, hx, hy, hz float64) (WideSupport, erro
 			return s, fmt.Errorf("sparse: non-positive spacing %g in dim %d", h[d], d)
 		}
 		u := c[d] / h[d]
+		// NaN compares false against both bounds below; reject it explicitly
+		// so a corrupt coordinate errors instead of indexing wildly.
+		if math.IsNaN(u) || math.IsInf(u, 0) {
+			return s, fmt.Errorf("sparse: non-finite coordinate %g in dim %d", c[d], d)
+		}
 		if u < float64(SincRadius-1) || u >= float64(dims[d]-SincRadius) {
 			return s, fmt.Errorf("sparse: coordinate %g too close to the boundary for sinc radius %d (dim %d)",
 				c[d], SincRadius, d)

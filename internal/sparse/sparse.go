@@ -55,6 +55,12 @@ func Trilinear(c Coord, nx, ny, nz int, hx, hy, hz float64) (Support, error) {
 			return s, fmt.Errorf("sparse: non-positive spacing %g in dim %d", h[d], d)
 		}
 		u := c[d] / h[d]
+		// The NaN guard must be explicit: NaN compares false against both
+		// hull bounds below and would otherwise flow into Floor/int and
+		// produce a wild grid index instead of an error.
+		if math.IsNaN(u) || math.IsInf(u, 0) {
+			return s, fmt.Errorf("sparse: non-finite coordinate %g in dim %d", c[d], d)
+		}
 		if u < 0 || u > float64(dims[d]-1) {
 			return s, fmt.Errorf("sparse: coordinate %g out of hull [0, %g] in dim %d",
 				c[d], float64(dims[d]-1)*h[d], d)

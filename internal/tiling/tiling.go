@@ -141,6 +141,14 @@ func RunSpatial(p Propagator, blockX, blockY int, fused bool) {
 	}
 }
 
+// FaultSkewDelta perturbs the wavefront skew used by RunWTBRange. It exists
+// solely for the differential-verification harness (internal/verify), which
+// sets it to −1 to prove the schedule-equivalence oracle detects the
+// dependency violations an off-by-one in the wavefront offset causes;
+// production code must leave it zero. It must not be mutated while a
+// schedule is running.
+var FaultSkewDelta int
+
 // RunWTB executes the wave-front temporal blocking schedule of Listing 6.
 //
 // For each time tile [t0, t0+tt): space tiles are visited sequentially in
@@ -166,7 +174,7 @@ func RunWTBRange(p Propagator, cfg Config, tFrom, tTo int) error {
 	}
 	p.SetBlocks(cfg.BlockX, cfg.BlockY)
 	nx, ny := p.GridShape()
-	s := p.TimeSkew()
+	s := p.TimeSkew() + FaultSkewDelta
 	off := p.MaxPhaseOffset()
 
 	// Observability: counters are looked up once outside the tile loops, the

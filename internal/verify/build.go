@@ -1,0 +1,299 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wavetile/internal/grid"
+	"wavetile/internal/model"
+	"wavetile/internal/sparse"
+	"wavetile/internal/wave"
+	"wavetile/internal/wavelet"
+)
+
+// built is a scenario realized into a runnable propagator plus everything
+// the oracle needs to re-run or re-decompose it (the dist schedule rebuilds
+// the problem from the field functions).
+type built struct {
+	S    Scenario
+	Prop Prop
+	Ops  *wave.SparseOps
+	Geom model.Geometry
+
+	vp   model.FieldFunc
+	vmax float64
+
+	src *sparse.Points
+	wav [][]float32
+
+	acoustic *wave.Acoustic // non-nil for Acoustic: dist + final-field access
+}
+
+// build realizes the scenario with all its sources.
+func (s Scenario) build() (*built, error) {
+	return s.buildSources(nil)
+}
+
+// buildSources realizes the scenario keeping only the sources whose index
+// appears in keep (nil keeps all). The full source set is always derived
+// from the seed first, so subsets share exact coordinates and wavelets —
+// the property the superposition check depends on.
+func (s Scenario) buildSources(keep []int) (*built, error) {
+	rng := rand.New(rand.NewSource(s.Seed))
+	b := &built{S: s}
+
+	g := model.Geometry{
+		Nx: s.Shape[0], Ny: s.Shape[1], Nz: s.Shape[2],
+		Hx: s.Spacing[0], Hy: s.Spacing[1], Hz: s.Spacing[2],
+		NBL: s.NBL,
+	}
+	b.vp, b.vmax = s.modelField(rng)
+
+	var dt float64
+	switch s.Physics {
+	case Acoustic:
+		dt = g.CriticalDtAcoustic(s.SO, b.vmax, model.DefaultCFL)
+	case TTI:
+		dt = g.CriticalDtTTI(s.SO, b.vmax, 0.24, model.DefaultCFL)
+	case Elastic:
+		dt = g.CriticalDtElastic(s.SO, b.vmax, model.DefaultCFL)
+	}
+	g.Dt = dt
+	g.Nt = s.Steps
+	b.Geom = g
+
+	// Sources: the full set is drawn first, then optionally subset.
+	allSrc, paths := s.drawSources(rng, g)
+	amp := 1e3
+	if s.Physics == Elastic {
+		amp = 1e6
+	}
+	f0 := 2.0 / (float64(g.Nt) * g.Dt)
+	allWav := make([][]float32, allSrc.N())
+	for i := range allWav {
+		allWav[i] = wavelet.RickerSeries(f0*(0.8+0.1*float64(i%4)), g.Nt, g.Dt, amp)
+	}
+	b.src, b.wav = allSrc, allWav
+	if keep != nil {
+		sub := &sparse.Points{}
+		var subWav [][]float32
+		var subPaths [][]sparse.Coord
+		for _, i := range keep {
+			sub.Coords = append(sub.Coords, allSrc.Coords[i])
+			subWav = append(subWav, allWav[i])
+			if paths != nil {
+				subPaths = append(subPaths, paths[i])
+			}
+		}
+		b.src, b.wav, paths = sub, subWav, subPaths
+	}
+
+	rec := s.drawReceivers(rng, g)
+
+	halo := s.SO / 2
+	switch s.Physics {
+	case Acoustic:
+		params := model.NewAcoustic(g, halo, b.vp)
+		a, err := wave.NewAcoustic(wave.AcousticOpts{
+			Params: params, SO: s.SO, Src: b.src, SrcWav: b.wav, Rec: rec,
+			SincSource: s.SrcKind == SrcSinc, SincReceivers: s.RecSinc,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("build %s: %w", s, err)
+		}
+		b.Prop, b.Ops, b.acoustic = a, a.Ops, a
+	case TTI:
+		params := model.NewTTI(g, halo, b.vp,
+			model.Homogeneous(0.24), model.Homogeneous(0.12),
+			func(x, y, z float64) float64 { return 0.3 + 0.0005*z },
+			func(x, y, z float64) float64 { return 0.2 + 0.0003*x },
+		)
+		w, err := wave.NewTTI(wave.TTIOpts{
+			Params: params, SO: s.SO, Src: b.src, SrcWav: b.wav, Rec: rec,
+			SincSource: s.SrcKind == SrcSinc,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("build %s: %w", s, err)
+		}
+		b.Prop, b.Ops = w, w.Ops
+	case Elastic:
+		vp := b.vp
+		params := model.NewElastic(g, halo, vp,
+			func(x, y, z float64) float64 { return vp(x, y, z) / 2 },
+			model.Homogeneous(1800),
+		)
+		e, err := wave.NewElastic(wave.ElasticOpts{
+			Params: params, SO: s.SO, Src: b.src, SrcWav: b.wav, Rec: rec,
+			SincSource: s.SrcKind == SrcSinc,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("build %s: %w", s, err)
+		}
+		b.Prop, b.Ops = e, e.Ops
+	}
+
+	if s.SrcKind == SrcMoving {
+		pts := paths
+		at := func(t int) *sparse.Points {
+			p := &sparse.Points{Coords: make([]sparse.Coord, len(pts))}
+			for i := range pts {
+				p.Coords[i] = pts[i][t]
+			}
+			return p
+		}
+		if err := b.Ops.SetMovingSources(g.Nx, g.Ny, g.Nz, g.Hx, g.Hy, g.Hz, at, b.wav); err != nil {
+			return nil, fmt.Errorf("build moving %s: %w", s, err)
+		}
+	}
+	return b, nil
+}
+
+// modelField draws the earth model, returning the field and its exact vmax
+// (known by construction, so the CFL bound never under-resolves a layer).
+func (s Scenario) modelField(rng *rand.Rand) (model.FieldFunc, float64) {
+	zmax := float64(s.Shape[2]) * s.Spacing[2]
+	switch s.Model {
+	case ModelLayered:
+		vals := []float64{1500, 2000 + 500*rng.Float64(), 2800 + 400*rng.Float64()}
+		vmax := vals[2]
+		return model.Layered(zmax, vals...), vmax
+	case ModelGradient:
+		v0, v1 := 1500.0, 2500+500*rng.Float64()
+		return model.Gradient(v0, v1, zmax), v1
+	default:
+		v := 1500 + 1000*rng.Float64()
+		return model.Homogeneous(v), v
+	}
+}
+
+// placementBox returns the per-dimension usable index range [lo, hi] for a
+// point set, in grid-index space.
+func (s Scenario) placementBox(sinc bool) (lo, hi [3]float64) {
+	for d := 0; d < 3; d++ {
+		n := float64(s.Shape[d])
+		l, h := 1.0, n-2
+		if nbl := float64(s.NBL); nbl > 0 {
+			l, h = math.Max(l, nbl), math.Min(h, n-1-nbl)
+		}
+		if sinc {
+			// SincSupport needs u ∈ [SincRadius−1, n−SincRadius); keep a
+			// point of slack on both sides.
+			l, h = math.Max(l, float64(sparse.SincRadius)), math.Min(h, n-float64(sparse.SincRadius)-1)
+		}
+		if s.center {
+			mid := math.Floor((n - 1) / 2)
+			l, h = math.Max(l, mid-3), math.Min(h, mid+3)
+		}
+		if h < l {
+			l, h = (n-1)/2, (n-1)/2
+		}
+		lo[d], hi[d] = l, h
+	}
+	return lo, hi
+}
+
+// drawSources draws the scenario's source positions (index space → physical)
+// and, for moving sources, the per-timestep path of each. Scenarios that
+// also run the dist schedule snap coordinates to quarter-cell offsets, so
+// the slab decomposition's local re-basing is exact in floating point and
+// the single-domain comparison stays bitwise.
+func (s Scenario) drawSources(rng *rand.Rand, g model.Geometry) (*sparse.Points, [][]sparse.Coord) {
+	lo, hi := s.placementBox(s.SrcKind == SrcSinc)
+	h := [3]float64{g.Hx, g.Hy, g.Hz}
+	drawU := func(d int) float64 {
+		u := lo[d] + rng.Float64()*(hi[d]-lo[d])
+		switch {
+		case s.SrcKind == SrcOnGrid:
+			u = math.Round(u)
+		case s.Dist != nil || s.snap:
+			// Quarter-cell snapping keeps downstream coordinate arithmetic
+			// (slab re-basing, whole-cell translation) exact in FP, so the
+			// bitwise contracts hold for those schedules and checks.
+			u = math.Round(u*4) / 4
+		}
+		return u + float64(s.shift[d])
+	}
+	pts := &sparse.Points{}
+	var paths [][]sparse.Coord
+	for i := 0; i < s.NSrc; i++ {
+		var c sparse.Coord
+		for d := 0; d < 3; d++ {
+			c[d] = drawU(d) * h[d]
+		}
+		pts.Coords = append(pts.Coords, c)
+		if s.SrcKind == SrcMoving {
+			var end sparse.Coord
+			for d := 0; d < 3; d++ {
+				end[d] = drawU(d) * h[d]
+			}
+			path := make([]sparse.Coord, g.Nt)
+			for t := 0; t < g.Nt; t++ {
+				frac := float64(t) / float64(g.Nt)
+				for d := 0; d < 3; d++ {
+					path[t][d] = c[d] + frac*(end[d]-c[d])
+				}
+			}
+			paths = append(paths, path)
+		}
+	}
+	if s.SrcKind != SrcMoving {
+		paths = nil
+	}
+	return pts, paths
+}
+
+// drawReceivers draws the receiver set for the scenario's layout.
+func (s Scenario) drawReceivers(rng *rand.Rand, g model.Geometry) *sparse.Points {
+	if s.Rec == RecNone || s.NRec == 0 {
+		return nil
+	}
+	lo, hi := s.placementBox(s.RecSinc)
+	h := [3]float64{g.Hx, g.Hy, g.Hz}
+	point := func() sparse.Coord {
+		var c sparse.Coord
+		for d := 0; d < 3; d++ {
+			u := lo[d] + rng.Float64()*(hi[d]-lo[d])
+			if s.snap {
+				u = math.Round(u*4) / 4
+			}
+			c[d] = (u + float64(s.shift[d])) * h[d]
+		}
+		return c
+	}
+	switch s.Rec {
+	case RecLine:
+		return sparse.Line(s.NRec, point(), point())
+	case RecScatter:
+		pts := &sparse.Points{}
+		for i := 0; i < s.NRec; i++ {
+			pts.Coords = append(pts.Coords, point())
+		}
+		return pts
+	case RecBoundary:
+		// Exactly on hull faces: one coordinate pinned to index 0 or n−1
+		// (exact in FP: spacings are dyadic-friendly), the rest interior.
+		pts := &sparse.Points{}
+		for i := 0; i < s.NRec; i++ {
+			c := point()
+			d := rng.Intn(3)
+			if rng.Intn(2) == 0 {
+				c[d] = 0
+			} else {
+				c[d] = float64(s.Shape[d]-1) * h[d]
+			}
+			pts.Coords = append(pts.Coords, c)
+		}
+		return pts
+	}
+	return nil
+}
+
+// snapshotFields deep-copies the propagator's wavefields.
+func snapshotFields(p Prop) map[string]*grid.Grid {
+	out := map[string]*grid.Grid{}
+	for name, f := range p.Fields() {
+		out[name] = f.Clone()
+	}
+	return out
+}

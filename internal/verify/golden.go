@@ -1,0 +1,190 @@
+package verify
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"wavetile/internal/tiling"
+)
+
+// Golden regression corpus: a handful of fixed scenarios whose receiver
+// traces are committed under testdata/golden. Any change to the numerics —
+// kernel arithmetic, coefficient tables, interpolation weights, injection
+// scaling — moves at least one trace bit and fails the comparison, so
+// numerical drift has to be explained and the corpus regenerated
+// deliberately (make golden) rather than slipping through.
+
+// GoldenCase is one committed regression scenario.
+type GoldenCase struct {
+	Name        string
+	Description string
+	Scenario    Scenario
+}
+
+// GoldenRecord is the committed form of one case's output.
+type GoldenRecord struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description"`
+	Physics     string  `json:"physics"`
+	SO          int     `json:"so"`
+	Dt          float64 `json:"dt"`
+	Nt          int     `json:"nt"`
+	NRec        int     `json:"nrec"`
+	MaxAbs      float64 `json:"max_abs"`
+	// FNV64 is the FNV-1a 64 checksum of the little-endian float32 trace
+	// bytes; Traces is the same bytes base64-encoded, [t][r] row-major.
+	FNV64  string `json:"fnv64"`
+	Traces string `json:"traces"`
+}
+
+// GoldenCases returns the committed corpus. Scenarios are pinned by explicit
+// seeds — never drawn from a master RNG — so adding a case can never shift
+// another case's inputs.
+func GoldenCases() []GoldenCase {
+	base := func(seed int64) Scenario {
+		return Scenario{
+			Seed:    seed,
+			Physics: Acoustic,
+			SO:      4,
+			Shape:   [3]int{24, 24, 24},
+			Spacing: [3]float64{10, 10, 10},
+			NBL:     3,
+			Steps:   12,
+			Model:   ModelLayered,
+			SrcKind: SrcOffGrid,
+			NSrc:    2,
+			Rec:     RecLine,
+			NRec:    4,
+			Workers: 2,
+			WTB:     tiling.Config{TT: 4, TileX: 12, TileY: 12, BlockX: 6, BlockY: 6},
+		}
+	}
+	var cases []GoldenCase
+
+	c := base(101)
+	cases = append(cases, GoldenCase{"acoustic-so4-trilinear",
+		"acoustic SO4, layered model, off-grid trilinear sources, line receivers", c})
+
+	c = base(102)
+	c.SO = 8
+	c.SrcKind = SrcSinc
+	c.RecSinc = true
+	c.Shape = [3]int{26, 26, 26}
+	c.WTB = tiling.Config{TT: 3, TileX: 16, TileY: 16, BlockX: 6, BlockY: 6}
+	cases = append(cases, GoldenCase{"acoustic-so8-sinc",
+		"acoustic SO8, Hicks sinc source injection and sinc receiver interpolation", c})
+
+	c = base(103)
+	c.Physics = TTI
+	c.Model = ModelGradient
+	cases = append(cases, GoldenCase{"tti-so4-gradient",
+		"TTI SO4, gradient model, off-grid trilinear sources", c})
+
+	c = base(104)
+	c.Physics = Elastic
+	c.WTB = tiling.Config{TT: 3, TileX: 14, TileY: 14, BlockX: 6, BlockY: 6}
+	cases = append(cases, GoldenCase{"elastic-so4-layered",
+		"elastic SO4, layered model, explosive off-grid sources, vz receivers", c})
+
+	c = base(105)
+	c.SrcKind = SrcMoving
+	c.NSrc = 1
+	c.Model = ModelHomogeneous
+	cases = append(cases, GoldenCase{"acoustic-so4-moving",
+		"acoustic SO4, towed (moving) source, homogeneous model", c})
+
+	c = base(106)
+	c.SrcKind = SrcOnGrid
+	c.NBL = 0
+	c.Model = ModelHomogeneous
+	c.Rec = RecBoundary
+	cases = append(cases, GoldenCase{"acoustic-so4-ongrid-hard",
+		"acoustic SO4, on-grid sources, zero damping (hard reflections), boundary receivers", c})
+
+	return cases
+}
+
+// RunGolden executes one case under the fused spatial schedule and packs its
+// receiver traces into a record.
+func RunGolden(c GoldenCase) (*GoldenRecord, error) {
+	restore := setWorkers(c.Scenario.Workers)
+	defer restore()
+	b, err := c.Scenario.build()
+	if err != nil {
+		return nil, err
+	}
+	tiling.RunSpatial(b.Prop, c.Scenario.WTB.BlockX, c.Scenario.WTB.BlockY, true)
+	traces, err := b.Ops.Receivers()
+	if err != nil {
+		return nil, err
+	}
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("golden case %s recorded no traces", c.Name)
+	}
+	if traceScale(traces) == 0 {
+		return nil, fmt.Errorf("golden case %s is vacuous: all trace samples are zero", c.Name)
+	}
+	raw := make([]byte, 0, len(traces)*len(traces[0])*4)
+	var buf [4]byte
+	for _, row := range traces {
+		for _, v := range row {
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+			raw = append(raw, buf[:]...)
+		}
+	}
+	h := fnv.New64a()
+	h.Write(raw)
+	return &GoldenRecord{
+		Name:        c.Name,
+		Description: c.Description,
+		Physics:     c.Scenario.Physics.String(),
+		SO:          c.Scenario.SO,
+		Dt:          b.Geom.Dt,
+		Nt:          b.Geom.Nt,
+		NRec:        len(traces[0]),
+		MaxAbs:      traceScale(traces),
+		FNV64:       fmt.Sprintf("%016x", h.Sum64()),
+		Traces:      base64.StdEncoding.EncodeToString(raw),
+	}, nil
+}
+
+// DiffGolden compares a freshly computed record against the committed one,
+// returning a human-readable explanation of the first difference, or "" when
+// they match exactly (bit-for-bit traces included).
+func DiffGolden(want, got *GoldenRecord) string {
+	switch {
+	case want.Physics != got.Physics || want.SO != got.SO:
+		return fmt.Sprintf("scenario changed: %s/so%d → %s/so%d", want.Physics, want.SO, got.Physics, got.SO)
+	case want.Nt != got.Nt || want.NRec != got.NRec:
+		return fmt.Sprintf("trace shape changed: nt=%d nrec=%d → nt=%d nrec=%d", want.Nt, want.NRec, got.Nt, got.NRec)
+	case math.Float64bits(want.Dt) != math.Float64bits(got.Dt):
+		return fmt.Sprintf("timestep changed: dt=%v → %v", want.Dt, got.Dt)
+	case want.FNV64 != got.FNV64:
+		return firstTraceDiff(want, got)
+	case want.Traces != got.Traces:
+		return "trace bytes differ but checksums collide (corrupt golden file?)"
+	}
+	return ""
+}
+
+// firstTraceDiff locates the first differing sample between two records.
+func firstTraceDiff(want, got *GoldenRecord) string {
+	wb, err1 := base64.StdEncoding.DecodeString(want.Traces)
+	gb, err2 := base64.StdEncoding.DecodeString(got.Traces)
+	if err1 != nil || err2 != nil || len(wb) != len(gb) {
+		return fmt.Sprintf("trace payload undecodable or resized (%d → %d bytes)", len(wb), len(gb))
+	}
+	for i := 0; i+4 <= len(wb); i += 4 {
+		w := math.Float32frombits(binary.LittleEndian.Uint32(wb[i:]))
+		g := math.Float32frombits(binary.LittleEndian.Uint32(gb[i:]))
+		if u := ULP32(w, g); u != 0 {
+			sample := i / 4
+			t, r := sample/want.NRec, sample%want.NRec
+			return fmt.Sprintf("first drift at t=%d rec=%d: %v → %v (%d ULP)", t, r, w, g, u)
+		}
+	}
+	return "checksums differ but samples match (corrupt golden file?)"
+}

@@ -1,0 +1,79 @@
+package verify
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var goldenUpdate = flag.Bool("golden.update", false,
+	"regenerate the committed golden regression corpus (make golden)")
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".json")
+}
+
+// TestGoldenCorpus compares every corpus case's receiver traces bit-for-bit
+// against the committed records. A failure means the numerics drifted: if the
+// drift is intentional (e.g. a deliberate kernel change), regenerate with
+// `make golden` and commit the diff with an explanation; if not, it is a
+// regression.
+func TestGoldenCorpus(t *testing.T) {
+	for _, c := range GoldenCases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			got, err := RunGolden(c)
+			if err != nil {
+				t.Fatalf("golden case failed to run: %v", err)
+			}
+			path := goldenPath(c.Name)
+			if *goldenUpdate {
+				data, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("regenerated %s", path)
+				return
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("no committed record for case %q (run `make golden` and commit %s): %v",
+					c.Name, path, err)
+			}
+			var want GoldenRecord
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatalf("corrupt golden record %s: %v", path, err)
+			}
+			if diff := DiffGolden(&want, got); diff != "" {
+				t.Errorf("numerical drift in %q: %s\n(if intentional, regenerate with `make golden` and explain the change in the commit)",
+					c.Name, diff)
+			}
+		})
+	}
+}
+
+// TestGoldenCasesAreOracleClean ensures the corpus scenarios themselves
+// satisfy the schedule-equivalence contract — a golden record of a broken
+// configuration would enshrine the breakage.
+func TestGoldenCasesAreOracleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus oracle sweep skipped in -short")
+	}
+	for _, c := range GoldenCases() {
+		rep, err := RunOracle(c.Scenario)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if !rep.OK() {
+			t.Errorf("%s: %s", c.Name, rep)
+		}
+	}
+}

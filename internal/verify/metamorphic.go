@@ -1,0 +1,289 @@
+package verify
+
+import (
+	"fmt"
+
+	"wavetile/internal/grid"
+	"wavetile/internal/tiling"
+)
+
+// Metamorphic physics properties: invariants of the discretized wave
+// equation that hold regardless of execution schedule, so they cross-check
+// the numerics themselves rather than one schedule against another. Each
+// check returns nil when the property holds; a non-nil error describes the
+// first violation found.
+
+// relTolSuper bounds the superposition residual. The full run and the sum of
+// the split runs perform the same physics but accumulate rounding in a
+// different order, so the comparison is FP-tolerance, not bitwise.
+const relTolSuper = 1e-4
+
+// CheckZeroSource asserts zero in ⇒ zero out: a scenario stripped of all its
+// sources must leave every wavefield and every receiver trace exactly zero,
+// under both the spatial and WTB schedules. Any nonzero value means a
+// schedule fabricates energy (e.g. an injection mask touched out of turn).
+func CheckZeroSource(s Scenario) error {
+	restore := setWorkers(s.Workers)
+	defer restore()
+	b, err := s.buildSources([]int{})
+	if err != nil {
+		return err
+	}
+	run := func(name string, f func() error) error {
+		b.Prop.Reset()
+		if err := f(); err != nil {
+			return err
+		}
+		for _, fn := range sortedFieldNames(b.Prop.Fields()) {
+			if m := b.Prop.Fields()[fn].MaxAbs(); m != 0 {
+				return fmt.Errorf("%s: zero-source %s run fabricated energy: field %q maxabs=%g", s, name, fn, m)
+			}
+		}
+		traces, err := b.Ops.Receivers()
+		if err != nil {
+			return err
+		}
+		if traceScale(traces) != 0 {
+			return fmt.Errorf("%s: zero-source %s run recorded nonzero traces", s, name)
+		}
+		return nil
+	}
+	if err := run("spatial", func() error {
+		tiling.RunSpatial(b.Prop, s.WTB.BlockX, s.WTB.BlockY, true)
+		return nil
+	}); err != nil {
+		return err
+	}
+	return run("wtb", func() error { return tiling.RunWTB(b.Prop, s.WTB) })
+}
+
+// CheckSuperposition asserts source linearity: the wavefield of all sources
+// together equals the pointwise sum of the wavefields of any disjoint source
+// split, within FP tolerance. Requires ≥ 2 sources.
+func CheckSuperposition(s Scenario) error {
+	if s.NSrc < 2 {
+		return fmt.Errorf("%s: superposition needs ≥ 2 sources", s)
+	}
+	restore := setWorkers(s.Workers)
+	defer restore()
+
+	var keepA, keepB []int
+	for i := 0; i < s.NSrc; i++ {
+		if i < s.NSrc/2 {
+			keepA = append(keepA, i)
+		} else {
+			keepB = append(keepB, i)
+		}
+	}
+	runOne := func(keep []int) (map[string]*grid.Grid, error) {
+		b, err := s.buildSources(keep)
+		if err != nil {
+			return nil, err
+		}
+		tiling.RunSpatial(b.Prop, s.WTB.BlockX, s.WTB.BlockY, true)
+		return snapshotFields(b.Prop), nil
+	}
+	full, err := runOne(nil)
+	if err != nil {
+		return err
+	}
+	partA, err := runOne(keepA)
+	if err != nil {
+		return err
+	}
+	partB, err := runOne(keepB)
+	if err != nil {
+		return err
+	}
+	for _, name := range sortedFieldNames(full) {
+		f, a, bb := full[name], partA[name], partB[name]
+		scale := f.MaxAbs()
+		if scale == 0 {
+			scale = 1
+		}
+		for x := 0; x < f.Nx; x++ {
+			for y := 0; y < f.Ny; y++ {
+				fr, ar, br := f.Row(x, y), a.Row(x, y), bb.Row(x, y)
+				for z := range fr {
+					sum := float64(ar[z]) + float64(br[z])
+					if d := abs(float64(fr[z]) - sum); d > relTolSuper*scale {
+						return fmt.Errorf(
+							"%s: superposition broken: field %q point (%d,%d,%d): full=%v A+B=%v (diff %g > %g)",
+							s, name, x, y, z, fr[z], sum, d, relTolSuper*scale)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckTranslation asserts discrete translation invariance: on a homogeneous
+// undamped model, shifting every source and receiver by a whole number of
+// grid cells shifts the wavefield by exactly the same cells, bit for bit.
+// The scenario must be homogeneous with NBL = 0 and static sources; drawn
+// coordinates are quarter-cell snapped so the shifted coordinate arithmetic
+// is exact. The wave's numerical support must stay clear of the boundary in
+// both runs (the guard band is asserted, not assumed).
+func CheckTranslation(s Scenario, shift [3]int) error {
+	if s.Model != ModelHomogeneous || s.NBL != 0 {
+		return fmt.Errorf("%s: translation invariance needs a homogeneous undamped model", s)
+	}
+	if s.SrcKind == SrcMoving {
+		return fmt.Errorf("%s: translation invariance needs static sources", s)
+	}
+	restore := setWorkers(s.Workers)
+	defer restore()
+
+	s.snap = true
+	s.center = true // bound the support: sources stay near the grid center
+	base, err := s.build()
+	if err != nil {
+		return err
+	}
+	tiling.RunSpatial(base.Prop, s.WTB.BlockX, s.WTB.BlockY, true)
+	baseFields := snapshotFields(base.Prop)
+	baseRec, err := base.Ops.Receivers()
+	if err != nil {
+		return err
+	}
+
+	s2 := s
+	s2.shift = shift
+	moved, err := s2.build()
+	if err != nil {
+		return err
+	}
+	tiling.RunSpatial(moved.Prop, s.WTB.BlockX, s.WTB.BlockY, true)
+	movedRec, err := moved.Ops.Receivers()
+	if err != nil {
+		return err
+	}
+
+	// Guard band: near the boundary the stencil reads halo zeros, which is
+	// only translation-symmetric if the field is still exactly zero there.
+	band := s.SO / 2
+	for d := 0; d < 3; d++ {
+		band += absInt(shift[d])
+	}
+	for _, name := range sortedFieldNames(baseFields) {
+		f := baseFields[name]
+		for x := 0; x < f.Nx; x++ {
+			for y := 0; y < f.Ny; y++ {
+				row := f.Row(x, y)
+				for z := range row {
+					if row[z] != 0 && nearBoundary(x, y, z, f.Nx, f.Ny, f.Nz, band) {
+						return fmt.Errorf(
+							"%s: translation check mis-sized: field %q nonzero at (%d,%d,%d) within guard band %d — use fewer steps or a larger grid",
+							s, name, x, y, z, band)
+					}
+				}
+			}
+		}
+	}
+
+	for _, name := range sortedFieldNames(baseFields) {
+		f := baseFields[name]
+		m := moved.Prop.Fields()[name]
+		for x := 0; x < f.Nx; x++ {
+			x2 := x + shift[0]
+			if x2 < 0 || x2 >= f.Nx {
+				continue
+			}
+			for y := 0; y < f.Ny; y++ {
+				y2 := y + shift[1]
+				if y2 < 0 || y2 >= f.Ny {
+					continue
+				}
+				for z := 0; z < f.Nz; z++ {
+					z2 := z + shift[2]
+					if z2 < 0 || z2 >= f.Nz {
+						continue
+					}
+					if u := ULP32(f.At(x, y, z), m.At(x2, y2, z2)); u != 0 {
+						return fmt.Errorf(
+							"%s: translation invariance broken: field %q base(%d,%d,%d)=%v shifted(%d,%d,%d)=%v (%d ULP)",
+							s, name, x, y, z, f.At(x, y, z), x2, y2, z2, m.At(x2, y2, z2), u)
+					}
+				}
+			}
+		}
+	}
+
+	// Receivers shifted with the sources see the identical waveform.
+	if len(baseRec) != len(movedRec) {
+		return fmt.Errorf("%s: translation changed trace length %d → %d", s, len(baseRec), len(movedRec))
+	}
+	for t := range baseRec {
+		for r := range baseRec[t] {
+			if u := ULP32(baseRec[t][r], movedRec[t][r]); u != 0 {
+				return fmt.Errorf(
+					"%s: translation invariance broken in traces: t=%d rec=%d base=%v shifted=%v (%d ULP)",
+					s, t, r, baseRec[t][r], movedRec[t][r], u)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckWorkerInvariance asserts that the parallel worker count never changes
+// a single bit: blocks partition the grid disjointly and every point's
+// arithmetic is worker-independent, so 1 worker and N workers must agree
+// exactly, under both schedules.
+func CheckWorkerInvariance(s Scenario, workers []int) error {
+	b, err := s.build()
+	if err != nil {
+		return err
+	}
+	type sched struct {
+		name string
+		run  func() error
+	}
+	scheds := []sched{
+		{"spatial", func() error {
+			tiling.RunSpatial(b.Prop, s.WTB.BlockX, s.WTB.BlockY, true)
+			return nil
+		}},
+		{"wtb", func() error { return tiling.RunWTB(b.Prop, s.WTB) }},
+	}
+	for _, sc := range scheds {
+		var ref map[string]*grid.Grid
+		for _, w := range append([]int{1}, workers...) {
+			restore := setWorkers(w)
+			b.Prop.Reset()
+			err := sc.run()
+			restore()
+			if err != nil {
+				return err
+			}
+			if ref == nil {
+				ref = snapshotFields(b.Prop)
+				continue
+			}
+			if d, ok := firstFieldDivergence(sc.name, ref, b.Prop.Fields()); ok {
+				return fmt.Errorf("%s: %s schedule depends on worker count (%d workers): %s", s, sc.name, w, d)
+			}
+		}
+	}
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func nearBoundary(x, y, z, nx, ny, nz, band int) bool {
+	return x < band || x >= nx-band ||
+		y < band || y >= ny-band ||
+		z < band || z >= nz-band
+}

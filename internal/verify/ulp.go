@@ -1,0 +1,38 @@
+package verify
+
+import "math"
+
+// ULP32 returns the distance between two float32 values in units of last
+// place: the number of representable float32 values strictly between them,
+// plus one. Equal bits give 0. The comparison uses the ordered-bits
+// transform (sign-magnitude → biased lexicographic), so it is monotone
+// across zero. NaN on either side saturates to MaxInt64.
+func ULP32(a, b float32) int64 {
+	if a == b {
+		return 0 // also covers +0 vs −0
+	}
+	ia, ok1 := orderedBits32(a)
+	ib, ok2 := orderedBits32(b)
+	if !ok1 || !ok2 {
+		return math.MaxInt64
+	}
+	d := ia - ib
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// orderedBits32 maps a float32 to an integer whose ordering matches the
+// real-number ordering of the floats (negatives mirrored below zero).
+// Returns ok=false for NaN.
+func orderedBits32(f float32) (int64, bool) {
+	if f != f {
+		return 0, false
+	}
+	bits := int64(int32(math.Float32bits(f)))
+	if bits < 0 {
+		bits = int64(math.MinInt32) - bits // mirror negative range
+	}
+	return bits, true
+}

@@ -1,0 +1,355 @@
+// Package verify is the differential-testing subsystem of the repository: a
+// generator-driven oracle for the paper's central correctness claim (§II)
+// that precomputed sparse operators plus wave-front temporal blocking yield
+// wavefields identical to the spatially-blocked baseline.
+//
+// The hand-picked configurations of the package-level equivalence tests
+// (internal/wave, internal/dist) each pin one corner of the configuration
+// space; this package explores the whole space:
+//
+//   - a seeded random scenario generator (Generate) draws propagator ×
+//     space order × grid shape (including degenerate thin grids) × tile and
+//     block shape × worker count × source kind (on-grid, off-grid trilinear,
+//     Hicks sinc, moving) × receiver layout × damping;
+//   - a schedule-equivalence oracle (RunOracle) runs every scenario through
+//     the unfused-spatial baseline, the fused-spatial schedule, wave-front
+//     temporal blocking, and — where the decomposition admits it — the
+//     internal/dist slab schedules, asserting the paper's contract: bitwise
+//     equality between the fused schedules, FP tolerance against the
+//     Listing-1 baseline. Divergences come with first-divergence
+//     diagnostics: the first time tile that differs, the first grid point in
+//     scan order, and the ULP distance;
+//   - metamorphic physics properties (metamorphic.go) cross-check the
+//     numerics against invariants no schedule reordering may break: source
+//     superposition linearity, grid-translation invariance, zero-source ⇒
+//     zero-field, worker-count invariance.
+//
+// Every scenario carries the sub-seed it was drawn with, so any CI failure
+// replays locally with
+//
+//	go test ./internal/verify -run TestVerify -verify.seed=N
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wavetile/internal/dist"
+	"wavetile/internal/grid"
+	"wavetile/internal/tiling"
+)
+
+// Physics selects the propagator, mirroring the paper's three models.
+type Physics int
+
+// The three propagators.
+const (
+	Acoustic Physics = iota
+	TTI
+	Elastic
+)
+
+func (p Physics) String() string {
+	switch p {
+	case Acoustic:
+		return "acoustic"
+	case TTI:
+		return "tti"
+	case Elastic:
+		return "elastic"
+	}
+	return fmt.Sprintf("physics(%d)", int(p))
+}
+
+// SourceKind selects how sources sit relative to the grid.
+type SourceKind int
+
+// The source kinds the paper's scheme must be oblivious to.
+const (
+	SrcOnGrid SourceKind = iota // coordinates exactly on grid points
+	SrcOffGrid                  // off-the-grid, trilinear interpolation
+	SrcSinc                     // off-the-grid, Kaiser-windowed sinc (Hicks)
+	SrcMoving                   // towed: a new off-the-grid position per step
+)
+
+func (k SourceKind) String() string {
+	return [...]string{"on-grid", "trilinear", "sinc", "moving"}[k]
+}
+
+// RecLayout selects the receiver geometry.
+type RecLayout int
+
+// Receiver layouts, including the boundary-hugging one that exercises
+// support clamping on the hull faces.
+const (
+	RecNone RecLayout = iota
+	RecLine
+	RecScatter
+	RecBoundary
+)
+
+func (l RecLayout) String() string {
+	return [...]string{"none", "line", "scatter", "boundary"}[l]
+}
+
+// ModelKind selects the earth-model preset.
+type ModelKind int
+
+// Earth-model presets with generator-known vmax.
+const (
+	ModelHomogeneous ModelKind = iota
+	ModelLayered
+	ModelGradient
+)
+
+func (m ModelKind) String() string {
+	return [...]string{"homogeneous", "layered", "gradient"}[m]
+}
+
+// Scenario is one drawn configuration. Coordinates, wavelets and model
+// values are derived deterministically from Seed at build time, so the
+// struct both describes and fully reproduces a run.
+type Scenario struct {
+	Index int
+	Seed  int64
+
+	Physics Physics
+	SO      int
+	Shape   [3]int
+	Spacing [3]float64
+	NBL     int
+	Steps   int
+	Model   ModelKind
+
+	SrcKind SourceKind
+	NSrc    int
+	Rec     RecLayout
+	NRec    int
+	RecSinc bool // sinc measurement interpolation (acoustic only)
+
+	Workers int
+	WTB     tiling.Config
+	// Dist, when non-nil, additionally runs the scenario through the
+	// internal/dist slab decomposition (acoustic, static sources only).
+	Dist *dist.Config
+
+	// Metamorphic-check controls (same-package tests only). shift translates
+	// every drawn source/receiver coordinate by whole grid cells; snap rounds
+	// drawn index coordinates to quarter cells so the shifted coordinate
+	// arithmetic stays exact in floating point; center confines placement to
+	// a few cells around the grid center (so a translation check can bound
+	// the wave's numerical support away from the boundary).
+	shift  [3]int
+	snap   bool
+	center bool
+}
+
+func (s Scenario) String() string {
+	d := "none"
+	if s.Dist != nil {
+		mode := "perstep"
+		if s.Dist.Mode == dist.DeepHalo {
+			mode = fmt.Sprintf("deephalo/%d", s.Dist.Depth)
+		}
+		d = fmt.Sprintf("%dx%s", s.Dist.Ranks, mode)
+	}
+	return fmt.Sprintf(
+		"#%d seed=%d %s so=%d shape=%dx%dx%d nbl=%d nt=%d model=%s src=%s×%d rec=%s×%d recsinc=%v workers=%d wtb=[%v] dist=%s",
+		s.Index, s.Seed, s.Physics, s.SO, s.Shape[0], s.Shape[1], s.Shape[2], s.NBL, s.Steps,
+		s.Model, s.SrcKind, s.NSrc, s.Rec, s.NRec, s.RecSinc, s.Workers, s.WTB, d)
+}
+
+// Prop is the propagator surface the oracle drives: the schedule interface
+// plus whole-state access for bitwise comparison.
+type Prop interface {
+	tiling.Propagator
+	Fields() map[string]*grid.Grid
+	Reset()
+}
+
+// Generate draws n scenarios from the master seed. The first scenarios are
+// forced through a coverage grid — every propagator × source kind
+// combination, both dist modes, and degenerate thin grids — so that even a
+// small n exercises the full claim surface; the remainder is drawn
+// uniformly. Identical (seed, n) always yields identical scenarios.
+func Generate(seed int64, n int) []Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Scenario, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, genOne(rng, i))
+	}
+	return out
+}
+
+// genOne draws scenario i. Indices 0–11 sweep physics × source kind,
+// 12–13 force the two dist modes, 14–15 force degenerate thin grids.
+func genOne(rng *rand.Rand, i int) Scenario {
+	s := Scenario{Index: i, Seed: rng.Int63()}
+
+	switch {
+	case i < 12: // coverage sweep: physics × source kind
+		s.Physics = Physics(i % 3)
+		s.SrcKind = SourceKind((i / 3) % 4)
+	case i == 12, i == 13:
+		s.Physics = Acoustic
+		s.SrcKind = SourceKind(rng.Intn(2)) // dist needs static non-sinc sources
+	default:
+		s.Physics = Physics(rng.Intn(3))
+		s.SrcKind = SourceKind(rng.Intn(4))
+	}
+
+	// Space order: the paper's 4/8/12 for acoustic, 4/8 for the coupled
+	// systems (matching the repo's equivalence tests).
+	switch s.Physics {
+	case Acoustic:
+		s.SO = []int{4, 8, 12}[rng.Intn(3)]
+	default:
+		s.SO = []int{4, 8}[rng.Intn(2)]
+	}
+
+	// Grid shape. Thin degenerate grids (one dimension only a few points
+	// wide) are forced at 14/15 and drawn occasionally afterwards; they keep
+	// SO=4 so the dependency margins still fit.
+	dim := func() int { return 22 + rng.Intn(12) }
+	s.Shape = [3]int{dim(), dim(), dim()}
+	thin := i == 14 || i == 15 || (i > 15 && rng.Intn(5) == 0)
+	if thin {
+		s.SO = 4
+		s.Shape[rng.Intn(3)] = 5 + rng.Intn(4)
+	}
+
+	h := []float64{8, 10, 12.5, 16}[rng.Intn(4)]
+	s.Spacing = [3]float64{h, h, h}
+	if rng.Intn(3) == 0 { // anisotropic spacing
+		s.Spacing[rng.Intn(3)] = h * 1.25
+	}
+
+	// Sinc supports need SincRadius points of margin in every dimension.
+	minDim := min(s.Shape[0], min(s.Shape[1], s.Shape[2]))
+	if s.SrcKind == SrcSinc && minDim < 14 {
+		s.SrcKind = SrcOffGrid
+	}
+
+	// Damping: zero sometimes (hard boundary reflections), else a thin
+	// sponge that still leaves a usable physical box.
+	if maxNBL := (minDim - 4) / 2; maxNBL > 0 && rng.Intn(3) != 0 {
+		s.NBL = 1 + rng.Intn(min(4, maxNBL))
+	}
+
+	s.Steps = 8 + rng.Intn(13)
+	s.Model = ModelKind(rng.Intn(3))
+	s.NSrc = 1 + rng.Intn(4)
+	if s.SrcKind == SrcMoving {
+		s.NSrc = 1 + rng.Intn(2)
+	}
+
+	s.Rec = RecLayout(rng.Intn(4))
+	if s.Rec != RecNone {
+		s.NRec = 1 + rng.Intn(6)
+	}
+	// Sinc measurement interpolation exists on the acoustic propagator only
+	// and needs interior receivers with sinc margin.
+	if s.Physics == Acoustic && s.Rec == RecLine && minDim >= 14 && rng.Intn(3) == 0 {
+		s.RecSinc = true
+	}
+
+	s.Workers = 1 + rng.Intn(4)
+	s.WTB = genWTB(rng, s)
+
+	if i == 12 || i == 13 || (i > 15 && s.distEligible() && rng.Intn(4) == 0) {
+		forceDeep := i == 13
+		s.Dist = genDist(rng, s, forceDeep)
+	}
+	return s
+}
+
+// genWTB draws a legal WTB configuration for the scenario: the tile respects
+// the propagator's dependency margin, the time-tile depth ranges from the
+// degenerate TT=1 (spatial) to deeper than the whole run.
+func genWTB(rng *rand.Rand, s Scenario) tiling.Config {
+	r := s.SO / 2
+	skew := r
+	if s.Physics == Elastic {
+		skew = 2 * r // staggered system: accumulated per-phase radii
+	}
+	minTile := 2 * skew
+	tile := func(n int) int {
+		hi := n + 2*skew
+		if hi <= minTile {
+			return minTile
+		}
+		return minTile + rng.Intn(hi-minTile+1)
+	}
+	return tiling.Config{
+		TT:     1 + rng.Intn(s.Steps+4),
+		TileX:  tile(s.Shape[0]),
+		TileY:  tile(s.Shape[1]),
+		BlockX: 2 + rng.Intn(10),
+		BlockY: 2 + rng.Intn(10),
+	}
+}
+
+// distEligible reports whether the scenario can also run under the
+// internal/dist slab decomposition: acoustic physics with static,
+// trilinear-interpolated sources (the cluster builds its own supports).
+func (s Scenario) distEligible() bool {
+	return s.Physics == Acoustic &&
+		(s.SrcKind == SrcOnGrid || s.SrcKind == SrcOffGrid) &&
+		!s.RecSinc
+}
+
+// genDist draws a slab decomposition that satisfies the cluster's
+// constraints (slab width ≥ dependency margin, deep halo ≤ slab, nt
+// divisible by depth); nil when the scenario is too small to decompose.
+func genDist(rng *rand.Rand, s Scenario, forceDeep bool) *dist.Config {
+	skew := s.SO / 2
+	cfg := &dist.Config{Ranks: 2 + rng.Intn(2), Mode: dist.PerStep, BlockX: 8, BlockY: 8, TileY: 8}
+	slab := (s.Shape[0] + cfg.Ranks - 1) / cfg.Ranks
+	for cfg.Ranks > 1 && slab < 2*skew {
+		cfg.Ranks--
+		slab = (s.Shape[0] + cfg.Ranks - 1) / cfg.Ranks
+	}
+	if slab < 2*skew {
+		return nil
+	}
+	if forceDeep || rng.Intn(2) == 0 {
+		// Depth must divide nt and keep depth·skew ≤ slab.
+		var depths []int
+		for d := 2; d <= 8 && d*skew <= slab; d++ {
+			if s.Steps%d == 0 {
+				depths = append(depths, d)
+			}
+		}
+		if len(depths) > 0 {
+			cfg.Mode = dist.DeepHalo
+			cfg.Depth = depths[rng.Intn(len(depths))]
+		} else if forceDeep {
+			return nil
+		}
+	}
+	return cfg
+}
+
+// Schedules lists the oracle schedules a scenario will run, for coverage
+// accounting.
+func (s Scenario) Schedules() []string {
+	out := []string{"spatial-unfused", "spatial-fused", "wtb"}
+	if s.Dist != nil {
+		out = append(out, "dist")
+	}
+	return out
+}
+
+// sortedFieldNames gives deterministic iteration over a propagator's fields.
+func sortedFieldNames(fields map[string]*grid.Grid) []string {
+	names := make([]string, 0, len(fields))
+	for n := range fields {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ { // insertion sort; tiny n
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}

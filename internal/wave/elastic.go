@@ -201,10 +201,8 @@ func (e *Elastic) stepObserved(sec *obs.Section, t int, vreg, sreg grid.Region, 
 // injection into the diagonal stresses and vz interpolation.
 func (e *Elastic) ApplySparse(t int) {
 	e.Ops.InjectBaseline(e.Txx, t)
-	if len(e.Ops.SrcSup) > 0 {
-		sparseInjectInto(e.Tyy, e.Ops, t)
-		sparseInjectInto(e.Tzz, e.Ops, t)
-	}
+	sparseInjectInto(e.Tyy, e.Ops, t)
+	sparseInjectInto(e.Tzz, e.Ops, t)
 	if len(e.Ops.RecSup) > 0 {
 		sparse.Interpolate(e.Vz, e.Ops.RecSup, e.Ops.recDirect[t])
 	}

@@ -200,14 +200,21 @@ func (w *TTI) ApplySparse(t int) {
 	w.Ops.InjectBaseline(pn, t)
 	// The q field receives the same injection; replay it via the direct
 	// path (fused flag toggling is handled inside InjectBaseline).
-	if len(w.Ops.SrcSup) > 0 {
-		sparseInjectInto(qn, w.Ops, t)
-	}
+	sparseInjectInto(qn, w.Ops, t)
 	w.Ops.InterpolateBaseline(pn, t)
 }
 
-// sparseInjectInto repeats the baseline injection into a second field.
+// sparseInjectInto repeats the baseline injection into a second field,
+// honouring the per-timestep supports of moving sources (whose static
+// SrcSup is empty).
 func sparseInjectInto(u *grid.Grid, ops *SparseOps, t int) {
+	if ops.SrcSupByStep != nil {
+		sparse.Inject(u, ops.SrcSupByStep[t], ops.wavAt(t), ops.scale)
+		return
+	}
+	if len(ops.SrcSup) == 0 {
+		return
+	}
 	sparse.Inject(u, ops.SrcSup, ops.wavAt(t), ops.scale)
 }
 

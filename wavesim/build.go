@@ -2,6 +2,7 @@ package wavesim
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"wavetile/internal/grid"
@@ -15,24 +16,40 @@ import (
 
 // New validates the options, builds the earth model, computes a CFL-stable
 // time axis, precomputes the sparse-operator structures and returns a
-// runnable Simulation.
+// runnable Simulation. Invalid configurations — including the degenerate
+// corners a generator can produce (0 or negative timesteps, NaN spacing or
+// coordinates, points on or beyond the grid boundary) — return errors tagged
+// ErrInvalidOptions or ErrPlacement rather than panicking.
 func New(o Options) (*Simulation, error) {
 	if o.SpaceOrder <= 0 || o.SpaceOrder%2 != 0 {
-		return nil, fmt.Errorf("wavesim: space order must be positive and even, got %d", o.SpaceOrder)
+		return nil, fmt.Errorf("%w: space order must be positive and even, got %d", ErrInvalidOptions, o.SpaceOrder)
 	}
 	for d := 0; d < 3; d++ {
 		if o.Shape[d] < 2*o.SpaceOrder {
-			return nil, fmt.Errorf("wavesim: shape[%d]=%d too small for space order %d", d, o.Shape[d], o.SpaceOrder)
+			return nil, fmt.Errorf("%w: shape[%d]=%d too small for space order %d", ErrInvalidOptions, d, o.Shape[d], o.SpaceOrder)
 		}
-		if o.Spacing[d] <= 0 {
-			return nil, fmt.Errorf("wavesim: spacing[%d] must be positive", d)
+		if !(o.Spacing[d] > 0) || math.IsInf(o.Spacing[d], 0) { // catches NaN too
+			return nil, fmt.Errorf("%w: spacing[%d]=%g must be positive and finite", ErrInvalidOptions, d, o.Spacing[d])
 		}
 	}
 	if o.Vp == nil {
-		return nil, fmt.Errorf("wavesim: Vp field is required")
+		return nil, fmt.Errorf("%w: Vp field is required", ErrInvalidOptions)
 	}
-	if o.TMax <= 0 && o.Steps <= 0 {
-		return nil, fmt.Errorf("wavesim: set TMax or Steps")
+	if o.Steps < 0 {
+		return nil, fmt.Errorf("%w: Steps=%d must not be negative", ErrInvalidOptions, o.Steps)
+	}
+	if o.Steps == 0 && (!(o.TMax > 0) || math.IsInf(o.TMax, 0)) {
+		return nil, fmt.Errorf("%w: set Steps > 0 or a positive finite TMax (got Steps=%d TMax=%g)",
+			ErrInvalidOptions, o.Steps, o.TMax)
+	}
+	if math.IsNaN(o.DtOverride) || math.IsInf(o.DtOverride, 0) || o.DtOverride < 0 {
+		return nil, fmt.Errorf("%w: DtOverride=%g must be a non-negative finite value", ErrInvalidOptions, o.DtOverride)
+	}
+	if err := checkCoords("source", o.Sources, o.Shape, o.Spacing, o.SincSources); err != nil {
+		return nil, err
+	}
+	if err := checkCoords("receiver", o.Receivers, o.Shape, o.Spacing, false); err != nil {
+		return nil, err
 	}
 	if o.SourceF0 == 0 {
 		o.SourceF0 = 10
@@ -51,6 +68,9 @@ func New(o Options) (*Simulation, error) {
 
 	// Probe vmax for the CFL bound (fields re-sample it during build).
 	vmax := probeMax(geom, o.Vp)
+	if !(vmax > 0) || math.IsInf(vmax, 0) {
+		return nil, fmt.Errorf("%w: Vp field probes to vmax=%g; need a positive finite velocity", ErrInvalidOptions, vmax)
+	}
 
 	var dt float64
 	switch o.Physics {
@@ -65,11 +85,11 @@ func New(o Options) (*Simulation, error) {
 	case Elastic:
 		dt = geom.CriticalDtElastic(o.SpaceOrder, vmax, model.DefaultCFL)
 	default:
-		return nil, fmt.Errorf("wavesim: unknown physics %v", o.Physics)
+		return nil, fmt.Errorf("%w: unknown physics %v", ErrInvalidOptions, o.Physics)
 	}
 	if o.DtOverride > 0 {
 		if o.DtOverride > dt {
-			return nil, fmt.Errorf("wavesim: DtOverride %g exceeds the CFL bound %g", o.DtOverride, dt)
+			return nil, fmt.Errorf("%w: DtOverride %g exceeds the CFL bound %g", ErrInvalidOptions, o.DtOverride, dt)
 		}
 		dt = o.DtOverride
 	}
@@ -78,6 +98,9 @@ func New(o Options) (*Simulation, error) {
 		geom.Nt = o.Steps
 	} else {
 		geom.SetTime(o.TMax, dt)
+	}
+	if geom.Nt < 1 {
+		return nil, fmt.Errorf("%w: time axis resolves to %d timesteps", ErrInvalidOptions, geom.Nt)
 	}
 	s.geom = geom
 
@@ -96,7 +119,7 @@ func New(o Options) (*Simulation, error) {
 			wavs[i] = wavelet.RickerSeries(o.SourceF0, geom.Nt, geom.Dt, o.SourceAmp)
 		}
 	} else if len(wavs) != src.N() {
-		return nil, fmt.Errorf("wavesim: %d wavelets for %d sources", len(wavs), src.N())
+		return nil, fmt.Errorf("%w: %d wavelets for %d sources", ErrInvalidOptions, len(wavs), src.N())
 	}
 
 	switch o.Physics {
@@ -145,6 +168,35 @@ func New(o Options) (*Simulation, error) {
 		s.elastic, s.prop, s.ops = e, e, e.Ops
 	}
 	return s, nil
+}
+
+// checkCoords validates off-the-grid coordinates up front so that placement
+// problems surface as ErrPlacement from New instead of interpolation errors
+// (or index panics on NaN) from deep inside the propagator builders. Points
+// exactly on the grid boundary are legal for trilinear interpolation (the
+// support clamps onto the hull face); sinc supports need SincRadius points of
+// margin.
+func checkCoords(kind string, pts []Coord, shape [3]int, h [3]float64, sinc bool) error {
+	for i, c := range pts {
+		for d := 0; d < 3; d++ {
+			u := c[d] / h[d]
+			if math.IsNaN(u) || math.IsInf(u, 0) {
+				return fmt.Errorf("%w: %s %d coordinate[%d]=%g is not finite", ErrPlacement, kind, i, d, c[d])
+			}
+			if sinc {
+				if u < float64(sparse.SincRadius-1) || u >= float64(shape[d]-sparse.SincRadius) {
+					return fmt.Errorf("%w: %s %d coordinate[%d]=%g too close to the boundary for sinc radius %d",
+						ErrPlacement, kind, i, d, c[d], sparse.SincRadius)
+				}
+				continue
+			}
+			if u < 0 || u > float64(shape[d]-1) {
+				return fmt.Errorf("%w: %s %d coordinate[%d]=%g outside the grid hull [0, %g]",
+					ErrPlacement, kind, i, d, c[d], float64(shape[d]-1)*h[d])
+			}
+		}
+	}
+	return nil
 }
 
 func orDefault(f FieldFunc, v float64) model.FieldFunc {

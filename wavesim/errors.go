@@ -1,0 +1,22 @@
+package wavesim
+
+import "errors"
+
+// Typed error categories returned by New and Run. Callers distinguish them
+// with errors.Is; every configuration problem the generator-driven
+// verification harness can produce (0 timesteps, non-finite spacing,
+// boundary-hugging receivers, NaN coordinates, …) maps onto one of these
+// instead of panicking deep inside the build path.
+var (
+	// ErrInvalidOptions tags structurally invalid Options: bad space order,
+	// undersized or non-positive shapes, non-finite or non-positive spacing,
+	// a missing Vp field, an empty or unusable time axis, or mismatched
+	// wavelet counts.
+	ErrInvalidOptions = errors.New("wavesim: invalid options")
+
+	// ErrPlacement tags source/receiver coordinates that cannot be
+	// interpolated on the grid: non-finite values, points outside the grid
+	// hull, or sinc-interpolated points too close to the boundary for their
+	// support.
+	ErrPlacement = errors.New("wavesim: off-the-grid point not usable")
+)

@@ -1,0 +1,125 @@
+package wavesim
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// goodOpts is a small valid configuration the degenerate-input tests start
+// from; each test breaks exactly one thing and asserts the typed error.
+func goodOpts() Options {
+	return Options{
+		Physics:    Acoustic,
+		SpaceOrder: 4,
+		Shape:      [3]int{20, 20, 20},
+		Spacing:    [3]float64{10, 10, 10},
+		NBL:        2,
+		Steps:      4,
+		Vp:         Homogeneous(1500),
+		Sources:    []Coord{{95, 95, 95}},
+		Receivers:  []Coord{{50, 95, 140}},
+	}
+}
+
+func TestNewRejectsInvalidOptions(t *testing.T) {
+	cases := []struct {
+		name  string
+		mut   func(*Options)
+		class error
+	}{
+		{"odd space order", func(o *Options) { o.SpaceOrder = 5 }, ErrInvalidOptions},
+		{"zero space order", func(o *Options) { o.SpaceOrder = 0 }, ErrInvalidOptions},
+		{"undersized shape", func(o *Options) { o.Shape[1] = 7 }, ErrInvalidOptions},
+		{"zero shape", func(o *Options) { o.Shape = [3]int{0, 0, 0} }, ErrInvalidOptions},
+		{"negative spacing", func(o *Options) { o.Spacing[0] = -10 }, ErrInvalidOptions},
+		{"zero spacing", func(o *Options) { o.Spacing[2] = 0 }, ErrInvalidOptions},
+		{"NaN spacing", func(o *Options) { o.Spacing[1] = math.NaN() }, ErrInvalidOptions},
+		{"Inf spacing", func(o *Options) { o.Spacing[0] = math.Inf(1) }, ErrInvalidOptions},
+		{"missing Vp", func(o *Options) { o.Vp = nil }, ErrInvalidOptions},
+		{"negative Steps", func(o *Options) { o.Steps = -3 }, ErrInvalidOptions},
+		{"no time axis", func(o *Options) { o.Steps, o.TMax = 0, 0 }, ErrInvalidOptions},
+		{"NaN TMax", func(o *Options) { o.Steps, o.TMax = 0, math.NaN() }, ErrInvalidOptions},
+		{"Inf TMax", func(o *Options) { o.Steps, o.TMax = 0, math.Inf(1) }, ErrInvalidOptions},
+		{"NaN DtOverride", func(o *Options) { o.DtOverride = math.NaN() }, ErrInvalidOptions},
+		{"negative DtOverride", func(o *Options) { o.DtOverride = -1e-3 }, ErrInvalidOptions},
+		{"DtOverride above CFL", func(o *Options) { o.DtOverride = 10 }, ErrInvalidOptions},
+		{"non-positive velocity", func(o *Options) { o.Vp = Homogeneous(0) }, ErrInvalidOptions},
+		{"unknown physics", func(o *Options) { o.Physics = Physics(99) }, ErrInvalidOptions},
+		{"wavelet count mismatch", func(o *Options) {
+			o.SourceWavelets = make([][]float32, 3)
+		}, ErrInvalidOptions},
+
+		{"NaN source coordinate", func(o *Options) { o.Sources[0][1] = math.NaN() }, ErrPlacement},
+		{"Inf receiver coordinate", func(o *Options) { o.Receivers[0][2] = math.Inf(-1) }, ErrPlacement},
+		{"source outside hull", func(o *Options) { o.Sources[0][0] = 191 }, ErrPlacement},
+		{"source below hull", func(o *Options) { o.Sources[0][2] = -0.5 }, ErrPlacement},
+		{"receiver outside hull", func(o *Options) { o.Receivers[0][0] = 1e6 }, ErrPlacement},
+		{"sinc source too close to boundary", func(o *Options) {
+			o.SincSources = true
+			o.Sources[0] = Coord{10, 95, 95} // u=1 < SincRadius-1
+		}, ErrPlacement},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := goodOpts()
+			tc.mut(&o)
+			_, err := New(o)
+			if err == nil {
+				t.Fatalf("New accepted the configuration")
+			}
+			if !errors.Is(err, tc.class) {
+				t.Fatalf("error %q is not tagged %v", err, tc.class)
+			}
+			// The two classes must stay distinguishable.
+			other := ErrPlacement
+			if tc.class == ErrPlacement {
+				other = ErrInvalidOptions
+			}
+			if errors.Is(err, other) {
+				t.Fatalf("error %q tagged with both classes", err)
+			}
+		})
+	}
+}
+
+// TestNewAcceptsBoundaryCases pins the legal edge configurations: trilinear
+// points exactly on the grid hull, an empty source set, and a sinc source at
+// the inner margin.
+func TestNewAcceptsBoundaryCases(t *testing.T) {
+	o := goodOpts()
+	o.Sources = []Coord{{0, 0, 0}}         // hull corner
+	o.Receivers = []Coord{{190, 190, 190}} // opposite hull corner (=(n-1)·h)
+	sim, err := New(o)
+	if err != nil {
+		t.Fatalf("hull-corner placement rejected: %v", err)
+	}
+	if _, err := sim.Run(Spatial{}); err != nil {
+		t.Fatalf("run with hull-corner points: %v", err)
+	}
+
+	o = goodOpts()
+	o.Sources = nil
+	o.Receivers = nil
+	sim, err = New(o)
+	if err != nil {
+		t.Fatalf("source-free configuration rejected: %v", err)
+	}
+	res, err := sim.Run(Spatial{})
+	if err != nil {
+		t.Fatalf("source-free run: %v", err)
+	}
+	if res.Receivers != nil {
+		t.Fatalf("receiver-free run returned traces")
+	}
+	if m := sim.MaxAbsWavefield(); m != 0 {
+		t.Fatalf("zero sources produced a nonzero field (max %g)", m)
+	}
+
+	o = goodOpts()
+	o.SincSources = true
+	o.Sources = []Coord{{30, 95, 95}} // u=3 = SincRadius-1: first legal position
+	if _, err := New(o); err != nil {
+		t.Fatalf("sinc source at inner margin rejected: %v", err)
+	}
+}
