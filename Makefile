@@ -1,7 +1,7 @@
 GO ?= go
 
-.PHONY: all build test race-obs bench bench-json bce-check fmt vet check \
-	verify fuzz-smoke golden
+.PHONY: all build test race-obs race-sched bench bench-json bench-smoke \
+	bce-check fmt vet check verify fuzz-smoke golden
 
 all: build test
 
@@ -23,6 +23,12 @@ race-obs:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/obs/... ./internal/par/... ./internal/tiling/...
 
+# Race-detector pass over the task-graph scheduler and the overlapped
+# distributed exchange built on it: the pipelined WTB runtime (work-stealing
+# deques, park/wake protocol) and the dist pack-early/unpack handshake.
+race-sched:
+	$(GO) test -race ./internal/sched/... ./internal/dist/...
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
@@ -35,6 +41,17 @@ bench-json:
 	/tmp/wavebench -mode wall -models acoustic,elastic,tti -orders 4,8 \
 		-n 96 -steps 8 -tunesteps 2 -json > $(BENCH_JSON)
 	@echo "wrote $(BENCH_JSON)"
+
+# Short-iteration benchmark smoke: tiny wall-mode sweep (spatial, WTB and
+# pipelined columns) plus the scheduler/dist micro-benchmarks at one
+# iteration each. Catches bit-rot in the measurement paths without the
+# runtime cost of a real benchmark session.
+bench-smoke:
+	$(GO) build -o /tmp/wavebench ./cmd/wavebench
+	/tmp/wavebench -mode wall -models acoustic -orders 4 \
+		-n 48 -steps 4 -tunesteps 2 -schedule both > /dev/null
+	$(GO) test ./internal/dist -run '^$$' -bench . -benchtime 1x
+	$(GO) test ./internal/par -run '^$$' -bench BenchmarkForGrain -benchtime 1x
 
 # Bounds-check-elimination gate: the radius-specialized kernels (*_kern.go)
 # must compile with zero IsInBounds checks — the per-row sub-slice
@@ -78,4 +95,4 @@ golden:
 	$(GO) test ./internal/verify -run TestGoldenCorpus -golden.update
 	@git -C . status --short internal/verify/testdata/golden || true
 
-check: build vet test race-obs bce-check verify
+check: build vet test race-obs race-sched bce-check verify

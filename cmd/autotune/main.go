@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"wavetile/internal/bench"
+	"wavetile/internal/tiling"
 )
 
 func main() {
@@ -26,7 +27,17 @@ func main() {
 	tts := flag.String("tt", "8,16,32", "time-tile depths to sweep")
 	top := flag.Int("top", 1, "report the best k configurations per kernel")
 	csv := flag.Bool("csv", false, "emit CSV")
+	schedule := flag.String("schedule", "wtb", "runtime to sweep: wtb (sequential tiles) or wtb-pipelined (task graph)")
 	flag.Parse()
+
+	exec := tiling.RunWTB
+	switch *schedule {
+	case "wtb":
+	case "wtb-pipelined", "pipelined":
+		exec = tiling.RunWTBPipelined
+	default:
+		fatal(fmt.Errorf("unknown -schedule %q (want wtb or wtb-pipelined)", *schedule))
+	}
 
 	var ttList []int
 	for _, s := range strings.Split(*tts, ",") {
@@ -38,8 +49,8 @@ func main() {
 	}
 
 	table := &bench.Table{
-		Title: fmt.Sprintf("Table I — optimal WTB tile/block shapes (host, %d³ grid, %d tuning steps)",
-			*n, *tuneSteps),
+		Title: fmt.Sprintf("Table I — optimal WTB tile/block shapes (host, %d³ grid, %d tuning steps, %s runtime)",
+			*n, *tuneSteps, *schedule),
 		Header: []string{"Problem", "rank", "TT", "tile_x", "tile_y", "block_x", "block_y", "GPts/s"},
 	}
 	for _, m := range strings.Split(*models, ",") {
@@ -49,7 +60,7 @@ func main() {
 				fatal(err)
 			}
 			spec := bench.Spec{Model: strings.TrimSpace(m), SO: so, N: *n}
-			results, err := bench.TuneWTB(spec, *tuneSteps, *repeats, ttList)
+			results, err := bench.TuneWTBWith(spec, exec, *tuneSteps, *repeats, ttList)
 			if err != nil {
 				fatal(err)
 			}

@@ -34,7 +34,7 @@ func main() {
 	steps := flag.Int("steps", 0, "timestep count override")
 	f0 := flag.Float64("f0", 12, "Ricker peak frequency (Hz)")
 	nrec := flag.Int("nrec", 64, "receivers on a surface line")
-	schedule := flag.String("schedule", "wtb", "wtb or spatial")
+	schedule := flag.String("schedule", "wtb", "wtb, wtb-pipelined or spatial")
 	tt := flag.Int("tt", 16, "WTB time-tile depth")
 	tile := flag.Int("tile", 32, "WTB tile edge")
 	block := flag.Int("block", 8, "parallel block edge")
@@ -109,10 +109,15 @@ func main() {
 	}
 
 	var sched wavesim.Schedule
-	if *schedule == "wtb" {
+	switch *schedule {
+	case "wtb":
 		sched = wavesim.WTB{TimeTile: *tt, TileX: *tile, TileY: *tile, BlockX: *block, BlockY: *block}
-	} else {
+	case "wtb-pipelined", "pipelined":
+		sched = wavesim.WTBPipelined{TimeTile: *tt, TileX: *tile, TileY: *tile, BlockX: *block, BlockY: *block}
+	case "spatial":
 		sched = wavesim.Spatial{BlockX: *block, BlockY: *block}
+	default:
+		fatal(fmt.Errorf("unknown -schedule %q (want wtb, wtb-pipelined or spatial)", *schedule))
 	}
 	res, err := sim.Run(sched)
 	if err != nil {

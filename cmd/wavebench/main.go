@@ -51,6 +51,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
 	progress := flag.Bool("progress", false, "log structured run progress to stderr")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	schedule := flag.String("schedule", "both", "wall-mode temporal schedule column(s): wtb, wtb-pipelined or both")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -118,11 +119,28 @@ func main() {
 		}
 		jsonRows = rows
 		table = &bench.Table{
-			Title:  fmt.Sprintf("Fig. 9 (host wall-clock) — %d³ grid, %d steps", *n, *steps),
-			Header: []string{"kernel", "spatial GPts/s", "WTB GPts/s", "speedup", "best WTB cfg"},
+			Title: fmt.Sprintf("Fig. 9 (host wall-clock) — %d³ grid, %d steps", *n, *steps),
 		}
-		for _, r := range rows {
-			table.Add(r.Spec.Name(), r.SpatialGP, r.WTBGP, r.Speedup, r.Best.String())
+		switch *schedule {
+		case "wtb":
+			table.Header = []string{"kernel", "spatial GPts/s", "WTB GPts/s", "speedup", "best WTB cfg"}
+			for _, r := range rows {
+				table.Add(r.Spec.Name(), r.SpatialGP, r.WTBGP, r.Speedup, r.Best.String())
+			}
+		case "wtb-pipelined", "pipelined":
+			table.Header = []string{"kernel", "spatial GPts/s", "pipelined GPts/s", "speedup", "best WTB cfg"}
+			for _, r := range rows {
+				table.Add(r.Spec.Name(), r.SpatialGP, r.PipeGP, r.PipeSpeedup, r.Best.String())
+			}
+		case "both":
+			table.Header = []string{"kernel", "spatial GPts/s", "WTB GPts/s", "pipelined GPts/s",
+				"WTB speedup", "pipe speedup", "best WTB cfg"}
+			for _, r := range rows {
+				table.Add(r.Spec.Name(), r.SpatialGP, r.WTBGP, r.PipeGP,
+					r.Speedup, r.PipeSpeedup, r.Best.String())
+			}
+		default:
+			fatal(fmt.Errorf("unknown -schedule %q (want wtb, wtb-pipelined or both)", *schedule))
 		}
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))

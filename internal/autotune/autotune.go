@@ -57,10 +57,22 @@ func Candidates(nx, ny, minTile int, tts []int) []tiling.Config {
 // one tuning measurement.
 type Runner func(nt int) (tiling.Propagator, error)
 
+// Exec runs one schedule configuration on a propagator — the quantity being
+// tuned. tiling.RunWTB and tiling.RunWTBPipelined both satisfy it, so the
+// same sweep grid tunes either the sequential-tile or the task-graph
+// runtime.
+type Exec func(tiling.Propagator, tiling.Config) error
+
 // Tune measures every candidate over tuneSteps timesteps (repeats times,
 // best-of) and returns all results sorted fastest-first. points is the
-// number of grid points updated per timestep (for GPts/s).
+// number of grid points updated per timestep (for GPts/s). The schedule
+// executed is tiling.RunWTB; use TuneWith to sweep a different runtime.
 func Tune(run Runner, tuneSteps, repeats int, points int, cands []tiling.Config) ([]Result, error) {
+	return TuneWith(run, tiling.RunWTB, tuneSteps, repeats, points, cands)
+}
+
+// TuneWith is Tune with an explicit schedule executor.
+func TuneWith(run Runner, exec Exec, tuneSteps, repeats int, points int, cands []tiling.Config) ([]Result, error) {
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("autotune: no candidates")
 	}
@@ -76,7 +88,7 @@ func Tune(run Runner, tuneSteps, repeats int, points int, cands []tiling.Config)
 				return nil, err
 			}
 			start := time.Now()
-			if err := tiling.RunWTB(p, cfg); err != nil {
+			if err := exec(p, cfg); err != nil {
 				return nil, err
 			}
 			el := time.Since(start)

@@ -55,10 +55,26 @@ func MeasureWTB(p *Problem, cfg tiling.Config, repeats int) (time.Duration, erro
 	}, repeats)
 }
 
+// MeasurePipelined times one WTB configuration under the task-graph
+// runtime (tiling.RunWTBPipelined) — same tile shapes, no per-level
+// barrier.
+func MeasurePipelined(p *Problem, cfg tiling.Config, repeats int) (time.Duration, error) {
+	return timeSchedule(p, func() error {
+		return tiling.RunWTBPipelined(p.Prop, cfg)
+	}, repeats)
+}
+
 // TuneWTB autotunes the WTB parameters on the real propagator over a
 // truncated time axis and returns the winning configuration with its
-// measured results (Table I procedure).
+// measured results (Table I procedure). It sweeps tiling.RunWTB; use
+// TuneWTBWith to sweep another runtime over the same grid.
 func TuneWTB(spec Spec, tuneSteps, repeats int, tts []int) ([]autotune.Result, error) {
+	return TuneWTBWith(spec, tiling.RunWTB, tuneSteps, repeats, tts)
+}
+
+// TuneWTBWith is TuneWTB with an explicit schedule executor (e.g.
+// tiling.RunWTBPipelined).
+func TuneWTBWith(spec Spec, exec autotune.Exec, tuneSteps, repeats int, tts []int) ([]autotune.Result, error) {
 	built, err := Spec{
 		Model: spec.Model, SO: spec.SO, N: spec.N, NBL: spec.NBL,
 		Steps: tuneSteps, NSrc: spec.NSrc, SrcLayout: spec.SrcLayout, NRec: spec.NRec,
@@ -71,20 +87,26 @@ func TuneWTB(spec Spec, tuneSteps, repeats int, tts []int) ([]autotune.Result, e
 		built.Reset()
 		return built.Prop, nil
 	}
-	return autotune.Tune(runner, tuneSteps, repeats, built.PointsPerStep, cands)
+	return autotune.TuneWith(runner, exec, tuneSteps, repeats, built.PointsPerStep, cands)
 }
 
-// WallRow holds one Figure-9-style wall-clock measurement.
+// WallRow holds one Figure-9-style wall-clock measurement. PipeGP and
+// PipeSpeedup report the task-graph runtime (RunWTBPipelined) at the same
+// tuned tile shape as WTBGP, so the two columns isolate the scheduling
+// change from the tile-shape choice.
 type WallRow struct {
-	Spec      Spec
-	SpatialGP float64
-	WTBGP     float64
-	Speedup   float64
-	Best      tiling.Config
+	Spec        Spec
+	SpatialGP   float64
+	WTBGP       float64
+	PipeGP      float64
+	Speedup     float64 // spatial / WTB
+	PipeSpeedup float64 // spatial / pipelined
+	Best        tiling.Config
 }
 
 // Fig9Wall measures the WTB-vs-spatial speedup on the host for every spec:
-// a brief tile autotune, then timed runs of both schedules.
+// a brief tile autotune, then timed runs of all three schedules (spatial,
+// barriered WTB, pipelined WTB).
 func Fig9Wall(specs []Spec, tuneSteps, repeats int, tts []int) ([]WallRow, error) {
 	var rows []WallRow
 	for _, s := range specs {
@@ -105,12 +127,18 @@ func Fig9Wall(specs []Spec, tuneSteps, repeats int, tts []int) ([]WallRow, error
 		if err != nil {
 			return nil, err
 		}
+		pl, err := MeasurePipelined(p, best, repeats)
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, WallRow{
-			Spec:      s,
-			SpatialGP: gpts(p.PointsPerStep, p.Geom.Nt, sp),
-			WTBGP:     gpts(p.PointsPerStep, p.Geom.Nt, wt),
-			Speedup:   float64(sp) / float64(wt),
-			Best:      best,
+			Spec:        s,
+			SpatialGP:   gpts(p.PointsPerStep, p.Geom.Nt, sp),
+			WTBGP:       gpts(p.PointsPerStep, p.Geom.Nt, wt),
+			PipeGP:      gpts(p.PointsPerStep, p.Geom.Nt, pl),
+			Speedup:     float64(sp) / float64(wt),
+			PipeSpeedup: float64(sp) / float64(pl),
+			Best:        best,
 		})
 	}
 	return rows, nil

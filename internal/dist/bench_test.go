@@ -1,0 +1,72 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"wavetile/internal/model"
+	"wavetile/internal/sparse"
+	"wavetile/internal/wavelet"
+)
+
+// benchSetup mirrors the correctness tests' setup without a testing.T.
+func benchSetup(n, so, nt int) (model.Geometry, model.FieldFunc, *sparse.Points, [][]float32) {
+	g := model.Geometry{Nx: n, Ny: n, Nz: n, Hx: 10, Hy: 10, Hz: 10, NBL: 4}
+	dt := g.CriticalDtAcoustic(so, 3000, model.DefaultCFL)
+	g.SetTime(float64(nt)*dt, dt)
+	g.Nt = nt
+	vp := model.Layered(float64(n)*10, 1500, 2500, 3000)
+	lo, hi := g.PhysicalBox()
+	src := &sparse.Points{Coords: []sparse.Coord{
+		{(lo[0] + hi[0]) / 2.1, (lo[1] + hi[1]) / 1.9, lo[2] + 21},
+		{(lo[0]+hi[0])/2 + 3.3, (lo[1] + hi[1]) / 2.2, lo[2] + 33},
+	}}
+	wav := make([][]float32, src.N())
+	for i := range wav {
+		wav[i] = wavelet.RickerSeries(2.0/(float64(g.Nt)*g.Dt), g.Nt, g.Dt, 1e3)
+	}
+	return g, vp, src, wav
+}
+
+// BenchmarkDeepHalo times full deep-halo cluster runs; BENCH_PR5.json tracks
+// these numbers across the scheduler overhaul (the acceptance bar there is
+// "no slower than the barriered runtime").
+func BenchmarkDeepHalo(b *testing.B) {
+	for _, c := range []struct{ ranks, depth int }{{2, 4}, {2, 8}, {3, 4}} {
+		b.Run(fmt.Sprintf("ranks=%d_depth=%d", c.ranks, c.depth), func(b *testing.B) {
+			n, so, nt := 64, 8, 16
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g, vp, src, wav := benchSetup(n, so, nt)
+				cl, err := NewAcousticCluster(Config{
+					Ranks: c.ranks, Mode: DeepHalo, Depth: c.depth,
+					TileY: 16, BlockX: 8, BlockY: 8,
+				}, g, so, vp, src, wav)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := cl.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPerStep(b *testing.B) {
+	n, so, nt := 64, 8, 16
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g, vp, src, wav := benchSetup(n, so, nt)
+		cl, err := NewAcousticCluster(Config{Ranks: 3, Mode: PerStep, BlockX: 8, BlockY: 8},
+			g, so, vp, src, wav)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := cl.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

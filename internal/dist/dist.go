@@ -50,8 +50,12 @@ type Config struct {
 	// Depth D of the deep-halo mode (timesteps per exchange); the in-rank
 	// schedule runs WTB with this time-tile depth. Ignored for PerStep.
 	Depth int
-	// WTB tile/block shape used inside each rank in DeepHalo mode.
-	TileY, BlockX, BlockY int
+	// WTB tile/block shape used inside each rank in DeepHalo mode. TileX
+	// splits the slab into tile columns for the pipelined in-rank schedule
+	// — with ≥ 2 columns the boundary column can finish and pack its halo
+	// planes while interior columns still compute (overlap); TileX ≤ 0 (or
+	// below the dependency margin) keeps the whole slab as one column.
+	TileX, TileY, BlockX, BlockY int
 }
 
 // rank is one slab of the global acoustic problem.

@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"wavetile/internal/par"
+)
+
+// TestDeepHaloOverlapMatchesSingleDomain exercises the overlapped exchange
+// path: TileX splits each slab into ≥ 2 tile columns, so boundary columns
+// finish first and their halo planes are packed from the task-graph hook
+// while interior columns still compute. The result must stay bitwise
+// identical to the single-domain run — packing early reads exactly the
+// values the old post-barrier exchange read, because the task graph orders
+// every write to the packed planes before the pack.
+func TestDeepHaloOverlapMatchesSingleDomain(t *testing.T) {
+	oldW := par.Workers
+	par.Workers = 4 // let in-rank tiles actually run concurrently
+	defer func() { par.Workers = oldW }()
+
+	for _, c := range []struct{ ranks, depth, tileX int }{
+		{2, 2, 8}, {2, 4, 8}, {3, 4, 8}, {2, 7, 12}, {2, 4, 4},
+	} {
+		c := c
+		t.Run(fmt.Sprintf("ranks=%d_depth=%d_tileX=%d", c.ranks, c.depth, c.tileX), func(t *testing.T) {
+			nt := (28 / c.depth) * c.depth
+			g, vp, src, wav := setup(t, 40, 4, nt)
+			ref := reference(t, g, 4, vp, src, wav)
+
+			cl, err := NewAcousticCluster(Config{
+				Ranks: c.ranks, Mode: DeepHalo, Depth: c.depth,
+				TileX: c.tileX, TileY: 16, BlockX: 8, BlockY: 8,
+			}, g, 4, vp, src, wav)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.Run(); err != nil {
+				t.Fatal(err)
+			}
+			got := cl.GatherWavefield()
+			want := ref.Final()
+			for x := 0; x < g.Nx; x++ {
+				for y := 0; y < g.Ny; y++ {
+					a, b := want.Row(x, y), got.Row(x, y)
+					for z := range a {
+						if a[z] != b[z] {
+							t.Fatalf("(%d,%d,%d): single %g dist %g", x, y, z, a[z], b[z])
+						}
+					}
+				}
+			}
+			if want.MaxAbs() == 0 {
+				t.Fatal("vacuous comparison")
+			}
+		})
+	}
+}
+
+// TestPerStepConcurrentRanks runs the persistent-goroutine PerStep path
+// with a raised worker count so rank goroutines genuinely interleave; the
+// neighbour handshake must keep results bitwise identical.
+func TestPerStepConcurrentRanks(t *testing.T) {
+	oldW := par.Workers
+	par.Workers = 4
+	defer func() { par.Workers = oldW }()
+
+	g, vp, src, wav := setup(t, 36, 4, 14)
+	ref := reference(t, g, 4, vp, src, wav)
+	c, err := NewAcousticCluster(Config{Ranks: 4, Mode: PerStep, BlockX: 8, BlockY: 8},
+		g, 4, vp, src, wav)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := c.GatherWavefield()
+	want := ref.Final()
+	for x := 0; x < g.Nx; x++ {
+		for y := 0; y < g.Ny; y++ {
+			a, b := want.Row(x, y), got.Row(x, y)
+			for z := range a {
+				if a[z] != b[z] {
+					t.Fatalf("(%d,%d,%d): single %g dist %g", x, y, z, a[z], b[z])
+				}
+			}
+		}
+	}
+}
+
+// TestOverlapPackPlanCoversBoundary sanity-checks the pack plans: every
+// outgoing edge of a DeepHalo cluster with split columns must have a
+// non-empty boundary task set, and the hook countdown must hand the pack
+// to either the hook or the flush exactly once per tile (covered
+// indirectly by the bitwise tests; here we assert the plan is non-trivial
+// so the overlap path is actually exercised).
+func TestOverlapPackPlanCoversBoundary(t *testing.T) {
+	g, vp, src, wav := setup(t, 40, 4, 8)
+	cl, err := NewAcousticCluster(Config{
+		Ranks: 2, Mode: DeepHalo, Depth: 4,
+		TileX: 8, TileY: 16, BlockX: 8, BlockY: 8,
+	}, g, 4, vp, src, wav)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := cl.buildEdges()
+	for i, es := range edges {
+		for _, p := range es.packs {
+			if p.count == 0 {
+				t.Errorf("rank %d: pack plan has empty boundary set", i)
+			}
+			if len(p.e.gxs) != cl.ranks[i].halo {
+				t.Errorf("rank %d: edge stages %d planes, want halo %d", i, len(p.e.gxs), cl.ranks[i].halo)
+			}
+		}
+	}
+}

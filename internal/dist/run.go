@@ -2,38 +2,117 @@ package dist
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"wavetile/internal/grid"
 	"wavetile/internal/tiling"
 )
 
-// Run advances the whole cluster through the geometry's time axis:
-// rank-parallel compute phases separated by halo exchanges.
+// Run advances the whole cluster through the geometry's time axis.
+//
+// Each rank is one persistent goroutine for the entire run (not one per
+// time tile), and there is no global barrier: neighbouring ranks
+// synchronize pairwise through per-edge staging buffers with a
+// one-token ready/free handshake, so a rank may run one time tile ahead
+// of a neighbour that is still finishing. In DeepHalo mode the in-rank
+// schedule is the pipelined task graph (tiling.RunWTBPipelinedHooked),
+// and each outgoing edge is packed the moment the last tile writing its
+// boundary planes completes — overlapping the halo exchange with the
+// interior compute that is still draining, instead of the old
+// wg.Wait()-then-exchange barrier.
+//
+// Every owned point still computes the same expression from the same
+// inputs as a single-domain run (packing is read-only and the task graph
+// orders every write that precedes it), so results remain bitwise
+// identical — asserted by the package tests against single-domain runs.
 func (c *Cluster) Run() error {
 	nt := c.geom.Nt
-	for t0 := 0; t0 < nt; t0 += c.depth {
-		var wg sync.WaitGroup
-		errs := make([]error, len(c.ranks))
-		for i, r := range c.ranks {
-			wg.Add(1)
-			go func(i int, r *rank) {
-				defer wg.Done()
-				errs[i] = r.advance(c, t0)
-			}(i, r)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
+	if len(c.ranks) == 1 {
+		r := c.ranks[0]
+		for t0 := 0; t0 < nt; t0 += c.depth {
+			if err := r.advance(c, t0, tiling.PipelineHooks{}); err != nil {
 				return err
 			}
 		}
-		c.exchange(t0 + c.depth)
+		return nil
+	}
+
+	edges := c.buildEdges()
+	abort := make(chan struct{})
+	var failOnce sync.Once
+	var firstErr error
+	fail := func(err error) {
+		failOnce.Do(func() {
+			firstErr = err
+			close(abort)
+		})
+	}
+	var wg sync.WaitGroup
+	for i := range c.ranks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := c.runRank(i, edges[i], abort); err != nil {
+				fail(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// runRank is one rank's persistent loop: compute a time tile (packing
+// boundary planes early via the task-graph hook), flush any packs the
+// hook could not complete, then consume the neighbours' planes.
+func (c *Cluster) runRank(i int, es rankEdges, abort <-chan struct{}) error {
+	r := c.ranks[i]
+	nt := c.geom.Nt
+	for t0 := 0; t0 < nt; t0 += c.depth {
+		tNext := t0 + c.depth
+		hook := tiling.PipelineHooks{}
+		if c.depth > 1 && len(es.packs) > 0 {
+			for _, p := range es.packs {
+				p.reset()
+			}
+			hook.OnTaskDone = func(bx, by, k int) {
+				for _, p := range es.packs {
+					p.onTask(c, bx, k, tNext)
+				}
+			}
+		}
+		if err := r.advance(c, t0, hook); err != nil {
+			return err
+		}
+		// Flush: edges whose boundary set never drained through the hook
+		// (PerStep mode, hook found the staging busy, or an all-empty
+		// boundary set) are packed here, after the tile's last write.
+		for _, p := range es.packs {
+			if p.packed {
+				continue
+			}
+			select {
+			case <-p.e.free:
+			case <-abort:
+				return nil
+			}
+			c.pack(p.e, tNext)
+			p.e.ready <- struct{}{}
+		}
+		for _, e := range es.in {
+			select {
+			case <-e.ready:
+			case <-abort:
+				return nil
+			}
+			c.unpack(e, tNext)
+			e.free <- struct{}{}
+		}
 	}
 	return nil
 }
 
 // advance computes depth timesteps on one rank's slab grid.
-func (r *rank) advance(c *Cluster, t0 int) error {
+func (r *rank) advance(c *Cluster, t0 int, h tiling.PipelineHooks) error {
 	if c.depth == 1 {
 		// PerStep: one plain spatial step over the whole slab (halo
 		// columns included — they are corrected by the exchange).
@@ -41,55 +120,213 @@ func (r *rank) advance(c *Cluster, t0 int) error {
 		r.prop.Step(t0, grid.FullRegion(r.nx, c.geom.Ny), true)
 		return nil
 	}
-	// DeepHalo: run wave-front temporal blocking inside the slab for one
-	// time tile of `depth` steps. Halo columns decay into staleness at
+	// DeepHalo: run the pipelined wave-front schedule inside the slab for
+	// one time tile of `depth` steps. Halo columns decay into staleness at
 	// `skew` cells per step; the halo is exactly deep enough that the owned
 	// region never reads a stale value.
+	return tiling.RunWTBPipelinedHooked(r.prop, c.wtbConfig(r), t0, t0+c.depth, h)
+}
+
+// wtbConfig is the in-rank WTB configuration. Config.TileX splits the
+// slab into tile columns so boundary tiles can finish (and pack) ahead of
+// the interior; unset, the whole slab is one column and no overlap is
+// possible — the pre-task-graph behaviour.
+func (c *Cluster) wtbConfig(r *rank) tiling.Config {
 	cfg := tiling.Config{
 		TT:     c.depth,
-		TileX:  max(r.nx, 2*c.skew),
+		TileX:  c.cfg.TileX,
 		TileY:  c.cfg.TileY,
 		BlockX: c.cfg.BlockX,
 		BlockY: c.cfg.BlockY,
 	}
+	if cfg.TileX < 2*c.skew {
+		cfg.TileX = max(r.nx, 2*c.skew)
+	}
 	if cfg.TileY < 2*c.skew {
 		cfg.TileY = c.geom.Ny
 	}
-	return tiling.RunWTBRange(r.prop, cfg, t0, t0+c.depth)
+	return cfg
 }
 
-// exchange copies owned boundary planes into the neighbours' halos. tNext
-// is the time index now held in buffer tNext&1; in DeepHalo mode both live
-// buffers' halos are stale and both are refreshed.
-func (c *Cluster) exchange(tNext int) {
-	buffers := []int{tNext & 1}
-	if c.depth > 1 {
-		buffers = append(buffers, (tNext+1)&1)
+// ---------------------------------------------------------------------------
+// Edges
+
+// edge is one direction of a neighbour exchange: src's owned boundary
+// planes staged for dst. A single token circulates through ready/free, so
+// sends never block: free means dst has consumed the staging and src may
+// repack it; ready means src has packed and dst may unpack. Ranks
+// therefore drift at most one time tile apart, synchronizing only with
+// neighbours instead of a global barrier.
+type edge struct {
+	src, dst *rank
+	gxs      []int       // global x planes valid on both slabs
+	planes   [][]float32 // staged copies, one per (buffer, plane)
+	ready    chan struct{}
+	free     chan struct{}
+}
+
+// rankEdges groups one rank's incoming edges and outgoing pack plans.
+type rankEdges struct {
+	in    []*edge
+	packs []*packPlan
+}
+
+// packPlan schedules one outgoing edge's pack. match marks the (bx, k)
+// space-time tiles whose final-level writes touch the edge planes; n
+// counts down the non-empty matching tasks, and the task that takes it to
+// zero packs immediately — every write the pack reads is then complete,
+// because any earlier write to those planes is ordered before some
+// matching task by the graph's own/left chains.
+type packPlan struct {
+	e      *edge
+	tt     int
+	match  []bool // [bx*tt + k]
+	count  int32
+	n      atomic.Int32
+	packed bool // written by the zero-hitting task, read after the graph drains
+}
+
+func (p *packPlan) reset() {
+	p.n.Store(p.count)
+	p.packed = false
+}
+
+// onTask is the per-task hook body: the task completing the boundary set
+// packs the edge if the staging is free, and signals it ready. If the
+// neighbour still holds the staging (it is a full tile behind), the pack
+// falls to the post-advance flush rather than blocking a compute worker.
+func (p *packPlan) onTask(c *Cluster, bx, k, tNext int) {
+	if !p.match[bx*p.tt+k] || p.n.Add(-1) != 0 {
+		return
 	}
+	select {
+	case <-p.e.free:
+		c.pack(p.e, tNext)
+		p.e.ready <- struct{}{}
+		p.packed = true
+	default:
+	}
+}
+
+// buildEdges constructs the staging edges and pack plans for every rank.
+func (c *Cluster) buildEdges() []rankEdges {
+	es := make([]rankEdges, len(c.ranks))
 	for i := 0; i < len(c.ranks)-1; i++ {
 		l, rr := c.ranks[i], c.ranks[i+1]
-		for _, b := range buffers {
-			// Left rank's owned right edge → right rank's left halo.
-			copyPlanes(l.prop.U[b], rr.prop.U[b], l.x1-l.halo, l.x1, l.lox, rr.lox)
-			// Right rank's owned left edge → left rank's right halo.
-			copyPlanes(rr.prop.U[b], l.prop.U[b], rr.x0, rr.x0+rr.halo, rr.lox, l.lox)
+		// Left rank's owned right edge → right rank's left halo.
+		right := c.newEdge(l, rr, l.x1-l.halo, l.x1)
+		// Right rank's owned left edge → left rank's right halo.
+		left := c.newEdge(rr, l, rr.x0, rr.x0+rr.halo)
+		es[i].packs = append(es[i].packs, c.newPackPlan(right))
+		es[i].in = append(es[i].in, left)
+		es[i+1].packs = append(es[i+1].packs, c.newPackPlan(left))
+		es[i+1].in = append(es[i+1].in, right)
+	}
+	return es
+}
+
+// newEdge stages the global x planes [g0, g1) from src's grids into dst.
+// Planes outside either slab are dropped here, preserving the bounds
+// behaviour of the old in-place plane copy.
+func (c *Cluster) newEdge(src, dst *rank, g0, g1 int) *edge {
+	e := &edge{src: src, dst: dst,
+		ready: make(chan struct{}, 1), free: make(chan struct{}, 1)}
+	for gx := g0; gx < g1; gx++ {
+		if sx := gx - src.lox; sx < 0 || sx >= src.nx {
+			continue
+		}
+		if dx := gx - dst.lox; dx < 0 || dx >= dst.nx {
+			continue
+		}
+		e.gxs = append(e.gxs, gx)
+	}
+	sx := src.prop.U[0].SX
+	for b := 0; b < c.bufCount(); b++ {
+		for range e.gxs {
+			e.planes = append(e.planes, make([]float32, sx))
+		}
+	}
+	e.free <- struct{}{} // staging starts consumable
+	return e
+}
+
+// newPackPlan computes which space-time tiles of a time tile write the
+// edge's planes at the exchanged levels. The tile layout is identical for
+// every (full) time tile, so the plan is built once per Run.
+func (c *Cluster) newPackPlan(e *edge) *packPlan {
+	p := &packPlan{e: e, tt: c.depth}
+	if c.depth == 1 || len(e.gxs) == 0 {
+		return p // PerStep (or degenerate edge): flush-packed after advance
+	}
+	r := e.src
+	tg := tiling.NewTileGrid(r.prop, c.wtbConfig(r), c.depth)
+	e0 := e.gxs[0] - r.lox
+	e1 := e.gxs[len(e.gxs)-1] + 1 - r.lox
+	p.match = make([]bool, tg.NBX*c.depth)
+	// The exchanged buffers hold the levels written at k = tt−1, tt−2, …
+	// (one level per exchanged buffer).
+	for b := 0; b < c.bufCount(); b++ {
+		k := c.depth - 1 - b
+		for bx := 0; bx < tg.NBX; bx++ {
+			raw := tg.Raw(bx, 0, k)
+			lo, hi := max(raw.X0, 0), min(raw.X1, r.nx)
+			if lo >= e1 || hi <= e0 {
+				continue
+			}
+			for by := 0; by < tg.NBY; by++ {
+				if !tg.Empty(bx, by, k) {
+					p.match[bx*c.depth+k] = true
+					p.count++
+				}
+			}
+		}
+	}
+	return p
+}
+
+// bufCount is how many wavefield buffers an exchange refreshes: both live
+// buffers in DeepHalo mode (their halos are both stale after a deep tile),
+// one in PerStep mode.
+func (c *Cluster) bufCount() int {
+	if c.depth > 1 {
+		return 2
+	}
+	return 1
+}
+
+// buffers lists the buffer indices exchanged after reaching time tNext,
+// most recent first: buffer tNext&1 holds tNext, buffer (tNext+1)&1 holds
+// tNext−1. Pack and unpack iterate this identically, which is what keys
+// the staging layout.
+func (c *Cluster) buffers(tNext int) [2]int {
+	return [2]int{tNext & 1, (tNext + 1) & 1}
+}
+
+// pack copies src's owned boundary planes into the edge staging.
+func (c *Cluster) pack(e *edge, tNext int) {
+	bufs := c.buffers(tNext)
+	i := 0
+	for b := 0; b < c.bufCount(); b++ {
+		u := e.src.prop.U[bufs[b]]
+		for _, gx := range e.gxs {
+			off := (gx - e.src.lox + u.H) * u.SX
+			copy(e.planes[i], u.Data[off:off+u.SX])
+			i++
 		}
 	}
 }
 
-// copyPlanes copies the global x-planes [g0, g1) from src to dst, where the
-// grids' local origins sit at global x = srcLox / dstLox. Whole padded
-// planes are copied (identical y–z layout by construction).
-func copyPlanes(src, dst *grid.Grid, g0, g1, srcLox, dstLox int) {
-	for gx := g0; gx < g1; gx++ {
-		sx := gx - srcLox
-		dx := gx - dstLox
-		if sx < 0 || sx >= src.Nx || dx < 0 || dx >= dst.Nx {
-			continue
+// unpack copies staged planes into dst's halo.
+func (c *Cluster) unpack(e *edge, tNext int) {
+	bufs := c.buffers(tNext)
+	i := 0
+	for b := 0; b < c.bufCount(); b++ {
+		u := e.dst.prop.U[bufs[b]]
+		for _, gx := range e.gxs {
+			off := (gx - e.dst.lox + u.H) * u.SX
+			copy(u.Data[off:off+u.SX], e.planes[i])
+			i++
 		}
-		sOff := (sx + src.H) * src.SX
-		dOff := (dx + dst.H) * dst.SX
-		copy(dst.Data[dOff:dOff+dst.SX], src.Data[sOff:sOff+src.SX])
 	}
 }
 

@@ -47,7 +47,28 @@ func For(n int, f func(i int)) {
 		}
 		return
 	}
-	run(n, w, func(_, i int) { f(i) })
+	run(n, w, 0, func(_, i int) { f(i) })
+}
+
+// ForChunked is For with an explicit claim-chunk size: workers grab
+// iterations grain at a time off the shared counter. grain < 1 selects
+// the adaptive default max(1, n/(8·w)) — see BenchmarkForGrain in this
+// package for the measurements behind that formula. Use a small grain
+// (1) when item costs are large or wildly uneven (whole stencil tiles),
+// and a larger grain when items are tiny and uniform enough that claim
+// traffic dominates.
+func ForChunked(n, grain int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := clampWorkers(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	run(n, w, int64(grain), func(_, i int) { f(i) })
 }
 
 // ForWorkers is For with the claiming worker's index (0 ≤ worker < the
@@ -65,7 +86,7 @@ func ForWorkers(n int, f func(worker, i int)) {
 		}
 		return
 	}
-	run(n, w, f)
+	run(n, w, 0, f)
 }
 
 // clampWorkers returns the effective worker count for n items.
@@ -118,14 +139,16 @@ type panicked struct {
 
 // run executes n iterations over w workers: up to w−1 parked helpers are
 // woken (or lazily spawned), and the caller claims chunks alongside them as
-// worker 0.
-func run(n, w int, f func(worker, i int)) {
+// worker 0. chunk < 1 selects the adaptive default: roughly 8 chunks per
+// worker keeps the claim counter off the coherence hot path on large n
+// while preserving dynamic load balancing; small n (the many-small-blocks
+// WTB path) degenerates to chunk 1, i.e. pure dynamic scheduling.
+func run(n, w int, chunk int64, f func(worker, i int)) {
 	t := &task{f: f, n: int64(n), fin: make(chan struct{})}
-	// Adaptive chunking: roughly 8 chunks per worker keeps the claim counter
-	// off the coherence hot path on large n while preserving dynamic load
-	// balancing; small n (the many-small-blocks WTB path) degenerates to
-	// chunk 1, i.e. pure dynamic scheduling.
-	t.chunk = int64(n) / int64(8*w)
+	if chunk < 1 {
+		chunk = int64(n) / int64(8*w)
+	}
+	t.chunk = chunk
 	if t.chunk < 1 {
 		t.chunk = 1
 	}

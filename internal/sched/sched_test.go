@@ -1,0 +1,242 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"wavetile/internal/obs"
+	"wavetile/internal/par"
+)
+
+// withWorkers raises the par pool size for the duration of a test so the
+// parallel runner actually runs concurrently even on a single-CPU host.
+func withWorkers(t *testing.T, w int) {
+	t.Helper()
+	old := par.Workers
+	par.Workers = w
+	t.Cleanup(func() { par.Workers = old })
+}
+
+// preds lists the in-range predecessors of (bx, by, k) under the full edge
+// set — an independent re-statement of the graph the implementation builds.
+func preds(bx, by, k int, sameStep bool) [][3]int {
+	var p [][3]int
+	add := func(x, y, kk int) {
+		if x >= 0 && y >= 0 && kk >= 0 {
+			p = append(p, [3]int{x, y, kk})
+		}
+	}
+	add(bx, by, k-1)
+	if sameStep {
+		add(bx-1, by, k)
+		add(bx, by-1, k)
+	} else {
+		add(bx-1, by, k-1)
+		add(bx, by-1, k-1)
+		add(bx-1, by-1, k-1)
+	}
+	return p
+}
+
+func TestGraphExecutesAllTasksOnce(t *testing.T) {
+	withWorkers(t, 4)
+	shapes := []struct{ nbx, nby, tt int }{
+		{1, 1, 1}, {1, 1, 5}, {4, 1, 3}, {1, 4, 3}, {3, 5, 4}, {6, 6, 2},
+	}
+	for _, sameStep := range []bool{false, true} {
+		for _, workers := range []int{1, 4} {
+			for _, sh := range shapes {
+				name := fmt.Sprintf("sameStep=%v/w=%d/%dx%dx%d", sameStep, workers, sh.nbx, sh.nby, sh.tt)
+				t.Run(name, func(t *testing.T) {
+					empty := func(bx, by, k int) bool { return bx == sh.nbx-1 && k < sh.tt-1 }
+					g := NewTileGraph(sh.nbx, sh.nby, sh.tt, sameStep, empty)
+					var mu sync.Mutex
+					counts := make(map[[3]int]int)
+					g.Run(workers, func(_, bx, by, k int) {
+						mu.Lock()
+						counts[[3]int{bx, by, k}]++
+						mu.Unlock()
+					})
+					want := 0
+					for bx := 0; bx < sh.nbx; bx++ {
+						for by := 0; by < sh.nby; by++ {
+							for k := 0; k < sh.tt; k++ {
+								if empty(bx, by, k) {
+									if counts[[3]int{bx, by, k}] != 0 {
+										t.Errorf("empty task (%d,%d,%d) executed", bx, by, k)
+									}
+									continue
+								}
+								want++
+								if c := counts[[3]int{bx, by, k}]; c != 1 {
+									t.Errorf("task (%d,%d,%d) executed %d times, want 1", bx, by, k, c)
+								}
+							}
+						}
+					}
+					total := 0
+					for _, c := range counts {
+						total += c
+					}
+					if total != want {
+						t.Errorf("total executions %d, want %d", total, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestDependencyOrderRespected(t *testing.T) {
+	withWorkers(t, 4)
+	for _, sameStep := range []bool{false, true} {
+		for _, workers := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("sameStep=%v/w=%d", sameStep, workers), func(t *testing.T) {
+				nbx, nby, tt := 5, 4, 6
+				g := NewTileGraph(nbx, nby, tt, sameStep, nil)
+				done := make([]atomic.Bool, nbx*nby*tt)
+				var violations atomic.Int64
+				g.Run(workers, func(_, bx, by, k int) {
+					for _, p := range preds(bx, by, k, sameStep) {
+						if !done[g.id(p[0], p[1], p[2])].Load() {
+							violations.Add(1)
+						}
+					}
+					done[g.id(bx, by, k)].Store(true)
+				})
+				if v := violations.Load(); v != 0 {
+					t.Errorf("%d dependency violations", v)
+				}
+			})
+		}
+	}
+}
+
+// TestSerialMatchesLexicographicOrder pins the serial runner to the exact
+// tile order of the sequential WTB schedule (Listing 6): for bx, for by,
+// for k — the chained LIFO drain must not merely be a topological order,
+// it must be *the* cache-friendly one.
+func TestSerialMatchesLexicographicOrder(t *testing.T) {
+	for _, sameStep := range []bool{false, true} {
+		t.Run(fmt.Sprintf("sameStep=%v", sameStep), func(t *testing.T) {
+			nbx, nby, tt := 4, 3, 3
+			empty := func(bx, by, k int) bool { return bx == 0 && by == 0 && k == 0 }
+			g := NewTileGraph(nbx, nby, tt, sameStep, empty)
+			var got [][3]int
+			g.Run(1, func(_, bx, by, k int) { got = append(got, [3]int{bx, by, k}) })
+			var want [][3]int
+			for bx := 0; bx < nbx; bx++ {
+				for by := 0; by < nby; by++ {
+					for k := 0; k < tt; k++ {
+						if !empty(bx, by, k) {
+							want = append(want, [3]int{bx, by, k})
+						}
+					}
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("executed %d tasks, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("order diverges at %d: got %v, want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestAdversarialExposesDroppedEdge proves the fault-injection mode is
+// sharp: for every edge class the graph supports, dropping it must cause
+// at least one task to execute before the predecessor that edge would
+// have ordered it after. Without this, a dropped edge could be masked by
+// a coincidentally safe execution order and the verify harness would
+// "pass" a broken graph.
+func TestAdversarialExposesDroppedEdge(t *testing.T) {
+	cases := []struct {
+		sameStep bool
+		class    EdgeClass
+	}{
+		{false, EdgeOwn}, {false, EdgeLeft}, {false, EdgeUp}, {false, EdgeDiag},
+		{true, EdgeOwn}, {true, EdgeLeft}, {true, EdgeUp},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("sameStep=%v/%s", c.sameStep, c.class), func(t *testing.T) {
+			FaultDropEdge = c.class
+			g := NewTileGraph(4, 3, 3, c.sameStep, nil)
+			FaultDropEdge = EdgeNone
+			order := make(map[[3]int]int)
+			g.Run(4, func(_, bx, by, k int) { order[[3]int{bx, by, k}] = len(order) })
+			if len(order) != g.Tasks() {
+				t.Fatalf("executed %d tasks, want %d", len(order), g.Tasks())
+			}
+			violated := false
+			for id := 0; id < g.Tasks(); id++ {
+				bx, by, k := g.Coords(id)
+				px, py, pk := bx, by, k
+				switch c.class {
+				case EdgeOwn:
+					pk--
+				case EdgeLeft:
+					px--
+					if !c.sameStep {
+						pk--
+					}
+				case EdgeUp:
+					py--
+					if !c.sameStep {
+						pk--
+					}
+				case EdgeDiag:
+					px, py, pk = bx-1, by-1, k-1
+				}
+				if px < 0 || py < 0 || pk < 0 {
+					continue
+				}
+				if order[[3]int{bx, by, k}] < order[[3]int{px, py, pk}] {
+					violated = true
+				}
+			}
+			if !violated {
+				t.Errorf("dropping %s edges produced no ordering violation; fault mode is not sharp", c.class)
+			}
+		})
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	withWorkers(t, 4)
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("w=%d", workers), func(t *testing.T) {
+			g := NewTileGraph(4, 4, 3, false, nil)
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatal("panic in exec did not propagate")
+				}
+			}()
+			g.Run(workers, func(_, bx, by, k int) {
+				if bx == 2 && by == 2 && k == 1 {
+					panic("boom")
+				}
+			})
+		})
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	withWorkers(t, 4)
+	restore := obs.Swap(obs.NewRegistry())
+	defer restore()
+	empty := func(bx, by, k int) bool { return bx == 3 && by == 2 }
+	g := NewTileGraph(4, 3, 3, false, empty)
+	g.Run(4, func(_, _, _, _ int) {})
+	r := obs.Active()
+	if got := r.Counter("sched_tasks").Load(); got != int64(4*3*3-3) {
+		t.Errorf("sched_tasks = %d, want %d", got, 4*3*3-3)
+	}
+	if got := r.Counter("sched_tasks_empty").Load(); got != 3 {
+		t.Errorf("sched_tasks_empty = %d, want 3", got)
+	}
+}

@@ -1,0 +1,99 @@
+package tiling
+
+import (
+	"fmt"
+	"time"
+
+	"wavetile/internal/obs"
+	"wavetile/internal/par"
+	"wavetile/internal/sched"
+)
+
+// PipelineHooks customizes RunWTBPipelinedHooked. OnTaskDone, when
+// non-nil, runs on the executing worker immediately after each non-empty
+// task (bx, by, k) completes — internal/dist uses it to start packing
+// halo planes the moment the last boundary tile of a time tile finishes,
+// overlapping the exchange with interior compute. The hook must be safe
+// for concurrent calls on distinct tasks and must not block on work that
+// depends on tasks of the same time tile.
+type PipelineHooks struct {
+	OnTaskDone func(bx, by, k int)
+}
+
+// RunWTBPipelined executes the WTB schedule with the space-time tiles of
+// each time tile run as a dependency task graph (internal/sched) instead
+// of the sequential lexicographic sweep of RunWTB: tiles whose
+// predecessors have completed execute concurrently on the persistent par
+// pool, with no global barrier between the wavefronts of one time tile.
+//
+// The task graph orders exactly the pairs of tiles whose footprints
+// overlap (see internal/sched for the derivation from TimeSkew and
+// MaxPhaseOffset), every grid point is written by exactly one task per
+// time level, and the per-point kernels are identical — so the result is
+// bitwise identical to RunWTB for any worker count, a property
+// internal/verify asserts across its scenario sweep.
+func RunWTBPipelined(p Propagator, cfg Config) error {
+	return RunWTBPipelinedRange(p, cfg, 0, p.Steps())
+}
+
+// RunWTBPipelinedRange runs the pipelined schedule over [tFrom, tTo)
+// only; time tiles remain sequential (each tile's graph drains before the
+// next begins), which is what lets distributed callers interleave halo
+// exchanges between tiles.
+func RunWTBPipelinedRange(p Propagator, cfg Config, tFrom, tTo int) error {
+	return RunWTBPipelinedHooked(p, cfg, tFrom, tTo, PipelineHooks{})
+}
+
+// RunWTBPipelinedHooked is RunWTBPipelinedRange with per-task completion
+// hooks.
+func RunWTBPipelinedHooked(p Propagator, cfg Config, tFrom, tTo int, h PipelineHooks) error {
+	if err := cfg.Validate(p); err != nil {
+		return err
+	}
+	p.SetBlocks(cfg.BlockX, cfg.BlockY)
+
+	r := obs.Active()
+	tr := r.Tracer()
+	var cTimeTiles *obs.Counter
+	if r != nil {
+		cTimeTiles = r.Counter("wtb_time_tiles")
+	}
+
+	for t0 := tFrom; t0 < tTo; t0 += cfg.TT {
+		tt := min(cfg.TT, tTo-t0)
+		var ttStart time.Time
+		if r != nil {
+			cTimeTiles.Add(1)
+			ttStart = time.Now()
+		}
+		tg := NewTileGrid(p, cfg, tt)
+		g := sched.NewTileGraph(tg.NBX, tg.NBY, tt, p.MaxPhaseOffset() > 0, tg.Empty)
+		base := t0
+		g.Run(par.Workers, func(worker, bx, by, k int) {
+			var taskStart time.Time
+			if tr != nil {
+				taskStart = time.Now()
+			}
+			p.Step(base+k, tg.Raw(bx, by, k), true)
+			if tr != nil {
+				// Unlike the sequential WTB tracer, tasks here carry the id
+				// of the worker that actually ran them, so pipeline gaps and
+				// steal imbalance are visible per lane in the trace viewer.
+				tr.Complete(fmt.Sprintf("task %d,%d k=%d", bx, by, k), "sched", worker,
+					taskStart, time.Since(taskStart),
+					map[string]any{"bx": bx, "by": by, "k": k, "t": base + k})
+			}
+			if h.OnTaskDone != nil {
+				h.OnTaskDone(bx, by, k)
+			}
+		})
+		if r != nil {
+			if tr != nil {
+				tr.Complete(fmt.Sprintf("time-tile %d..%d", t0, t0+tt), "sched", 0,
+					ttStart, time.Since(ttStart), map[string]any{"t0": t0, "t1": t0 + tt})
+			}
+			r.StepsDone(t0+tt, p.Steps())
+		}
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package tiling
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"wavetile/internal/grid"
@@ -25,7 +26,18 @@ type stampProp struct {
 	stamp      [][]int32
 	blockX     int
 	blockY     int
+	errMu      sync.Mutex // errs is appended from concurrent pipelined tasks
 	errs       []string
+}
+
+// errf records a dependency violation; safe for concurrent Steps (the
+// pipelined schedule runs independent tiles on several workers).
+func (s *stampProp) errf(format string, args ...any) {
+	s.errMu.Lock()
+	if len(s.errs) < 8 {
+		s.errs = append(s.errs, fmt.Sprintf(format, args...))
+	}
+	s.errMu.Unlock()
 }
 
 func newStampProp(nx, ny, nt, radius, phases int, offs []int) *stampProp {
@@ -95,21 +107,17 @@ func (s *stampProp) Step(t int, raw grid.Region, fused bool) {
 							continue
 						}
 						if got := src[xx*s.ny+yy]; got != want {
-							if len(s.errs) < 8 {
-								s.errs = append(s.errs, fmt.Sprintf(
-									"phase %d computing t=%d at (%d,%d): read phase %d at (%d,%d) holds t=%d, want t=%d",
-									p, t+1, x, y, readPhase, xx, yy, got, want))
-							}
+							s.errf(
+								"phase %d computing t=%d at (%d,%d): read phase %d at (%d,%d) holds t=%d, want t=%d",
+								p, t+1, x, y, readPhase, xx, yy, got, want)
 						}
 					}
 				}
 				// Own previous value must be at time t.
 				if got := s.stamp[p][x*s.ny+y]; got != int32(t) {
-					if len(s.errs) < 8 {
-						s.errs = append(s.errs, fmt.Sprintf(
-							"phase %d computing t=%d at (%d,%d): own value holds t=%d, want t=%d",
-							p, t+1, x, y, got, t))
-					}
+					s.errf(
+						"phase %d computing t=%d at (%d,%d): own value holds t=%d, want t=%d",
+						p, t+1, x, y, got, t)
 				}
 				s.stamp[p][x*s.ny+y] = int32(t + 1)
 			}

@@ -173,9 +173,6 @@ func RunWTBRange(p Propagator, cfg Config, tFrom, tTo int) error {
 		return err
 	}
 	p.SetBlocks(cfg.BlockX, cfg.BlockY)
-	nx, ny := p.GridShape()
-	s := p.TimeSkew() + FaultSkewDelta
-	off := p.MaxPhaseOffset()
 
 	// Observability: counters are looked up once outside the tile loops, the
 	// tracer records one span per (time-tile, space-tile) plus one per time
@@ -200,36 +197,23 @@ func RunWTBRange(p Propagator, cfg Config, tFrom, tTo int) error {
 				phasesBefore = r.PhaseWalls()
 			}
 		}
-		// Total leftward shift a region experiences inside this time tile;
-		// enough extra tiles must start beyond the right/bottom edge so
-		// that shifted regions still cover the domain at the last level.
-		shift := (tt-1)*s + off
-		nbx := (nx + shift + cfg.TileX - 1) / cfg.TileX
-		nby := (ny + shift + cfg.TileY - 1) / cfg.TileY
-		for bx := 0; bx < nbx; bx++ {
-			for by := 0; by < nby; by++ {
+		tg := NewTileGrid(p, cfg, tt)
+		for bx := 0; bx < tg.NBX; bx++ {
+			for by := 0; by < tg.NBY; by++ {
 				var tileStart time.Time
 				if tr != nil {
 					tileStart = time.Now()
 				}
 				worked := false
 				for k := 0; k < tt; k++ {
-					raw := grid.Region{
-						X0: bx*cfg.TileX - k*s,
-						Y0: by*cfg.TileY - k*s,
-					}
-					raw.X1 = raw.X0 + cfg.TileX
-					raw.Y1 = raw.Y0 + cfg.TileY
-					// Skip raw tiles that cannot intersect the domain for
-					// any field phase (phases shift further left by ≤ off).
-					if raw.X1 <= 0 || raw.Y1 <= 0 || raw.X0-off >= nx || raw.Y0-off >= ny {
+					if tg.Empty(bx, by, k) {
 						if cSkipped != nil {
 							cSkipped.Add(1)
 						}
 						continue
 					}
 					worked = true
-					p.Step(t0+k, raw, true)
+					p.Step(t0+k, tg.Raw(bx, by, k), true)
 				}
 				if r != nil && worked {
 					cTiles.Add(1)

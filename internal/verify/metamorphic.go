@@ -54,7 +54,10 @@ func CheckZeroSource(s Scenario) error {
 	}); err != nil {
 		return err
 	}
-	return run("wtb", func() error { return tiling.RunWTB(b.Prop, s.WTB) })
+	if err := run("wtb", func() error { return tiling.RunWTB(b.Prop, s.WTB) }); err != nil {
+		return err
+	}
+	return run("wtb-pipelined", func() error { return tiling.RunWTBPipelined(b.Prop, s.WTB) })
 }
 
 // CheckSuperposition asserts source linearity: the wavefield of all sources
@@ -245,6 +248,7 @@ func CheckWorkerInvariance(s Scenario, workers []int) error {
 			return nil
 		}},
 		{"wtb", func() error { return tiling.RunWTB(b.Prop, s.WTB) }},
+		{"wtb-pipelined", func() error { return tiling.RunWTBPipelined(b.Prop, s.WTB) }},
 	}
 	for _, sc := range scheds {
 		var ref map[string]*grid.Grid

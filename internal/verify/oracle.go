@@ -142,6 +142,30 @@ func RunOracle(s Scenario) (*Report, error) {
 		rep.addTracesBitwise("wtb", refRec, wtbRec)
 	}
 
+	// Pipelined WTB: the task-graph runtime must reproduce the reference
+	// bitwise under the same contract as barriered WTB — any divergence here
+	// means a missing or wrong dependency edge let a tile read a neighbour
+	// too early (see TestOracleCatchesDroppedEdges for the deliberate case).
+	b.Prop.Reset()
+	if err := tiling.RunWTBPipelined(b.Prop, s.WTB); err != nil {
+		return nil, fmt.Errorf("wtb-pipelined: %w", err)
+	}
+	pipeDiverged := false
+	if d, ok := firstFieldDivergence("wtb-pipelined", refFields, b.Prop.Fields()); ok {
+		pipeDiverged = true
+		if dd, derr := diagnosePipelined(b, s); derr == nil && dd != nil {
+			d = *dd
+		}
+		rep.Divergences = append(rep.Divergences, d)
+	}
+	pipeRec, err := b.Ops.Receivers()
+	if err != nil {
+		return nil, fmt.Errorf("wtb-pipelined receivers: %w", err)
+	}
+	if !pipeDiverged {
+		rep.addTracesBitwise("wtb-pipelined", refRec, pipeRec)
+	}
+
 	// dist: slab decomposition, bitwise against the reference final field.
 	if s.Dist != nil {
 		if b.acoustic == nil {
@@ -329,4 +353,39 @@ func diagnoseWTB(b *built, s Scenario) (*Divergence, error) {
 		}
 	}
 	return nil, nil // final states match on replay (flaky divergence)
+}
+
+// diagnosePipelined is diagnoseWTB for the task-graph runtime: the replay
+// uses RunWTBPipelinedRange, so a scheduling (rather than tiling) defect is
+// localized to its first divergent time tile. Divergences caused by an
+// actual ordering race may not reproduce on replay (the schedule is
+// nondeterministic at Workers > 1); the original final-state divergence is
+// then reported as-is.
+func diagnosePipelined(b *built, s Scenario) (*Divergence, error) {
+	nx, ny := b.Prop.GridShape()
+	off := b.Prop.MaxPhaseOffset()
+	full := grid.Region{X0: 0, X1: nx + off, Y0: 0, Y1: ny + off}
+	nt := b.Prop.Steps()
+	b.Prop.Reset()
+	b.Prop.SetBlocks(s.WTB.BlockX, s.WTB.BlockY)
+	ckpts := map[int]map[string]*grid.Grid{}
+	for t := 0; t < nt; t++ {
+		b.Prop.Step(t, full, true)
+		if next := t + 1; next%s.WTB.TT == 0 || next == nt {
+			ckpts[next] = snapshotFields(b.Prop)
+		}
+	}
+
+	b.Prop.Reset()
+	for t0 := 0; t0 < nt; t0 += s.WTB.TT {
+		t1 := min(t0+s.WTB.TT, nt)
+		if err := tiling.RunWTBPipelinedRange(b.Prop, s.WTB, t0, t1); err != nil {
+			return nil, err
+		}
+		if d, ok := firstFieldDivergence("wtb-pipelined", ckpts[t1], b.Prop.Fields()); ok {
+			d.T0, d.T1 = t0, t1
+			return &d, nil
+		}
+	}
+	return nil, nil
 }

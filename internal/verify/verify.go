@@ -66,10 +66,10 @@ type SourceKind int
 
 // The source kinds the paper's scheme must be oblivious to.
 const (
-	SrcOnGrid SourceKind = iota // coordinates exactly on grid points
-	SrcOffGrid                  // off-the-grid, trilinear interpolation
-	SrcSinc                     // off-the-grid, Kaiser-windowed sinc (Hicks)
-	SrcMoving                   // towed: a new off-the-grid position per step
+	SrcOnGrid  SourceKind = iota // coordinates exactly on grid points
+	SrcOffGrid                   // off-the-grid, trilinear interpolation
+	SrcSinc                      // off-the-grid, Kaiser-windowed sinc (Hicks)
+	SrcMoving                    // towed: a new off-the-grid position per step
 )
 
 func (k SourceKind) String() string {
@@ -323,6 +323,10 @@ func genDist(rng *rand.Rand, s Scenario, forceDeep bool) *dist.Config {
 		if len(depths) > 0 {
 			cfg.Mode = dist.DeepHalo
 			cfg.Depth = depths[rng.Intn(len(depths))]
+			// Sometimes split slabs into tile columns so the overlapped
+			// (pack-early) exchange path gets fuzzed; undersized values are
+			// clamped to a whole-slab column by the cluster.
+			cfg.TileX = []int{0, 8, 12, 16}[rng.Intn(4)]
 		} else if forceDeep {
 			return nil
 		}
@@ -333,7 +337,7 @@ func genDist(rng *rand.Rand, s Scenario, forceDeep bool) *dist.Config {
 // Schedules lists the oracle schedules a scenario will run, for coverage
 // accounting.
 func (s Scenario) Schedules() []string {
-	out := []string{"spatial-unfused", "spatial-fused", "wtb"}
+	out := []string{"spatial-unfused", "spatial-fused", "wtb", "wtb-pipelined"}
 	if s.Dist != nil {
 		out = append(out, "dist")
 	}

@@ -287,6 +287,11 @@ func (s *Simulation) Run(sched Schedule) (*Result, error) {
 		if err := tiling.RunWTB(s.prop, cfg); err != nil {
 			return nil, err
 		}
+	case WTBPipelined:
+		cfg := tiling.Config{TT: c.TimeTile, TileX: c.TileX, TileY: c.TileY, BlockX: c.BlockX, BlockY: c.BlockY}
+		if err := tiling.RunWTBPipelined(s.prop, cfg); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("wavesim: unknown schedule %T", sched)
 	}

@@ -154,11 +154,18 @@ type WTB struct {
 	BlockX, BlockY int
 }
 
-// Schedule is implemented by Spatial and WTB.
+// WTBPipelined is WTB executed by the task-graph runtime: space-time tiles
+// become dependency-counted tasks that drain through the worker pool with no
+// global barrier between wave-front levels. Results are bitwise identical to
+// WTB; at Workers == 1 it degrades to exactly WTB's sequential tile order.
+type WTBPipelined WTB
+
+// Schedule is implemented by Spatial, WTB and WTBPipelined.
 type Schedule interface{ schedule() string }
 
-func (Spatial) schedule() string { return "spatial" }
-func (WTB) schedule() string     { return "wtb" }
+func (Spatial) schedule() string      { return "spatial" }
+func (WTB) schedule() string          { return "wtb" }
+func (WTBPipelined) schedule() string { return "wtb-pipelined" }
 
 // Result summarizes one run.
 type Result struct {

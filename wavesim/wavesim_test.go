@@ -61,11 +61,22 @@ func TestRunSchedulesAgreeBitwise(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			pipe, err := sim.Run(WTBPipelined{TimeTile: 4, TileX: 3 * mt, TileY: 2 * mt, BlockX: 8, BlockY: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pipe.Schedule != "wtb-pipelined" {
+				t.Fatalf("schedule name %q", pipe.Schedule)
+			}
 			for ti := range ref.Receivers {
 				for r := range ref.Receivers[ti] {
 					if ref.Receivers[ti][r] != wtb.Receivers[ti][r] {
 						t.Fatalf("receiver %d t=%d: %g vs %g", r, ti,
 							ref.Receivers[ti][r], wtb.Receivers[ti][r])
+					}
+					if ref.Receivers[ti][r] != pipe.Receivers[ti][r] {
+						t.Fatalf("pipelined receiver %d t=%d: %g vs %g", r, ti,
+							ref.Receivers[ti][r], pipe.Receivers[ti][r])
 					}
 				}
 			}
