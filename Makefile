@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all build test race-obs race-sched bench bench-json bench-smoke \
-	bce-check fmt vet check verify fuzz-smoke golden
+	bench-regress bce-check fmt vet check verify fuzz-smoke golden
 
 all: build test
 
@@ -53,6 +53,22 @@ bench-smoke:
 	$(GO) test ./internal/dist -run '^$$' -bench . -benchtime 1x
 	$(GO) test ./internal/par -run '^$$' -bench BenchmarkForGrain -benchtime 1x
 
+# Bench regression smoke gate: two back-to-back runs of the same binary on
+# a tiny problem, diffed with the paired sign-flip test. Identical binaries
+# should never produce a significant regression at a 10% effect floor — the
+# gate catches bit-rot in the bench/diff pipeline itself and, when pointed
+# at two real artifacts (benchdiff OLD NEW), real throughput regressions.
+# Soft by design in `check` (noise on loaded CI hosts must not fail the
+# build); CI runs it as its own job with artifacts uploaded.
+bench-regress:
+	$(GO) build -o /tmp/wavebench ./cmd/wavebench
+	$(GO) build -o /tmp/benchdiff ./cmd/benchdiff
+	/tmp/wavebench -mode wall -models acoustic -orders 4 \
+		-n 48 -steps 4 -tunesteps 2 -json > /tmp/bench_old.json
+	/tmp/wavebench -mode wall -models acoustic -orders 4 \
+		-n 48 -steps 4 -tunesteps 2 -json > /tmp/bench_new.json
+	/tmp/benchdiff -min-effect 0.10 /tmp/bench_old.json /tmp/bench_new.json
+
 # Bounds-check-elimination gate: the radius-specialized kernels (*_kern.go)
 # must compile with zero IsInBounds checks — the per-row sub-slice
 # discipline documented in internal/wave/acoustic_kern.go makes the prove
@@ -95,4 +111,4 @@ golden:
 	$(GO) test ./internal/verify -run TestGoldenCorpus -golden.update
 	@git -C . status --short internal/verify/testdata/golden || true
 
-check: build vet test race-obs race-sched bce-check verify
+check: build vet test race-obs race-sched bce-check verify bench-regress

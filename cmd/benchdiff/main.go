@@ -1,0 +1,100 @@
+// Command benchdiff compares two benchmark JSON artifacts and decides, with
+// a paired significance test, whether throughput regressed. It reads any of
+// the repo's bench formats — `wavebench -mode wall -json` output,
+// `wavebench -report` report arrays, single run reports (`propagate
+// -report`) and the committed BENCH_PR*.json trajectory files — pairing
+// series by (model, space order, schedule).
+//
+// The verdict is a paired sign-flip permutation test on the log throughput
+// ratios (exact for ≤ 20 pairs), gated by a minimum geometric-mean effect
+// size: a change must be both statistically significant (p ≤ -alpha) and
+// material (|geomean − 1| ≥ -min-effect) to count. A regression exits with
+// status 1 unless -soft is set, which is how `make bench-regress` gates CI
+// without flaking on noise.
+//
+// Examples:
+//
+//	benchdiff BENCH_PR3.json BENCH_PR5.json
+//	benchdiff -min-effect 0.10 old.json new.json     # CI smoke gate
+//	benchdiff -json old.json new.json | jq .geomean_ratio
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"wavetile/internal/bench"
+)
+
+func main() {
+	alpha := flag.Float64("alpha", 0.05, "significance level for the paired sign-flip test")
+	minEffect := flag.Float64("min-effect", 0.02, "minimum |geomean-1| that counts as a real change")
+	soft := flag.Bool("soft", false, "report regressions but always exit 0")
+	jsonOut := flag.Bool("json", false, "emit the diff as JSON instead of the table")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	oldF, err := bench.LoadBenchFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newF, err := bench.LoadBenchFile(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	d := bench.Diff(oldF, newF, bench.DiffOptions{Alpha: *alpha, MinEffect: *minEffect})
+
+	if *jsonOut {
+		if err := emitJSON(os.Stdout, oldF, newF, d); err != nil {
+			fatal(err)
+		}
+	} else {
+		d.Fprint(os.Stdout, oldF.Path, newF.Path)
+	}
+	if d.Regression && !*soft {
+		os.Exit(1)
+	}
+}
+
+// diffJSON is the machine-readable verdict.
+type diffJSON struct {
+	Old          string       `json:"old"`
+	New          string       `json:"new"`
+	OldFormat    string       `json:"old_format"`
+	NewFormat    string       `json:"new_format"`
+	Pairs        []bench.Pair `json:"pairs"`
+	GeoMeanRatio float64      `json:"geomean_ratio"`
+	PValue       float64      `json:"p_value"`
+	Significant  bool         `json:"significant"`
+	Regression   bool         `json:"regression"`
+	Improvement  bool         `json:"improvement"`
+	HostMismatch bool         `json:"host_mismatch,omitempty"`
+}
+
+func emitJSON(w *os.File, oldF, newF *bench.BenchFile, d bench.DiffResult) error {
+	out := diffJSON{
+		Old: oldF.Path, New: newF.Path,
+		OldFormat: oldF.Format, NewFormat: newF.Format,
+		Pairs:        d.Pairs,
+		GeoMeanRatio: d.GeoMeanRatio,
+		PValue:       d.PValue,
+		Significant:  d.Significant,
+		Regression:   d.Regression,
+		Improvement:  d.Improvement,
+		HostMismatch: d.HostMismatch,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

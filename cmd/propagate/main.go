@@ -42,7 +42,10 @@ func main() {
 	snap := flag.Bool("snap", false, "render an ASCII snapshot of the final wavefield (x–y plane through the source depth)")
 	jsonOut := flag.Bool("json", false, "emit the run result as JSON (incl. phase breakdown) instead of the text summary")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the tile schedule to this path")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
+	reportPath := flag.String("report", "", "write a roofline-attributed run report (JSON) to this path")
+	machine := flag.String("machine", "Broadwell", "roofline machine model for -report attribution (Broadwell or Skylake)")
+	flight := flag.Bool("flight", false, "keep a fixed-size flight recorder of recent schedule spans (served at /debug/obs/flight, dumped to stderr on panic)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/pprof, /debug/vars and /debug/obs on this address")
 	progress := flag.Bool("progress", false, "log structured propagation progress (steps/s, GPts/s, ETA) to stderr")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -54,22 +57,27 @@ func main() {
 	// Any observability consumer installs the process-global registry; the
 	// run then reports through it.
 	var reg *obs.Registry
-	if *jsonOut || *tracePath != "" || *debugAddr != "" || *progress {
+	if *jsonOut || *tracePath != "" || *reportPath != "" || *flight || *debugAddr != "" || *progress {
 		reg = obs.NewRegistry()
 		obs.SetActive(reg)
 	}
 	if *tracePath != "" {
 		reg.StartTrace()
 	}
+	if *flight {
+		reg.StartFlight(0)
+		defer obs.DumpFlightOnPanic(os.Stderr)()
+	}
 	if *progress {
 		reg.EnableProgress(slog.New(slog.NewTextHandler(os.Stderr, nil)), 2*time.Second)
 	}
 	if *debugAddr != "" {
-		addr, err := obs.ServeDebug(*debugAddr)
+		dbg, err := obs.ServeDebug(*debugAddr)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "propagate: debug server on http://%s/debug/obs\n", addr)
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "propagate: debug server on http://%s/debug/obs (metrics at /metrics)\n", dbg.Addr)
 	}
 
 	var phys wavesim.Physics
@@ -130,6 +138,17 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "propagate: wrote %d schedule spans to %s\n", reg.Tracer().Len(), *tracePath)
+	}
+	if *reportPath != "" {
+		rep, err := sim.Report(res, wavesim.ReportOptions{Machine: *machine})
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteFile(*reportPath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "propagate: wrote run report to %s (%.1f%% of %s roofline)\n",
+			*reportPath, 100*rep.Roofline.AchievedFraction, rep.Roofline.Machine)
 	}
 	if *jsonOut {
 		if err := emitJSON(os.Stdout, *physics, *so, *n, nt, dt, *schedule, res); err != nil {

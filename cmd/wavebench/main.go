@@ -48,7 +48,9 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	jsonOut := flag.Bool("json", false, "emit rows as JSON (incl. phase breakdown in wall mode)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the tile schedules to this path")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
+	reportPath := flag.String("report", "", "wall mode: write roofline-attributed run reports (JSON array) to this path")
+	machine := flag.String("machine", "Broadwell", "roofline machine model for -report attribution (Broadwell or Skylake)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/pprof, /debug/vars and /debug/obs on this address")
 	progress := flag.Bool("progress", false, "log structured run progress to stderr")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	schedule := flag.String("schedule", "both", "wall-mode temporal schedule column(s): wtb, wtb-pipelined or both")
@@ -70,11 +72,12 @@ func main() {
 		reg.EnableProgress(slog.New(slog.NewTextHandler(os.Stderr, nil)), 2*time.Second)
 	}
 	if *debugAddr != "" {
-		addr, err := obs.ServeDebug(*debugAddr)
+		dbg, err := obs.ServeDebug(*debugAddr)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wavebench: debug server on http://%s/debug/obs\n", addr)
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "wavebench: debug server on http://%s/debug/obs (metrics at /metrics)\n", dbg.Addr)
 	}
 
 	var specs []bench.Spec
@@ -118,6 +121,16 @@ func main() {
 			fatal(err)
 		}
 		jsonRows = rows
+		if *reportPath != "" {
+			reps, err := bench.WallReports(rows, bench.AttributeOptions{Machine: *machine})
+			if err != nil {
+				fatal(err)
+			}
+			if err := writeReports(*reportPath, reps); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wavebench: wrote %d run reports to %s\n", len(reps), *reportPath)
+		}
 		table = &bench.Table{
 			Title: fmt.Sprintf("Fig. 9 (host wall-clock) — %d³ grid, %d steps", *n, *steps),
 		}
@@ -146,6 +159,9 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
 
+	if *reportPath != "" && *mode != "wall" {
+		fmt.Fprintln(os.Stderr, "wavebench: -report applies to -mode wall only; ignoring")
+	}
 	if *tracePath != "" {
 		if err := writeTrace(reg, *tracePath); err != nil {
 			fatal(err)
@@ -198,6 +214,21 @@ func writeTrace(reg *obs.Registry, path string) error {
 	}
 	defer f.Close()
 	return reg.Tracer().WriteChrome(f)
+}
+
+// writeReports writes the attributed run reports as one indented JSON array.
+func writeReports(path string, reps []*obs.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(reps); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

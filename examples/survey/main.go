@@ -1,9 +1,15 @@
 // Survey: the workload that motivates the paper — a seismic acquisition
 // with *many* simultaneous off-the-grid sources (an airgun array / blended
-// acquisition) and a dense receiver carpet. This is the regime where the
-// Listing-1 source loop is most intrusive and where the precomputation
-// scheme shines: hundreds of sources decompose onto grid-aligned points
-// once, and temporal blocking then runs unhindered.
+// acquisition) and a dense receiver carpet, repeated over multiple shot
+// positions along a sail line. This is the regime where the Listing-1
+// source loop is most intrusive and where the precomputation scheme
+// shines: hundreds of sources decompose onto grid-aligned points once per
+// shot, and temporal blocking then runs unhindered.
+//
+// The shot loop reports two levels of progress through the obs layer:
+// within a shot, the schedule's step-level ETA (obs.EnableProgress); across
+// the survey, a shot-level ETA from an obs.Meter — the pattern any
+// multi-hour acquisition driver needs.
 //
 //	go run ./examples/survey
 package main
@@ -11,36 +17,35 @@ package main
 import (
 	"fmt"
 	"log"
+	"log/slog"
 	"math"
 	"os"
+	"time"
 
+	"wavetile/internal/obs"
 	"wavetile/wavesim"
 )
 
+const (
+	n      = 64
+	h      = 10.0
+	nbl    = 8
+	nshots = 4 // shot positions along the sail line
+)
+
 func main() {
-	const (
-		n    = 64
-		h    = 10.0
-		nbl  = 8
-		nsrc = 49 // 7×7 source array
-	)
 	extent := float64(n-1) * h
 
-	// A 7×7 array of sources near the surface, deliberately off-the-grid
-	// (fractional offsets), with per-source time shifts (blended shooting).
-	var sources []wavesim.Coord
-	lo, hi := 0.25*extent, 0.75*extent
-	for i := 0; i < 7; i++ {
-		for j := 0; j < 7; j++ {
-			sources = append(sources, wavesim.Coord{
-				lo + (hi-lo)*float64(i)/6.0 + 3.3,
-				lo + (hi-lo)*float64(j)/6.0 + 1.7,
-				float64(nbl+2)*h + 4.9,
-			})
-		}
-	}
+	// Shot-level progress: one Meter across the survey; step-level progress
+	// inside each shot comes from the registry the schedules report to.
+	reg := obs.NewRegistry()
+	obs.SetActive(reg)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	reg.EnableProgress(logger, 2*time.Second)
+	meter := obs.NewMeter(logger, "survey", nshots, 2*time.Second)
 
-	// Receiver carpet: 16×16 grid sampled as 4 lines for brevity.
+	// Receiver carpet: 16×16 grid sampled as 4 lines for brevity; fixed for
+	// the whole survey (an ocean-bottom layout).
 	var receivers []wavesim.Coord
 	for i := 0; i < 16; i++ {
 		for j := 0; j < 4; j++ {
@@ -52,6 +57,47 @@ func main() {
 		}
 	}
 
+	var nt int
+	for shot := 0; shot < nshots; shot++ {
+		sim, dt, steps := buildShot(shot, extent, receivers)
+		nt = steps
+		if shot == 0 {
+			fmt.Printf("survey: %d shots × 49 sources, %d receivers, %d³ grid, %d steps (dt=%.2f ms)\n",
+				nshots, len(receivers), n, nt, dt*1e3)
+			// First shot doubles as the correctness demonstration: the
+			// paper's unfused Listing-1 baseline against the precomputed +
+			// temporally blocked path.
+			compareSchedules(sim)
+		}
+		wtb, err := sim.Run(wavesim.WTB{TimeTile: 16, TileX: 32, TileY: 32, BlockX: 8, BlockY: 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := fmt.Sprintf("survey_shot_%02d.csv", shot)
+		writeRecord(path, wtb.Receivers)
+		fmt.Printf("shot %d/%d: %8v (%.3f GPts/s) → %s\n",
+			shot+1, nshots, wtb.Elapsed.Round(1e6), wtb.GPointsPerSec, path)
+		meter.Done(shot + 1)
+	}
+	fmt.Printf("survey complete: %d shots, %d-step records\n", nshots, nt)
+}
+
+// buildShot places the 7×7 blended source array for one shot position: the
+// array center advances along x per shot (the sail line), every source
+// deliberately off-the-grid (fractional offsets).
+func buildShot(shot int, extent float64, receivers []wavesim.Coord) (*wavesim.Simulation, float64, int) {
+	sail := 0.15 * extent * float64(shot) / float64(nshots)
+	lo, hi := 0.15*extent+sail, 0.65*extent+sail
+	var sources []wavesim.Coord
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 7; j++ {
+			sources = append(sources, wavesim.Coord{
+				lo + (hi-lo)*float64(i)/6.0 + 3.3,
+				0.25*extent + 0.5*extent*float64(j)/6.0 + 1.7,
+				float64(nbl+2)*h + 4.9,
+			})
+		}
+	}
 	sim, err := wavesim.New(wavesim.Options{
 		Physics:    wavesim.Acoustic,
 		SpaceOrder: 4,
@@ -69,15 +115,17 @@ func main() {
 		log.Fatal(err)
 	}
 	_, _, dt, nt := sim.Geometry()
-	fmt.Printf("survey: %d sources, %d receivers, %d³ grid, %d steps (dt=%.2f ms)\n",
-		nsrc, len(receivers), n, nt, dt*1e3)
+	return sim, dt, nt
+}
 
-	// The paper's baseline: unfused per-source injection every timestep.
+// compareSchedules runs the unfused Listing-1 baseline and the precomputed
+// WTB path on the same shot and checks the records agree to single-precision
+// tolerance (the two paths differ only in FP accumulation order).
+func compareSchedules(sim *wavesim.Simulation) {
 	base, err := sim.Run(wavesim.Spatial{Unfused: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Precomputed + temporally blocked.
 	wtb, err := sim.Run(wavesim.WTB{TimeTile: 16, TileX: 32, TileY: 32, BlockX: 8, BlockY: 8})
 	if err != nil {
 		log.Fatal(err)
@@ -85,9 +133,6 @@ func main() {
 	fmt.Printf("listing-1 baseline: %8v (%.3f GPts/s)\n", base.Elapsed.Round(1e6), base.GPointsPerSec)
 	fmt.Printf("precomputed + WTB:  %8v (%.3f GPts/s)\n", wtb.Elapsed.Round(1e6), wtb.GPointsPerSec)
 
-	// The two sparse-operator paths differ only in floating-point
-	// accumulation order: records must agree to single-precision tolerance.
-	maxRel := 0.0
 	peak := 0.0
 	for t := range base.Receivers {
 		for r := range base.Receivers[t] {
@@ -96,6 +141,7 @@ func main() {
 			}
 		}
 	}
+	maxRel := 0.0
 	for t := range base.Receivers {
 		for r := range base.Receivers[t] {
 			d := math.Abs(float64(base.Receivers[t][r]-wtb.Receivers[t][r])) / peak
@@ -108,15 +154,17 @@ func main() {
 	if maxRel > 1e-4 {
 		log.Fatal("records disagree beyond FP tolerance")
 	}
+}
 
-	// Write the blended shot record.
-	f, err := os.Create("survey_record.csv")
+// writeRecord writes one shot's blended record as CSV (rows = timesteps).
+func writeRecord(path string, rec [][]float32) {
+	f, err := os.Create(path)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	for t := range wtb.Receivers {
-		for r, v := range wtb.Receivers[t] {
+	for t := range rec {
+		for r, v := range rec[t] {
 			if r > 0 {
 				fmt.Fprint(f, ",")
 			}
@@ -124,5 +172,4 @@ func main() {
 		}
 		fmt.Fprintln(f)
 	}
-	fmt.Printf("wrote %d×%d blended shot record to survey_record.csv\n", nt, len(receivers))
 }

@@ -1,0 +1,414 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// ---------------------------------------------------------------------------
+// Bench regression diffing: load two benchmark artifacts, pair their series,
+// and decide — with a paired significance test — whether throughput moved.
+
+// SeriesKey identifies one comparable throughput series across bench
+// artifacts: a kernel (model, space order) under one schedule. Grid size,
+// steps and worker count are deliberately not part of the key — the tool
+// compares whatever configurations both files ran, and it is the caller's
+// job (enforced for run reports via the host fingerprint) to diff runs of
+// like against like.
+type SeriesKey struct {
+	Model    string `json:"model"`
+	SO       int    `json:"so"`
+	Schedule string `json:"schedule"`
+}
+
+func (k SeriesKey) String() string {
+	return fmt.Sprintf("%s/so%d/%s", k.Model, k.SO, k.Schedule)
+}
+
+// BenchFile is one loaded benchmark artifact reduced to GPts/s series.
+type BenchFile struct {
+	Path   string
+	Format string // "wavebench-json", "trajectory", "report", "report-array"
+	Series map[SeriesKey]float64
+	// Hosts collects host fingerprints seen in the artifact (report formats
+	// only), so the differ can warn when comparing across machines.
+	Hosts []string
+}
+
+// put records a series value, keeping the maximum on duplicate keys: the
+// trajectory files repeat (model, so) at several worker counts, and best-of
+// is the measurement convention everywhere else in this package.
+func (f *BenchFile) put(k SeriesKey, v float64) {
+	if v <= 0 {
+		return
+	}
+	if prev, ok := f.Series[k]; !ok || v > prev {
+		f.Series[k] = v
+	}
+}
+
+// LoadBenchFile reads any of the repo's benchmark JSON artifacts and
+// reduces it to comparable throughput series:
+//
+//   - `wavebench -mode wall -json` output (benchJSON with WallRow rows);
+//   - `wavebench -mode sim -json` output (SimRow rows; series are keyed
+//     per simulated machine, e.g. schedule "wtb@Broadwell");
+//   - committed BENCH_PR*.json trajectory files (rows with model/so and
+//     *_gpts_after columns — the "after" side is loaded, since that is the
+//     trajectory point the file documents);
+//   - a single obs.Report or a JSON array of them (`wavebench -report`).
+//
+// The format is sniffed from the document structure, not the filename.
+func LoadBenchFile(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	f := &BenchFile{Path: path, Series: map[SeriesKey]float64{}}
+
+	// A top-level array is a report array; anything else is an object.
+	var probe any
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	switch doc := probe.(type) {
+	case []any:
+		f.Format = "report-array"
+		for i := range doc {
+			rep, ok := asReport(doc[i])
+			if !ok {
+				return nil, fmt.Errorf("bench: %s: array element %d is not a run report", path, i)
+			}
+			f.addReport(rep)
+		}
+		return f, nil
+	case map[string]any:
+		if kind, _ := doc["kind"].(string); kind == "wavetile.run-report" {
+			rep, ok := asReport(probe)
+			if !ok {
+				return nil, fmt.Errorf("bench: %s: malformed run report", path)
+			}
+			f.Format = "report"
+			f.addReport(rep)
+			return f, nil
+		}
+		if rows, ok := doc["rows"].([]any); ok {
+			if _, isBench := doc["mode"]; isBench {
+				f.Format = "wavebench-json"
+				mode, _ := doc["mode"].(string)
+				return f, f.addWavebenchRows(path, mode, rows)
+			}
+			f.Format = "trajectory"
+			return f, f.addTrajectoryRows(path, rows)
+		}
+	}
+	return nil, fmt.Errorf("bench: %s: unrecognized benchmark document", path)
+}
+
+// reportDoc is the subset of obs.Report the differ consumes; decoding into
+// it (rather than importing the full schema) keeps old artifacts readable
+// as the schema grows.
+type reportDoc struct {
+	Run struct {
+		Physics    string `json:"physics"`
+		SpaceOrder int    `json:"space_order"`
+		Schedule   string `json:"schedule"`
+	} `json:"run"`
+	Host          map[string]any `json:"host"`
+	GPointsPerSec float64        `json:"gpoints_per_sec"`
+}
+
+func asReport(v any) (reportDoc, bool) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return reportDoc{}, false
+	}
+	var rep reportDoc
+	if err := json.Unmarshal(raw, &rep); err != nil || rep.Run.Physics == "" {
+		return reportDoc{}, false
+	}
+	return rep, true
+}
+
+func (f *BenchFile) addReport(rep reportDoc) {
+	f.put(SeriesKey{Model: rep.Run.Physics, SO: rep.Run.SpaceOrder, Schedule: rep.Run.Schedule},
+		rep.GPointsPerSec)
+	if len(rep.Host) > 0 {
+		if fp, err := json.Marshal(rep.Host); err == nil {
+			f.Hosts = appendUnique(f.Hosts, string(fp))
+		}
+	}
+}
+
+func appendUnique(xs []string, x string) []string {
+	for _, v := range xs {
+		if v == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}
+
+// addWavebenchRows loads `wavebench -json` rows (WallRow or SimRow shapes).
+func (f *BenchFile) addWavebenchRows(path, mode string, rows []any) error {
+	for i, rv := range rows {
+		row, ok := rv.(map[string]any)
+		if !ok {
+			return fmt.Errorf("bench: %s: row %d is not an object", path, i)
+		}
+		spec, _ := row["Spec"].(map[string]any)
+		if spec == nil {
+			return fmt.Errorf("bench: %s: row %d has no Spec", path, i)
+		}
+		model, _ := spec["Model"].(string)
+		so := int(num(spec["SO"]))
+		switch mode {
+		case "wall":
+			f.put(SeriesKey{model, so, "spatial"}, num(row["SpatialGP"]))
+			f.put(SeriesKey{model, so, "wtb"}, num(row["WTBGP"]))
+			f.put(SeriesKey{model, so, "wtb-pipelined"}, num(row["PipeGP"]))
+		case "sim":
+			machine, _ := row["Machine"].(string)
+			if sp, ok := row["Spatial"].(map[string]any); ok {
+				f.put(SeriesKey{model, so, "spatial@" + machine}, num(sp["GPointsPS"]))
+			}
+			if wt, ok := row["WTB"].(map[string]any); ok {
+				f.put(SeriesKey{model, so, "wtb@" + machine}, num(wt["GPointsPS"]))
+			}
+		default:
+			return fmt.Errorf("bench: %s: unknown wavebench mode %q", path, mode)
+		}
+	}
+	return nil
+}
+
+// addTrajectoryRows loads committed BENCH_PR*.json rows; the *_gpts_after
+// columns are the trajectory point the file documents.
+func (f *BenchFile) addTrajectoryRows(path string, rows []any) error {
+	for i, rv := range rows {
+		row, ok := rv.(map[string]any)
+		if !ok {
+			return fmt.Errorf("bench: %s: row %d is not an object", path, i)
+		}
+		model, _ := row["model"].(string)
+		if model == "" {
+			// Non-kernel rows (e.g. dist benchmarks) are not comparable
+			// series; skip rather than fail the whole file.
+			continue
+		}
+		so := int(num(row["so"]))
+		f.put(SeriesKey{model, so, "spatial"}, num(row["spatial_gpts_after"]))
+		f.put(SeriesKey{model, so, "wtb"}, num(row["wtb_gpts_after"]))
+		f.put(SeriesKey{model, so, "wtb-pipelined"}, num(row["pipelined_gpts_after"]))
+	}
+	return nil
+}
+
+func num(v any) float64 {
+	x, _ := v.(float64)
+	return x
+}
+
+// DiffOptions tune the regression decision.
+type DiffOptions struct {
+	// Alpha is the significance level of the paired sign-flip test
+	// (default 0.05).
+	Alpha float64
+	// MinEffect is the minimum geometric-mean throughput change that
+	// counts as a real move (default 0.02 = 2%); smaller shifts are noise
+	// regardless of p-value.
+	MinEffect float64
+}
+
+func (o *DiffOptions) defaults() {
+	if o.Alpha == 0 {
+		o.Alpha = 0.05
+	}
+	if o.MinEffect == 0 {
+		o.MinEffect = 0.02
+	}
+}
+
+// Pair is one series measured in both files.
+type Pair struct {
+	Key      SeriesKey
+	Old, New float64
+	Ratio    float64 // New / Old
+}
+
+// DiffResult is the outcome of comparing two bench artifacts.
+type DiffResult struct {
+	Pairs   []Pair
+	OnlyOld []SeriesKey // series present in the old file only
+	OnlyNew []SeriesKey
+
+	// GeoMeanRatio is the geometric mean of New/Old over the pairs — the
+	// single "how much faster/slower" number.
+	GeoMeanRatio float64
+	// PValue is the paired sign-flip permutation p-value for the null
+	// hypothesis that throughput did not change.
+	PValue float64
+	// Significant means PValue ≤ Alpha AND |GeoMeanRatio − 1| ≥ MinEffect.
+	Significant bool
+	Regression  bool // significant and slower
+	Improvement bool // significant and faster
+	// HostMismatch is set when both sides carry host fingerprints and they
+	// differ — cross-host ratios are not paired samples.
+	HostMismatch bool
+}
+
+// Diff pairs the two files' series and runs the significance test.
+func Diff(oldF, newF *BenchFile, o DiffOptions) DiffResult {
+	o.defaults()
+	var d DiffResult
+	keys := make([]SeriesKey, 0, len(oldF.Series))
+	for k := range oldF.Series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Model != b.Model {
+			return a.Model < b.Model
+		}
+		if a.SO != b.SO {
+			return a.SO < b.SO
+		}
+		return a.Schedule < b.Schedule
+	})
+	var logs []float64
+	for _, k := range keys {
+		ov := oldF.Series[k]
+		nv, ok := newF.Series[k]
+		if !ok {
+			d.OnlyOld = append(d.OnlyOld, k)
+			continue
+		}
+		p := Pair{Key: k, Old: ov, New: nv, Ratio: nv / ov}
+		d.Pairs = append(d.Pairs, p)
+		logs = append(logs, math.Log(p.Ratio))
+	}
+	for k := range newF.Series {
+		if _, ok := oldF.Series[k]; !ok {
+			d.OnlyNew = append(d.OnlyNew, k)
+		}
+	}
+	sort.Slice(d.OnlyNew, func(i, j int) bool { return d.OnlyNew[i].String() < d.OnlyNew[j].String() })
+
+	if len(logs) == 0 {
+		d.GeoMeanRatio = 1
+		d.PValue = 1
+		return d
+	}
+	sum := 0.0
+	for _, l := range logs {
+		sum += l
+	}
+	d.GeoMeanRatio = math.Exp(sum / float64(len(logs)))
+	d.PValue = signFlipP(logs)
+	effect := math.Abs(d.GeoMeanRatio - 1)
+	d.Significant = d.PValue <= o.Alpha && effect >= o.MinEffect
+	if d.Significant {
+		d.Regression = d.GeoMeanRatio < 1
+		d.Improvement = d.GeoMeanRatio > 1
+	}
+	if len(oldF.Hosts) > 0 && len(newF.Hosts) > 0 &&
+		!(len(oldF.Hosts) == 1 && len(newF.Hosts) == 1 && oldF.Hosts[0] == newF.Hosts[0]) {
+		d.HostMismatch = true
+	}
+	return d
+}
+
+// signFlipP is the paired sign-flip permutation test on log-ratios: under
+// the null hypothesis (no change), each pair's log-ratio is symmetric
+// around zero, so every sign assignment of the observed magnitudes is
+// equally likely. The p-value is the fraction of the 2^n assignments whose
+// |sum| reaches the observed |sum| — exact (and deterministic) for n ≤ 20,
+// a normal approximation beyond.
+//
+// With few pairs the exact test is conservative by construction: n = 3
+// identical-direction moves cannot reach p < 0.25, which is what keeps the
+// back-to-back same-binary smoke gate from flaking.
+func signFlipP(logs []float64) float64 {
+	n := len(logs)
+	if n == 0 {
+		return 1
+	}
+	var obs float64
+	allZero := true
+	for _, l := range logs {
+		obs += l
+		if l != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		return 1
+	}
+	obs = math.Abs(obs)
+	const eps = 1e-12
+	if n <= 20 {
+		hits := 0
+		total := 1 << n
+		for mask := 0; mask < total; mask++ {
+			var s float64
+			for i, l := range logs {
+				if mask&(1<<i) != 0 {
+					s -= l
+				} else {
+					s += l
+				}
+			}
+			if math.Abs(s) >= obs-eps {
+				hits++
+			}
+		}
+		return float64(hits) / float64(total)
+	}
+	// Normal approximation: under the null, sum = Σ±|l_i| has mean 0 and
+	// variance Σ l_i²  (sign flips are independent).
+	var v float64
+	for _, l := range logs {
+		v += l * l
+	}
+	if v == 0 {
+		return 1
+	}
+	z := obs / math.Sqrt(v)
+	return math.Erfc(z / math.Sqrt2)
+}
+
+// Fprint renders the diff as an aligned human-readable table plus verdict.
+func (d DiffResult) Fprint(w io.Writer, oldPath, newPath string) {
+	fmt.Fprintf(w, "benchdiff: %s → %s\n", oldPath, newPath)
+	if d.HostMismatch {
+		fmt.Fprintln(w, "WARNING: host fingerprints differ — ratios are not paired samples")
+	}
+	if len(d.Pairs) > 0 {
+		fmt.Fprintf(w, "%-28s %14s %14s %9s\n", "series", "old GPts/s", "new GPts/s", "ratio")
+		for _, p := range d.Pairs {
+			fmt.Fprintf(w, "%-28s %14.4f %14.4f %8.3fx\n", p.Key, p.Old, p.New, p.Ratio)
+		}
+	}
+	for _, k := range d.OnlyOld {
+		fmt.Fprintf(w, "%-28s only in old file\n", k)
+	}
+	for _, k := range d.OnlyNew {
+		fmt.Fprintf(w, "%-28s only in new file\n", k)
+	}
+	switch {
+	case len(d.Pairs) == 0:
+		fmt.Fprintln(w, "no comparable series")
+	case d.Regression:
+		fmt.Fprintf(w, "REGRESSION: geomean %.3fx (%.1f%% slower), p=%.4g\n",
+			d.GeoMeanRatio, 100*(1-d.GeoMeanRatio), d.PValue)
+	case d.Improvement:
+		fmt.Fprintf(w, "improvement: geomean %.3fx (%.1f%% faster), p=%.4g\n",
+			d.GeoMeanRatio, 100*(d.GeoMeanRatio-1), d.PValue)
+	default:
+		fmt.Fprintf(w, "no significant change: geomean %.3fx, p=%.4g\n", d.GeoMeanRatio, d.PValue)
+	}
+}

@@ -1,0 +1,261 @@
+package bench
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const wallJSON = `{
+  "mode": "wall",
+  "rows": [
+    {"Spec": {"Model": "acoustic", "SO": 4}, "SpatialGP": 0.20, "WTBGP": 0.21, "PipeGP": 0.22},
+    {"Spec": {"Model": "acoustic", "SO": 8}, "SpatialGP": 0.12, "WTBGP": 0.13, "PipeGP": 0.0}
+  ]
+}`
+
+func TestLoadBenchFileWavebenchWall(t *testing.T) {
+	f, err := LoadBenchFile(writeTemp(t, "wall.json", wallJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Format != "wavebench-json" {
+		t.Fatalf("format = %q", f.Format)
+	}
+	want := map[SeriesKey]float64{
+		{"acoustic", 4, "spatial"}:       0.20,
+		{"acoustic", 4, "wtb"}:           0.21,
+		{"acoustic", 4, "wtb-pipelined"}: 0.22,
+		{"acoustic", 8, "spatial"}:       0.12,
+		{"acoustic", 8, "wtb"}:           0.13,
+	}
+	if len(f.Series) != len(want) {
+		t.Fatalf("series = %v, want %d entries (zero PipeGP must be dropped)", f.Series, len(want))
+	}
+	for k, v := range want {
+		if f.Series[k] != v {
+			t.Errorf("%s = %g, want %g", k, f.Series[k], v)
+		}
+	}
+}
+
+func TestLoadBenchFileTrajectoryMaxOnDuplicates(t *testing.T) {
+	// Two rows for the same kernel at different worker counts: the loader
+	// keeps the max (best-of convention).
+	const traj = `{
+	  "pr": 5,
+	  "rows": [
+	    {"model": "acoustic", "so": 4, "workers": 1, "wtb_gpts_after": 0.20, "pipelined_gpts_after": 0.21},
+	    {"model": "acoustic", "so": 4, "workers": 2, "wtb_gpts_after": 0.18, "pipelined_gpts_after": 0.23},
+	    {"note": "non-kernel row must be skipped"}
+	  ]
+	}`
+	f, err := LoadBenchFile(writeTemp(t, "traj.json", traj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Format != "trajectory" {
+		t.Fatalf("format = %q", f.Format)
+	}
+	if got := f.Series[SeriesKey{"acoustic", 4, "wtb"}]; got != 0.20 {
+		t.Fatalf("wtb = %g, want max 0.20", got)
+	}
+	if got := f.Series[SeriesKey{"acoustic", 4, "wtb-pipelined"}]; got != 0.23 {
+		t.Fatalf("pipelined = %g, want max 0.23", got)
+	}
+}
+
+func TestLoadBenchFileReportFormats(t *testing.T) {
+	const rep = `{
+	  "version": 1, "kind": "wavetile.run-report",
+	  "host": {"goarch": "amd64", "cpus": 4},
+	  "run": {"physics": "acoustic", "space_order": 8, "schedule": "wtb"},
+	  "gpoints_per_sec": 0.5
+	}`
+	single, err := LoadBenchFile(writeTemp(t, "rep.json", rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Format != "report" || single.Series[SeriesKey{"acoustic", 8, "wtb"}] != 0.5 {
+		t.Fatalf("single report: %+v", single)
+	}
+	if len(single.Hosts) != 1 {
+		t.Fatalf("host fingerprint not collected: %v", single.Hosts)
+	}
+
+	arr, err := LoadBenchFile(writeTemp(t, "reps.json", "["+rep+","+rep+"]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Format != "report-array" || arr.Series[SeriesKey{"acoustic", 8, "wtb"}] != 0.5 {
+		t.Fatalf("report array: %+v", arr)
+	}
+}
+
+func TestLoadBenchFileRejectsGarbage(t *testing.T) {
+	if _, err := LoadBenchFile(writeTemp(t, "bad.json", `{"hello": 1}`)); err == nil {
+		t.Fatal("unrecognized document must error")
+	}
+	if _, err := LoadBenchFile(writeTemp(t, "notjson.json", "nope")); err == nil {
+		t.Fatal("invalid JSON must error")
+	}
+}
+
+func TestDiffIdenticalFilesIsNull(t *testing.T) {
+	p := writeTemp(t, "a.json", wallJSON)
+	f1, err := LoadBenchFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := LoadBenchFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diff(f1, f2, DiffOptions{})
+	if d.GeoMeanRatio != 1 || d.PValue != 1 {
+		t.Fatalf("identical files: geomean %g p %g, want 1/1", d.GeoMeanRatio, d.PValue)
+	}
+	if d.Significant || d.Regression || d.Improvement {
+		t.Fatalf("identical files flagged: %+v", d)
+	}
+}
+
+// scaled produces a copy of f with every series multiplied by factor.
+func scaled(f *BenchFile, factor float64) *BenchFile {
+	out := &BenchFile{Path: f.Path, Format: f.Format, Series: map[SeriesKey]float64{}}
+	for k, v := range f.Series {
+		out.Series[k] = v * factor
+	}
+	return out
+}
+
+func TestDiffDetectsLargeUniformRegression(t *testing.T) {
+	f, err := LoadBenchFile(writeTemp(t, "a.json", wallJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diff(f, scaled(f, 0.5), DiffOptions{Alpha: 0.10, MinEffect: 0.02})
+	if math.Abs(d.GeoMeanRatio-0.5) > 1e-9 {
+		t.Fatalf("geomean = %g, want 0.5", d.GeoMeanRatio)
+	}
+	// 5 pairs all moving the same way: exact sign-flip p = 2/2^5 = 0.0625.
+	if math.Abs(d.PValue-0.0625) > 1e-9 {
+		t.Fatalf("p = %g, want 0.0625", d.PValue)
+	}
+	if !d.Regression || d.Improvement {
+		t.Fatalf("halved throughput not flagged: %+v", d)
+	}
+	d = Diff(f, scaled(f, 2.0), DiffOptions{Alpha: 0.10, MinEffect: 0.02})
+	if !d.Improvement || d.Regression {
+		t.Fatalf("doubled throughput not flagged improvement: %+v", d)
+	}
+}
+
+func TestDiffSmallSampleCannotBeSignificant(t *testing.T) {
+	// 3 pairs: the exact sign-flip test bottoms out at p = 2/8 = 0.25, so
+	// even a uniform 2x regression cannot clear alpha=0.05 — the property
+	// that keeps the tiny CI smoke gate deterministic.
+	old := &BenchFile{Series: map[SeriesKey]float64{
+		{"acoustic", 4, "spatial"}:       0.2,
+		{"acoustic", 4, "wtb"}:           0.2,
+		{"acoustic", 4, "wtb-pipelined"}: 0.2,
+	}}
+	d := Diff(old, scaled(old, 0.5), DiffOptions{})
+	if d.PValue != 0.25 {
+		t.Fatalf("p = %g, want exactly 0.25", d.PValue)
+	}
+	if d.Significant || d.Regression {
+		t.Fatalf("3-pair diff must never be significant at 0.05: %+v", d)
+	}
+}
+
+func TestDiffDisjointSeries(t *testing.T) {
+	old := &BenchFile{Series: map[SeriesKey]float64{{"acoustic", 4, "wtb"}: 0.2}}
+	new_ := &BenchFile{Series: map[SeriesKey]float64{{"elastic", 4, "wtb"}: 0.2}}
+	d := Diff(old, new_, DiffOptions{})
+	if len(d.Pairs) != 0 || len(d.OnlyOld) != 1 || len(d.OnlyNew) != 1 {
+		t.Fatalf("disjoint diff: %+v", d)
+	}
+	if d.PValue != 1 || d.GeoMeanRatio != 1 || d.Regression {
+		t.Fatalf("no pairs must be a null result: %+v", d)
+	}
+}
+
+func TestDiffHostMismatchWarns(t *testing.T) {
+	a := &BenchFile{Series: map[SeriesKey]float64{{"acoustic", 4, "wtb"}: 0.2}, Hosts: []string{"hostA"}}
+	b := &BenchFile{Series: map[SeriesKey]float64{{"acoustic", 4, "wtb"}: 0.3}, Hosts: []string{"hostB"}}
+	if d := Diff(a, b, DiffOptions{}); !d.HostMismatch {
+		t.Fatal("differing fingerprints must set HostMismatch")
+	}
+	b.Hosts = []string{"hostA"}
+	if d := Diff(a, b, DiffOptions{}); d.HostMismatch {
+		t.Fatal("matching fingerprints must not set HostMismatch")
+	}
+}
+
+func TestSignFlipPNormalApproximationAgreesWithExact(t *testing.T) {
+	// At n=20 (the exact/approx boundary) both methods must roughly agree
+	// for a mixed sample.
+	logs := make([]float64, 20)
+	for i := range logs {
+		logs[i] = 0.03
+		if i%4 == 3 {
+			logs[i] = -0.02
+		}
+	}
+	exact := signFlipP(logs)
+	// Force the approximation path with a 21st zero-effect pair (adds
+	// nothing to the sums).
+	approx := signFlipP(append(append([]float64{}, logs...), 0))
+	if exact <= 0 || exact >= 1 {
+		t.Fatalf("exact p out of range: %g", exact)
+	}
+	if math.Abs(exact-approx) > 0.05 {
+		t.Fatalf("exact %g vs approx %g diverge", exact, approx)
+	}
+}
+
+func TestDiffCommittedTrajectories(t *testing.T) {
+	// The real artifacts: PR3 vs PR5 committed bench trajectories. Guarded
+	// so a future repo layout change skips instead of failing.
+	oldF, err := LoadBenchFile("../../BENCH_PR3.json")
+	if err != nil {
+		t.Skipf("BENCH_PR3.json not loadable: %v", err)
+	}
+	newF, err := LoadBenchFile("../../BENCH_PR5.json")
+	if err != nil {
+		t.Skipf("BENCH_PR5.json not loadable: %v", err)
+	}
+	d := Diff(oldF, newF, DiffOptions{})
+	if len(d.Pairs) == 0 {
+		t.Fatal("committed trajectories share no series")
+	}
+	for _, p := range d.Pairs {
+		if p.Key.Model != "acoustic" {
+			t.Errorf("unexpected paired model %s (PR5 measured acoustic only)", p.Key)
+		}
+		if p.Ratio <= 0 || math.IsInf(p.Ratio, 0) || math.IsNaN(p.Ratio) {
+			t.Errorf("degenerate ratio for %s: %g", p.Key, p.Ratio)
+		}
+	}
+	if d.PValue < 0 || d.PValue > 1 {
+		t.Fatalf("p out of range: %g", d.PValue)
+	}
+	var sb strings.Builder
+	d.Fprint(&sb, "BENCH_PR3.json", "BENCH_PR5.json")
+	out := sb.String()
+	if !strings.Contains(out, "acoustic/so4/wtb") || !strings.Contains(out, "geomean") {
+		t.Fatalf("Fprint output incomplete:\n%s", out)
+	}
+}

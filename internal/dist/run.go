@@ -3,8 +3,10 @@ package dist
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"wavetile/internal/grid"
+	"wavetile/internal/obs"
 	"wavetile/internal/tiling"
 )
 
@@ -302,22 +304,45 @@ func (c *Cluster) buffers(tNext int) [2]int {
 	return [2]int{tNext & 1, (tNext + 1) & 1}
 }
 
-// pack copies src's owned boundary planes into the edge staging.
+// pack copies src's owned boundary planes into the edge staging. One pack
+// runs per outgoing edge per exchange, so per-call obs lookups are cold.
 func (c *Cluster) pack(e *edge, tNext int) {
+	r := obs.Active()
+	sp := r.Spans()
+	var start time.Time
+	if sp.On() {
+		start = time.Now()
+	}
 	bufs := c.buffers(tNext)
 	i := 0
+	var bytes int
 	for b := 0; b < c.bufCount(); b++ {
 		u := e.src.prop.U[bufs[b]]
 		for _, gx := range e.gxs {
 			off := (gx - e.src.lox + u.H) * u.SX
 			copy(e.planes[i], u.Data[off:off+u.SX])
+			bytes += u.SX * 4
 			i++
+		}
+	}
+	if r != nil {
+		r.Counter("dist_halo_packs").Add(1)
+		r.Counter("dist_halo_bytes").Add(int64(bytes))
+		if sp.On() {
+			sp.Complete("halo pack", "dist", 0, start, time.Since(start),
+				map[string]any{"t_next": tNext, "planes": i, "bytes": bytes})
 		}
 	}
 }
 
 // unpack copies staged planes into dst's halo.
 func (c *Cluster) unpack(e *edge, tNext int) {
+	r := obs.Active()
+	sp := r.Spans()
+	var start time.Time
+	if sp.On() {
+		start = time.Now()
+	}
 	bufs := c.buffers(tNext)
 	i := 0
 	for b := 0; b < c.bufCount(); b++ {
@@ -326,6 +351,13 @@ func (c *Cluster) unpack(e *edge, tNext int) {
 			off := (gx - e.dst.lox + u.H) * u.SX
 			copy(u.Data[off:off+u.SX], e.planes[i])
 			i++
+		}
+	}
+	if r != nil {
+		r.Counter("dist_halo_unpacks").Add(1)
+		if sp.On() {
+			sp.Complete("halo unpack", "dist", 0, start, time.Since(start),
+				map[string]any{"t_next": tNext, "planes": i})
 		}
 	}
 }

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultFlightCapacity is the ring size StartFlight uses when the caller
+// passes a non-positive capacity: large enough to hold several time tiles
+// of schedule spans, small enough (~1 MB of events) to be irrelevant to a
+// multi-hour survey's memory budget.
+const DefaultFlightCapacity = 8192
+
+// FlightEvent is one record of the flight recorder: a completed span
+// (DurUS > 0) or an instantaneous event. Timestamps are microseconds since
+// the recorder started, matching the Chrome tracer's clock convention.
+type FlightEvent struct {
+	Seq   uint64         `json:"seq"` // monotone; exposes how much history was overwritten
+	TSUS  float64        `json:"ts_us"`
+	DurUS float64        `json:"dur_us,omitempty"`
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Flight is a fixed-size ring buffer of recent tracer spans and events.
+// Where the Chrome Tracer keeps every span until its hard cap and is meant
+// for offline analysis of one bounded run, the flight recorder keeps only
+// the most recent Capacity records at O(1) cost per record — the black box
+// a multi-hour survey run can afford to leave on, dumpable at any moment
+// via /debug/obs/flight or on panic.
+type Flight struct {
+	start time.Time
+
+	mu  sync.Mutex
+	buf []FlightEvent
+	n   uint64 // total records ever written; buf slot = (n-1) % cap
+}
+
+// StartFlight installs (or returns the already-installed) flight recorder
+// on r with the given ring capacity (≤ 0 selects DefaultFlightCapacity).
+// Like StartTrace it is idempotent: the first capacity wins.
+func (r *Registry) StartFlight(capacity int) *Flight {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	f := &Flight{start: time.Now(), buf: make([]FlightEvent, 0, capacity)}
+	if r.flight.CompareAndSwap(nil, f) {
+		return f
+	}
+	return r.flight.Load()
+}
+
+// Flight returns the installed flight recorder, or nil when off. Safe on a
+// nil registry.
+func (r *Registry) Flight() *Flight {
+	if r == nil {
+		return nil
+	}
+	return r.flight.Load()
+}
+
+// Record appends a completed span that started at start and lasted d,
+// overwriting the oldest record once the ring is full. A nil recorder is a
+// no-op.
+func (f *Flight) Record(name, cat string, tid int, start time.Time, d time.Duration, args map[string]any) {
+	if f == nil {
+		return
+	}
+	ev := FlightEvent{
+		TSUS:  float64(start.Sub(f.start).Nanoseconds()) / 1e3,
+		DurUS: float64(d.Nanoseconds()) / 1e3,
+		Name:  name, Cat: cat, TID: tid, Args: args,
+	}
+	f.push(ev)
+}
+
+// Event appends an instantaneous event (no duration) stamped now.
+func (f *Flight) Event(name, cat string, args map[string]any) {
+	if f == nil {
+		return
+	}
+	f.push(FlightEvent{
+		TSUS: float64(time.Since(f.start).Nanoseconds()) / 1e3,
+		Name: name, Cat: cat, Args: args,
+	})
+}
+
+func (f *Flight) push(ev FlightEvent) {
+	f.mu.Lock()
+	ev.Seq = f.n
+	if len(f.buf) < cap(f.buf) {
+		f.buf = append(f.buf, ev)
+	} else {
+		f.buf[f.n%uint64(cap(f.buf))] = ev
+	}
+	f.n++
+	f.mu.Unlock()
+}
+
+// Capacity returns the ring size.
+func (f *Flight) Capacity() int {
+	if f == nil {
+		return 0
+	}
+	return cap(f.buf)
+}
+
+// Recorded returns how many records were ever written (including ones the
+// ring has since overwritten).
+func (f *Flight) Recorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// Events returns the surviving records in chronological order.
+func (f *Flight) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.n <= uint64(cap(f.buf)) {
+		return append([]FlightEvent(nil), f.buf...)
+	}
+	head := int(f.n % uint64(cap(f.buf))) // oldest surviving record
+	out := make([]FlightEvent, 0, cap(f.buf))
+	out = append(out, f.buf[head:]...)
+	return append(out, f.buf[:head]...)
+}
+
+// flightDump is the JSON document WriteJSON emits.
+type flightDump struct {
+	Capacity int           `json:"capacity"`
+	Recorded uint64        `json:"recorded"`
+	Dropped  uint64        `json:"dropped"` // overwritten, no longer in the ring
+	Events   []FlightEvent `json:"events"`
+}
+
+// WriteJSON dumps the recorder state and surviving events as one JSON
+// object.
+func (f *Flight) WriteJSON(w io.Writer) error {
+	evs := f.Events()
+	d := flightDump{Capacity: f.Capacity(), Recorded: f.Recorded(), Events: evs}
+	d.Dropped = d.Recorded - uint64(len(evs))
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(d)
+}
+
+// DumpFlightOnPanic returns a function to defer at the top of a run driver:
+// if the goroutine panics, the active registry's flight recorder is dumped
+// to w before the panic is re-raised, so the last moments of a crashed
+// multi-hour run are not lost with the process.
+//
+//	defer obs.DumpFlightOnPanic(os.Stderr)()
+func DumpFlightOnPanic(w io.Writer) func() {
+	return func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if f := Active().Flight(); f != nil {
+			fmt.Fprintf(w, "obs: flight recorder dump after panic %v:\n", p)
+			if err := f.WriteJSON(w); err != nil {
+				fmt.Fprintf(w, "obs: flight dump failed: %v\n", err)
+			}
+		}
+		panic(p)
+	}
+}
+
+// SpanRecorder fans one completed schedule span out to the installed span
+// sinks: the unbounded Chrome tracer (full-fidelity offline analysis of a
+// bounded run), the flight recorder (bounded recent history for long runs),
+// or both. Schedules fetch one per run — the zero value is a no-op, so the
+// uninstrumented path stays a nil registry check plus two nil comparisons.
+type SpanRecorder struct {
+	tr *Tracer
+	fl *Flight
+}
+
+// Spans returns the registry's span sinks; safe on a nil registry.
+func (r *Registry) Spans() SpanRecorder {
+	if r == nil {
+		return SpanRecorder{}
+	}
+	return SpanRecorder{tr: r.tracer.Load(), fl: r.flight.Load()}
+}
+
+// On reports whether any span sink is installed — callers use it to skip
+// clock readings and args-map construction entirely.
+func (s SpanRecorder) On() bool { return s.tr != nil || s.fl != nil }
+
+// Complete records one completed span in every installed sink.
+func (s SpanRecorder) Complete(name, cat string, tid int, start time.Time, d time.Duration, args map[string]any) {
+	s.tr.Complete(name, cat, tid, start, d, args)
+	s.fl.Record(name, cat, tid, start, d, args)
+}
+
+// Event records an instantaneous event. Only the flight recorder keeps
+// instants (the Chrome tracer stores complete spans only).
+func (s SpanRecorder) Event(name, cat string, args map[string]any) {
+	s.fl.Event(name, cat, args)
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlightNilSafety(t *testing.T) {
+	var f *Flight
+	f.Record("x", "c", 0, time.Now(), time.Millisecond, nil)
+	f.Event("x", "c", nil)
+	if f.Capacity() != 0 || f.Recorded() != 0 || f.Events() != nil {
+		t.Fatal("nil Flight accessors must be zero-valued no-ops")
+	}
+	var nilReg *Registry
+	if nilReg.Flight() != nil {
+		t.Fatal("nil Registry.Flight() must return nil")
+	}
+	sp := nilReg.Spans()
+	if sp.On() {
+		t.Fatal("nil registry SpanRecorder must be off")
+	}
+	sp.Complete("x", "c", 0, time.Now(), time.Millisecond, nil) // must not panic
+	sp.Event("x", "c", nil)
+}
+
+func TestFlightStartIdempotent(t *testing.T) {
+	r := NewRegistry()
+	f1 := r.StartFlight(16)
+	f2 := r.StartFlight(999)
+	if f1 != f2 {
+		t.Fatal("StartFlight must be idempotent")
+	}
+	if f1.Capacity() != 16 {
+		t.Fatalf("first capacity wins: got %d, want 16", f1.Capacity())
+	}
+	if r.StartFlight(0) != f1 || r.Flight() != f1 {
+		t.Fatal("Flight() must return the installed recorder")
+	}
+}
+
+func TestFlightDefaultCapacity(t *testing.T) {
+	f := NewRegistry().StartFlight(0)
+	if f.Capacity() != DefaultFlightCapacity {
+		t.Fatalf("capacity = %d, want %d", f.Capacity(), DefaultFlightCapacity)
+	}
+}
+
+func TestFlightRingWrapKeepsNewestInOrder(t *testing.T) {
+	const capacity, total = 8, 21
+	f := NewRegistry().StartFlight(capacity)
+	for i := 0; i < total; i++ {
+		f.Event("ev", "test", map[string]any{"i": i})
+	}
+	if got := f.Recorded(); got != total {
+		t.Fatalf("Recorded = %d, want %d", got, total)
+	}
+	evs := f.Events()
+	if len(evs) != capacity {
+		t.Fatalf("surviving events = %d, want %d", len(evs), capacity)
+	}
+	for j, ev := range evs {
+		wantSeq := uint64(total - capacity + j)
+		if ev.Seq != wantSeq {
+			t.Fatalf("event %d: Seq = %d, want %d (chronological oldest-first)", j, ev.Seq, wantSeq)
+		}
+		if got, ok := ev.Args["i"].(int); !ok || uint64(got) != wantSeq {
+			t.Fatalf("event %d: args mismatch: %v", j, ev.Args)
+		}
+	}
+}
+
+func TestFlightWriteJSONDump(t *testing.T) {
+	f := NewRegistry().StartFlight(4)
+	start := time.Now()
+	for i := 0; i < 6; i++ {
+		f.Record("span", "sched", i, start, 2*time.Millisecond, map[string]any{"k": i})
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Capacity int           `json:"capacity"`
+		Recorded uint64        `json:"recorded"`
+		Dropped  uint64        `json:"dropped"`
+		Events   []FlightEvent `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if dump.Capacity != 4 || dump.Recorded != 6 || dump.Dropped != 2 || len(dump.Events) != 4 {
+		t.Fatalf("dump = cap %d rec %d drop %d events %d, want 4/6/2/4",
+			dump.Capacity, dump.Recorded, dump.Dropped, len(dump.Events))
+	}
+	if dump.Events[0].DurUS != 2000 {
+		t.Fatalf("span duration lost: %v", dump.Events[0])
+	}
+}
+
+func TestDumpFlightOnPanic(t *testing.T) {
+	r := NewRegistry()
+	r.StartFlight(8).Event("before crash", "test", nil)
+	restore := Swap(r)
+	defer restore()
+
+	var out bytes.Buffer
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic must be re-raised")
+			}
+		}()
+		defer DumpFlightOnPanic(&out)()
+		panic("boom")
+	}()
+	s := out.String()
+	if !strings.Contains(s, "boom") || !strings.Contains(s, "before crash") {
+		t.Fatalf("panic dump missing content:\n%s", s)
+	}
+}
+
+func TestDumpFlightOnPanicNoPanicIsSilent(t *testing.T) {
+	var out bytes.Buffer
+	func() {
+		defer DumpFlightOnPanic(&out)()
+	}()
+	if out.Len() != 0 {
+		t.Fatalf("no panic must write nothing, got %q", out.String())
+	}
+}
+
+func TestSpanRecorderFansOutToBothSinks(t *testing.T) {
+	r := NewRegistry()
+	tr := r.StartTrace()
+	fl := r.StartFlight(16)
+	sp := r.Spans()
+	if !sp.On() {
+		t.Fatal("SpanRecorder must be on with sinks installed")
+	}
+	sp.Complete("tile 0,0", "wtb", 1, time.Now(), time.Millisecond, map[string]any{"bx": 0})
+	sp.Event("stall", "sched", nil)
+	if tr.Len() != 1 {
+		t.Fatalf("tracer got %d spans, want 1 (instants are flight-only)", tr.Len())
+	}
+	if fl.Recorded() != 2 {
+		t.Fatalf("flight got %d records, want 2 (span + instant)", fl.Recorded())
+	}
+}
+
+func TestSpanRecorderSingleSink(t *testing.T) {
+	r := NewRegistry()
+	fl := r.StartFlight(16)
+	sp := r.Spans()
+	if !sp.On() {
+		t.Fatal("flight-only SpanRecorder must be on")
+	}
+	sp.Complete("x", "c", 0, time.Now(), time.Millisecond, nil)
+	if fl.Recorded() != 1 {
+		t.Fatalf("flight got %d records, want 1", fl.Recorded())
+	}
+}

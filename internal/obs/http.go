@@ -11,22 +11,27 @@ import (
 )
 
 // expvarOnce guards the one-time expvar publication: expvar.Publish panics
-// on duplicate names, and ServeDebug may be called more than once.
+// on duplicate names, and the handler may be built more than once.
 var expvarOnce sync.Once
 
-// ServeDebug starts an HTTP debug server on addr (e.g. "localhost:6060")
-// exposing
+// DebugHandler returns the debug/telemetry HTTP handler that ServeDebug
+// serves:
 //
+//	/metrics           Prometheus text exposition: registry counters,
+//	                   gauges, histograms (labeled series included), phase
+//	                   and per-worker seconds, plus Go runtime stats.
+//	                   Always 200; runtime-only before a registry is active.
 //	/debug/pprof/...   the standard runtime profiles
 //	/debug/vars        expvar, including an "obs" var with the live snapshot
 //	/debug/obs         the active registry's snapshot as JSON
 //	/debug/obs/trace   the recorded schedule spans as Chrome trace JSON
+//	/debug/obs/flight  the flight recorder's ring contents as JSON
 //
 // The snapshot endpoints read the *active* registry at request time, so a
-// long run can be inspected live. Returns the bound address (useful with
-// ":0") after the listener is up; the server itself runs until process
-// exit.
-func ServeDebug(addr string) (string, error) {
+// long run can be inspected live; endpoints whose recorder is not installed
+// answer 503. Exposed separately from ServeDebug so tests can drive the
+// endpoints through net/http/httptest without binding a real listener.
+func DebugHandler() http.Handler {
 	expvarOnce.Do(func() {
 		expvar.Publish("obs", expvar.Func(func() any {
 			if r := Active(); r != nil {
@@ -43,6 +48,10 @@ func ServeDebug(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteProm(w, Active())
+	})
 	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
 		r := Active()
 		if r == nil {
@@ -63,11 +72,44 @@ func ServeDebug(addr string) (string, error) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = t.WriteChrome(w)
 	})
+	mux.HandleFunc("/debug/obs/flight", func(w http.ResponseWriter, _ *http.Request) {
+		f := Active().Flight()
+		if f == nil {
+			http.Error(w, "flight recorder disabled", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = f.WriteJSON(w)
+	})
+	return mux
+}
 
+// DebugServer is a running debug/telemetry HTTP server. Close shuts the
+// listener down and unblocks the serve goroutine, so tests and short-lived
+// tools do not leak sockets for the remainder of the process.
+type DebugServer struct {
+	Addr string // bound address, resolved (useful with ":0")
+	srv  *http.Server
+}
+
+// Close immediately shuts the server down, closing its listener and any
+// open connections.
+func (s *DebugServer) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// ServeDebug starts the debug/telemetry HTTP server (see DebugHandler for
+// the routes) on addr, e.g. "localhost:6060". It returns once the listener
+// is up; the server runs until Close is called (or process exit).
+func ServeDebug(addr string) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("obs: debug server: %w", err)
+		return nil, fmt.Errorf("obs: debug server: %w", err)
 	}
-	go func() { _ = http.Serve(ln, mux) }()
-	return ln.Addr().String(), nil
+	s := &DebugServer{Addr: ln.Addr().String(), srv: &http.Server{Handler: DebugHandler()}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
 }

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// get drives one request through the handler without a real listener.
+func get(t *testing.T, h http.Handler, path string) (int, string, http.Header) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	res := rec.Result()
+	body, _ := io.ReadAll(res.Body)
+	return res.StatusCode, string(body), res.Header
+}
+
+func TestMetricsEndpointWithRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.AddStep(1000)
+	r.Counter("wtb_time_tiles").Add(3)
+	r.Counter(SeriesName("runs_total", "physics", "acoustic", "schedule", "wtb")).Add(1)
+	r.Gauge("sched_ready").Set(5)
+	r.AddPhase(PhaseStencil, 250*time.Millisecond)
+	r.StartFlight(8).Event("ev", "test", nil)
+	defer Swap(r)()
+
+	code, body, hdr := get(t, DebugHandler(), "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want text exposition 0.0.4", ct)
+	}
+	for _, want := range []string{
+		"# TYPE wavetile_steps_total counter",
+		"wavetile_steps_total 1",
+		"wavetile_points_total 1000",
+		"wavetile_wtb_time_tiles 3",
+		`wavetile_runs_total{physics="acoustic",schedule="wtb"} 1`,
+		"wavetile_sched_ready 5",
+		`wavetile_phase_seconds_total{phase="stencil"} 0.25`,
+		`wavetile_recorder_events{recorder="flight"} 1`,
+		"wavetile_goroutines",
+		"wavetile_heap_alloc_bytes",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricsEndpointWithoutRegistry(t *testing.T) {
+	defer Swap(nil)()
+	code, body, _ := get(t, DebugHandler(), "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics must stay scrapeable with no registry, got %d", code)
+	}
+	if !strings.Contains(body, "wavetile_goroutines") {
+		t.Fatalf("runtime families missing:\n%s", body)
+	}
+	if strings.Contains(body, "wavetile_steps_total") {
+		t.Fatalf("registry families must be absent with no registry:\n%s", body)
+	}
+}
+
+func TestDebugObsEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.AddStep(7)
+	r.StartTrace().Complete("tile", "wtb", 0, time.Now(), time.Millisecond, nil)
+	r.StartFlight(8).Event("ev", "test", nil)
+	defer Swap(r)()
+
+	h := DebugHandler()
+	if code, body, hdr := get(t, h, "/debug/obs"); code != http.StatusOK ||
+		hdr.Get("Content-Type") != "application/json" || !strings.Contains(body, `"points": 7`) {
+		t.Fatalf("/debug/obs: code %d body %s", code, body)
+	}
+	if code, body, _ := get(t, h, "/debug/obs/trace"); code != http.StatusOK ||
+		!strings.Contains(body, `"tile"`) {
+		t.Fatalf("/debug/obs/trace: code %d body %s", code, body)
+	}
+	if code, body, _ := get(t, h, "/debug/obs/flight"); code != http.StatusOK ||
+		!strings.Contains(body, `"recorded": 1`) {
+		t.Fatalf("/debug/obs/flight: code %d body %s", code, body)
+	}
+}
+
+func TestDebugObsEndpoints503WhenDisabled(t *testing.T) {
+	defer Swap(nil)()
+	h := DebugHandler()
+	for _, path := range []string{"/debug/obs", "/debug/obs/trace", "/debug/obs/flight"} {
+		if code, _, _ := get(t, h, path); code != http.StatusServiceUnavailable {
+			t.Errorf("%s with no registry: code %d, want 503", path, code)
+		}
+	}
+}
+
+func TestDebugObsRecorders503WhenNotInstalled(t *testing.T) {
+	// Registry active but neither tracer nor flight installed.
+	defer Swap(NewRegistry())()
+	h := DebugHandler()
+	for _, path := range []string{"/debug/obs/trace", "/debug/obs/flight"} {
+		if code, _, _ := get(t, h, path); code != http.StatusServiceUnavailable {
+			t.Errorf("%s with no recorder: code %d, want 503", path, code)
+		}
+	}
+}
+
+func TestServeDebugCloseReleasesListener(t *testing.T) {
+	s, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr + "/metrics")
+	if err != nil {
+		t.Fatalf("server not reachable at %s: %v", s.Addr, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The address must be rebindable immediately — the listener is gone.
+	s2, err := ServeDebug(s.Addr)
+	if err != nil {
+		t.Fatalf("address not released after Close: %v", err)
+	}
+	defer s2.Close()
+
+	var nilSrv *DebugServer
+	if err := nilSrv.Close(); err != nil {
+		t.Fatal("nil DebugServer.Close must be a no-op")
+	}
+}

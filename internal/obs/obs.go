@@ -1,9 +1,12 @@
 // Package obs is the observability layer of the repository: atomic
-// counters, gauges and duration histograms behind a Registry snapshot API,
-// per-phase wall-clock attribution for the hot paths (stencil update, fused
-// injection, fused sampling, unfused sparse operators), a tile-schedule
-// tracer exporting Chrome trace_event JSON, structured progress logging via
-// log/slog, and an opt-in pprof/expvar debug HTTP server.
+// counters, gauges and duration histograms (labeled series via SeriesName)
+// behind a Registry snapshot API, per-phase wall-clock attribution for the
+// hot paths (stencil update, fused injection, fused sampling, unfused
+// sparse operators), a tile-schedule tracer exporting Chrome trace_event
+// JSON, a fixed-size flight recorder for bounded-memory span history on
+// long runs, structured progress logging via log/slog, machine-readable
+// roofline-attributed run reports (Report), and an opt-in debug HTTP server
+// exposing pprof, expvar and a Prometheus /metrics endpoint.
 //
 // Observability is off by default and near-zero-overhead when off: every
 // instrumentation site begins with a single atomic pointer load (Active)
@@ -103,6 +106,7 @@ type Registry struct {
 	workers []workerSlot
 
 	tracer atomic.Pointer[Tracer]
+	flight atomic.Pointer[Flight]
 	prog   atomic.Pointer[progress]
 }
 

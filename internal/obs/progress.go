@@ -28,6 +28,63 @@ func (r *Registry) EnableProgress(l *slog.Logger, every time.Duration) {
 	r.prog.Store(&progress{log: l, every: every.Nanoseconds(), start: time.Now()})
 }
 
+// Meter reports throttled progress over an arbitrary unit sequence — the
+// shots of a survey, the jobs of a sweep — independent of the per-run step
+// progress StepsDone provides. Where StepsDone is fed by the schedules and
+// measures one propagation, a Meter belongs to the driver looping *over*
+// runs, so a multi-shot survey can report shot-level ETA while each shot
+// separately reports step-level ETA.
+type Meter struct {
+	log   *slog.Logger
+	label string
+	total int
+	every int64
+	start time.Time
+
+	lastLog atomic.Int64
+}
+
+// NewMeter returns a progress meter over total units, logging through l (nil
+// uses slog.Default()) at most once per `every` (≤ 0 defaults to 2s). The
+// final unit always logs, throttle regardless.
+func NewMeter(l *slog.Logger, label string, total int, every time.Duration) *Meter {
+	if l == nil {
+		l = slog.Default()
+	}
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	return &Meter{log: l, label: label, total: total, every: every.Nanoseconds(), start: time.Now()}
+}
+
+// Done reports that `done` of the meter's units are complete, emitting a
+// structured record (rate, mean seconds per unit, ETA) if the throttle
+// interval has passed or the sequence just finished.
+func (m *Meter) Done(done int) {
+	if m == nil || done <= 0 {
+		return
+	}
+	now := time.Since(m.start).Nanoseconds()
+	if done < m.total {
+		last := m.lastLog.Load()
+		if now-last < m.every || !m.lastLog.CompareAndSwap(last, now) {
+			return
+		}
+	}
+	elapsed := float64(now) / 1e9
+	if elapsed <= 0 {
+		return
+	}
+	rate := float64(done) / elapsed
+	eta := time.Duration(float64(m.total-done) / rate * 1e9).Round(time.Second)
+	m.log.Info(m.label+" progress",
+		"done", done,
+		"total", m.total,
+		"sec_per_unit", float64(int(elapsed/float64(done)*100))/100,
+		"eta", eta.String(),
+	)
+}
+
 // StepsDone reports cumulative schedule progress: done of total timesteps
 // are complete. Called by the run drivers (once per timestep under the
 // spatial schedule, once per time tile under WTB); it no-ops unless

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// promNamespace prefixes every exported metric family.
+const promNamespace = "wavetile"
+
+// SeriesName builds a labeled metric name — name{k1="v1",k2="v2"} — from
+// key/value pairs, with labels sorted by key so one label set always maps
+// to one series string. Registry counters/gauges/histograms created under
+// such names become labeled Prometheus series on /metrics; instrumentation
+// sites use it for per-propagator and per-schedule breakdowns:
+//
+//	reg.Counter(obs.SeriesName("runs_total", "physics", "acoustic", "schedule", "wtb")).Add(1)
+//
+// An odd trailing key is dropped. Label values must not contain '"' or
+// newlines (none of the repo's label values — physics, schedule names — do).
+func SeriesName(name string, kv ...string) string {
+	if len(kv) < 2 {
+		return name
+	}
+	type label struct{ k, v string }
+	labels := make([]label, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		labels = append(labels, label{kv[i], kv[i+1]})
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].k < labels[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", promSanitize(l.k), l.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitSeries separates a series string into its base name and label block
+// ("" when unlabeled). The label block keeps its braces' content verbatim.
+func splitSeries(series string) (base, labels string) {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i], strings.TrimSuffix(series[i+1:], "}")
+	}
+	return series, ""
+}
+
+// promSanitize maps an arbitrary metric or label name onto the Prometheus
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promSanitize(name string) string {
+	var b strings.Builder
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promFamily groups the series of one metric family for exposition.
+type promFamily struct {
+	name  string // fully qualified (namespace + sanitized base)
+	typ   string // "counter" | "gauge"
+	lines []string
+}
+
+// WriteProm writes the registry's state — plus Go runtime stats — in the
+// Prometheus text exposition format (version 0.0.4). It is the body of the
+// /metrics endpoint; reg may be nil, in which case only the runtime family
+// is emitted (the process is scrapeable even before a run installs a
+// registry).
+func WriteProm(w io.Writer, reg *Registry) error {
+	var fams []promFamily
+
+	if reg != nil {
+		snap := reg.Snapshot()
+
+		counters := promFamilies("counter", snap.Counters, func(v int64) string {
+			return fmt.Sprintf("%d", v)
+		})
+		// The two first-class counters keep their historical snapshot keys
+		// but gain the conventional _total suffix on the wire.
+		counters = renameFamily(counters, promNamespace+"_steps", promNamespace+"_steps_total")
+		counters = renameFamily(counters, promNamespace+"_points", promNamespace+"_points_total")
+		fams = append(fams, counters...)
+		fams = append(fams, promFamilies("gauge", snap.Gauges, func(v int64) string {
+			return fmt.Sprintf("%d", v)
+		})...)
+
+		phases := promFamily{name: promNamespace + "_phase_seconds_total", typ: "counter"}
+		for _, p := range sortedKeys(snap.Phases) {
+			phases.lines = append(phases.lines,
+				fmt.Sprintf("%s{phase=%q} %g", phases.name, p, snap.Phases[p].Seconds()))
+		}
+		fams = append(fams, phases)
+
+		if len(snap.Workers) > 0 {
+			busy := promFamily{name: promNamespace + "_worker_busy_seconds_total", typ: "counter"}
+			for wi, row := range snap.Workers {
+				for _, p := range sortedKeys(row) {
+					busy.lines = append(busy.lines,
+						fmt.Sprintf("%s{worker=\"%d\",phase=%q} %g", busy.name, wi, p, row[p].Seconds()))
+				}
+			}
+			fams = append(fams, busy)
+		}
+
+		for _, name := range sortedKeys(snap.Histograms) {
+			fams = append(fams, promHistogram(name, snap.Histograms[name]))
+		}
+
+		recorders := promFamily{name: promNamespace + "_recorder_events", typ: "gauge"}
+		if tr := reg.Tracer(); tr != nil {
+			recorders.lines = append(recorders.lines,
+				fmt.Sprintf("%s{recorder=\"trace\"} %d", recorders.name, tr.Len()))
+		}
+		if fl := reg.Flight(); fl != nil {
+			recorders.lines = append(recorders.lines,
+				fmt.Sprintf("%s{recorder=\"flight\"} %d", recorders.name, fl.Recorded()))
+		}
+		if len(recorders.lines) > 0 {
+			fams = append(fams, recorders)
+		}
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rt := []promFamily{
+		{name: promNamespace + "_goroutines", typ: "gauge",
+			lines: []string{fmt.Sprintf("%s_goroutines %d", promNamespace, runtime.NumGoroutine())}},
+		{name: promNamespace + "_gomaxprocs", typ: "gauge",
+			lines: []string{fmt.Sprintf("%s_gomaxprocs %d", promNamespace, runtime.GOMAXPROCS(0))}},
+		{name: promNamespace + "_heap_alloc_bytes", typ: "gauge",
+			lines: []string{fmt.Sprintf("%s_heap_alloc_bytes %d", promNamespace, ms.HeapAlloc)}},
+		{name: promNamespace + "_heap_sys_bytes", typ: "gauge",
+			lines: []string{fmt.Sprintf("%s_heap_sys_bytes %d", promNamespace, ms.HeapSys)}},
+		{name: promNamespace + "_gc_cycles_total", typ: "counter",
+			lines: []string{fmt.Sprintf("%s_gc_cycles_total %d", promNamespace, ms.NumGC)}},
+		{name: promNamespace + "_gc_pause_seconds_total", typ: "counter",
+			lines: []string{fmt.Sprintf("%s_gc_pause_seconds_total %g", promNamespace, float64(ms.PauseTotalNs)/1e9)}},
+	}
+	fams = append(fams, rt...)
+
+	for _, f := range fams {
+		if len(f.lines) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, l := range f.lines {
+			if _, err := fmt.Fprintln(w, l); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promFamilies converts one snapshot map into exposition families, merging
+// labeled series (created via SeriesName) of the same base name into one
+// family.
+func promFamilies[V any](typ string, m map[string]V, format func(V) string) []promFamily {
+	byBase := map[string]*promFamily{}
+	var order []string
+	for _, series := range sortedKeys(m) {
+		base, labels := splitSeries(series)
+		name := promNamespace + "_" + promSanitize(base)
+		f := byBase[name]
+		if f == nil {
+			f = &promFamily{name: name, typ: typ}
+			byBase[name] = f
+			order = append(order, name)
+		}
+		line := f.name
+		if labels != "" {
+			line += "{" + labels + "}"
+		}
+		f.lines = append(f.lines, line+" "+format(m[series]))
+	}
+	sort.Strings(order)
+	out := make([]promFamily, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byBase[name])
+	}
+	return out
+}
+
+// renameFamily renames one family in place (wire-name adjustments).
+func renameFamily(fams []promFamily, from, to string) []promFamily {
+	for i := range fams {
+		if fams[i].name != from {
+			continue
+		}
+		for j, l := range fams[i].lines {
+			fams[i].lines[j] = to + strings.TrimPrefix(l, from)
+		}
+		fams[i].name = to
+	}
+	return fams
+}
+
+// promHistogram renders one duration histogram as a Prometheus histogram in
+// seconds: cumulative buckets with exponential le bounds, then +Inf, _sum
+// and _count.
+func promHistogram(name string, h HistSnapshot) promFamily {
+	f := promFamily{name: promNamespace + "_" + promSanitize(name) + "_seconds", typ: "histogram"}
+	cum := int64(0)
+	for i := 0; i < HistBuckets-1; i++ {
+		cum += h.Buckets[i]
+		if h.Buckets[i] == 0 && i > 0 && cum == 0 {
+			continue // skip leading empty buckets to keep the page readable
+		}
+		f.lines = append(f.lines, fmt.Sprintf("%s_bucket{le=\"%g\"} %d",
+			f.name, HistBucketBound(i).Seconds(), cum))
+	}
+	cum += h.Buckets[HistBuckets-1]
+	f.lines = append(f.lines,
+		fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d", f.name, cum),
+		fmt.Sprintf("%s_sum %g", f.name, float64(h.SumNS)/1e9),
+		fmt.Sprintf("%s_count %d", f.name, h.Count))
+	return f
+}
+
+// sortedKeys returns m's keys in sorted order (deterministic exposition).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+)
+
+// ReportVersion is the schema version stamped into every Report. Consumers
+// (benchdiff, the future roofline-v2 autotune trainer) key compatibility
+// decisions off it; bump it on breaking field changes.
+const ReportVersion = 1
+
+// ReportKind tags run-report JSON documents so flexible readers can tell
+// them apart from bench tables and trace dumps.
+const ReportKind = "wavetile.run-report"
+
+// HostInfo fingerprints the machine a run executed on. Reports from
+// different hosts must never be compared as paired samples; the fingerprint
+// is what lets tooling refuse to.
+type HostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers,omitempty"` // par.Workers at run time, when the producer knows it
+}
+
+// HostFingerprint captures the current process's host identity.
+func HostFingerprint() HostInfo {
+	return HostInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// RunInfo records the configuration of the measured run.
+type RunInfo struct {
+	Physics    string     `json:"physics"`
+	SpaceOrder int        `json:"space_order"`
+	Shape      [3]int     `json:"shape"`
+	Spacing    [3]float64 `json:"spacing,omitempty"`
+	Steps      int        `json:"steps"`
+	DtSeconds  float64    `json:"dt_seconds,omitempty"`
+	Schedule   string     `json:"schedule"`
+	Config     string     `json:"config,omitempty"` // schedule parameters, e.g. "TT=8 tile=32x32 block=8x8"
+	Sources    int        `json:"sources,omitempty"`
+	Receivers  int        `json:"receivers,omitempty"`
+}
+
+// RooflineAttribution joins one measured run against the cache-simulated
+// roofline prediction for the same (physics, order, schedule, config)
+// point: where the model says the run should sit, and what fraction of
+// that the run achieved. These are the measured-vs-predicted datapoints
+// the roofline-v2 predictive autotuner trains on.
+type RooflineAttribution struct {
+	// Machine is the roofline machine model the prediction used. The
+	// paper's Broadwell/Skylake models are calibrated for the paper's Xeon
+	// SKUs, not this host, so AchievedFraction is a fraction *of that
+	// model* — stable for trend tracking, not a host utilization figure.
+	Machine string `json:"machine"`
+	// TraceN/TraceNt size the reduced trace grid the prediction replayed.
+	TraceN  int `json:"trace_n"`
+	TraceNt int `json:"trace_nt"`
+
+	PredictedGPointsPS float64 `json:"predicted_gpoints_per_sec"`
+	PredictedBound     string  `json:"predicted_bound"` // "compute", "L2→L1", "L3→L2", "DRAM"
+	// AchievedFraction = measured GPts/s ÷ predicted GPts/s.
+	AchievedFraction float64 `json:"achieved_fraction"`
+
+	// ModelDRAMBytes is the simulated DRAM traffic scaled from the trace
+	// grid to the run's point count; EffectiveDRAMGBs is that traffic
+	// moved in the measured wall time — the run's effective memory
+	// bandwidth under the model's traffic estimate.
+	ModelDRAMBytes    uint64  `json:"model_dram_bytes"`
+	EffectiveDRAMGBs  float64 `json:"effective_dram_gb_per_s"`
+	MachineDRAMGBs    float64 `json:"machine_dram_gb_per_s"`
+	BandwidthFraction float64 `json:"bandwidth_fraction"` // effective ÷ machine ceiling
+}
+
+// Report is the machine-readable record of one propagation run: config,
+// host fingerprint, measured timings and counters, and (when attributed)
+// the roofline join. It is the interchange format between the run drivers
+// (wavesim, propagate, wavebench), the regression gate (benchdiff) and the
+// future predictive autotuner.
+type Report struct {
+	Version       int      `json:"version"`
+	Kind          string   `json:"kind"`
+	CreatedUnixMS int64    `json:"created_unix_ms"`
+	Host          HostInfo `json:"host"`
+	Run           RunInfo  `json:"run"`
+
+	ElapsedNS     int64   `json:"elapsed_ns"`
+	Points        int64   `json:"points"`
+	GPointsPerSec float64 `json:"gpoints_per_sec"`
+
+	PhasesNS map[string]int64 `json:"phases_ns,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+
+	Roofline *RooflineAttribution `json:"roofline,omitempty"`
+}
+
+// NewReport returns a report stamped with version, kind, creation time and
+// the current host fingerprint.
+func NewReport() *Report {
+	return &Report{
+		Version:       ReportVersion,
+		Kind:          ReportKind,
+		CreatedUnixMS: time.Now().UnixMilli(),
+		Host:          HostFingerprint(),
+	}
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: write report: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: write report: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadReportFile parses a report written by WriteFile.
+func ReadReportFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: read report: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("obs: read report %s: %w", path, err)
+	}
+	if r.Kind != "" && r.Kind != ReportKind {
+		return nil, fmt.Errorf("obs: %s is a %q document, not a run report", path, r.Kind)
+	}
+	return &r, nil
+}

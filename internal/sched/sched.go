@@ -168,6 +168,7 @@ func (g *TileGraph) Coords(id int) (bx, by, k int) {
 type metrics struct {
 	tasks, emptyTasks, steals, stalls, chained *obs.Counter
 	ready                                      *obs.Gauge
+	fl                                         *obs.Flight
 }
 
 func newMetrics() *metrics {
@@ -182,6 +183,7 @@ func newMetrics() *metrics {
 		stalls:     r.Counter("sched_stalls"),
 		chained:    r.Counter("sched_chained"),
 		ready:      r.Gauge("sched_ready"),
+		fl:         r.Flight(),
 	}
 }
 
@@ -491,7 +493,7 @@ func (r *parRun) drain(w int) {
 			id, ok = r.steal(w)
 		}
 		if !ok {
-			if !r.park() {
+			if !r.park(w) {
 				return
 			}
 			continue
@@ -518,12 +520,13 @@ func (r *parRun) steal(w int) (int32, bool) {
 // park blocks until pending work appears or the run is done; it returns
 // false when the worker should exit. The stall counter measures how often
 // workers ran dry — the scheduler's analogue of barrier idle time.
-func (r *parRun) park() bool {
+func (r *parRun) park(w int) bool {
 	r.mu.Lock()
 	for r.pending.Load() == 0 && !r.done {
 		r.sleepers++
 		if r.m != nil {
 			r.m.stalls.Add(1)
+			r.m.fl.Event("sched stall", "sched", map[string]any{"worker": w, "sleepers": r.sleepers})
 		}
 		r.cond.Wait()
 		r.sleepers--

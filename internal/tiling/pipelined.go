@@ -53,7 +53,7 @@ func RunWTBPipelinedHooked(p Propagator, cfg Config, tFrom, tTo int, h PipelineH
 	p.SetBlocks(cfg.BlockX, cfg.BlockY)
 
 	r := obs.Active()
-	tr := r.Tracer()
+	sp := r.Spans()
 	var cTimeTiles *obs.Counter
 	if r != nil {
 		cTimeTiles = r.Counter("wtb_time_tiles")
@@ -71,15 +71,15 @@ func RunWTBPipelinedHooked(p Propagator, cfg Config, tFrom, tTo int, h PipelineH
 		base := t0
 		g.Run(par.Workers, func(worker, bx, by, k int) {
 			var taskStart time.Time
-			if tr != nil {
+			if sp.On() {
 				taskStart = time.Now()
 			}
 			p.Step(base+k, tg.Raw(bx, by, k), true)
-			if tr != nil {
+			if sp.On() {
 				// Unlike the sequential WTB tracer, tasks here carry the id
 				// of the worker that actually ran them, so pipeline gaps and
 				// steal imbalance are visible per lane in the trace viewer.
-				tr.Complete(fmt.Sprintf("task %d,%d k=%d", bx, by, k), "sched", worker,
+				sp.Complete(fmt.Sprintf("task %d,%d k=%d", bx, by, k), "sched", worker,
 					taskStart, time.Since(taskStart),
 					map[string]any{"bx": bx, "by": by, "k": k, "t": base + k})
 			}
@@ -88,8 +88,8 @@ func RunWTBPipelinedHooked(p Propagator, cfg Config, tFrom, tTo int, h PipelineH
 			}
 		})
 		if r != nil {
-			if tr != nil {
-				tr.Complete(fmt.Sprintf("time-tile %d..%d", t0, t0+tt), "sched", 0,
+			if sp.On() {
+				sp.Complete(fmt.Sprintf("time-tile %d..%d", t0, t0+tt), "sched", 0,
 					ttStart, time.Since(ttStart), map[string]any{"t0": t0, "t1": t0 + tt})
 			}
 			r.StepsDone(t0+tt, p.Steps())

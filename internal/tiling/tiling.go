@@ -115,10 +115,10 @@ func RunSpatial(p Propagator, blockX, blockY int, fused bool) {
 	full := grid.Region{X0: 0, X1: nx + off, Y0: 0, Y1: ny + off}
 	nt := p.Steps()
 	r := obs.Active()
-	tr := r.Tracer()
+	sp := r.Spans()
 	for t := 0; t < nt; t++ {
 		var stepStart time.Time
-		if tr != nil {
+		if sp.On() {
 			stepStart = time.Now()
 		}
 		p.Step(t, full, fused)
@@ -131,8 +131,8 @@ func RunSpatial(p Propagator, blockX, blockY int, fused bool) {
 				p.ApplySparse(t)
 			}
 		}
-		if tr != nil {
-			tr.Complete(fmt.Sprintf("step %d", t), "spatial", 0, stepStart, time.Since(stepStart),
+		if sp.On() {
+			sp.Complete(fmt.Sprintf("step %d", t), "spatial", 0, stepStart, time.Since(stepStart),
 				map[string]any{"t": t})
 		}
 		if r != nil {
@@ -174,11 +174,12 @@ func RunWTBRange(p Propagator, cfg Config, tFrom, tTo int) error {
 	}
 	p.SetBlocks(cfg.BlockX, cfg.BlockY)
 
-	// Observability: counters are looked up once outside the tile loops, the
-	// tracer records one span per (time-tile, space-tile) plus one per time
-	// tile. All of it is skipped (r == nil) when observability is off.
+	// Observability: counters are looked up once outside the tile loops; the
+	// span sinks (Chrome tracer and/or flight recorder) get one span per
+	// (time-tile, space-tile) plus one per time tile. All of it is skipped
+	// (r == nil) when observability is off.
 	r := obs.Active()
-	tr := r.Tracer()
+	sp := r.Spans()
 	var cTimeTiles, cTiles, cSkipped *obs.Counter
 	if r != nil {
 		cTimeTiles = r.Counter("wtb_time_tiles")
@@ -193,7 +194,7 @@ func RunWTBRange(p Propagator, cfg Config, tFrom, tTo int) error {
 		if r != nil {
 			cTimeTiles.Add(1)
 			ttStart = time.Now()
-			if tr != nil {
+			if sp.On() {
 				phasesBefore = r.PhaseWalls()
 			}
 		}
@@ -201,7 +202,7 @@ func RunWTBRange(p Propagator, cfg Config, tFrom, tTo int) error {
 		for bx := 0; bx < tg.NBX; bx++ {
 			for by := 0; by < tg.NBY; by++ {
 				var tileStart time.Time
-				if tr != nil {
+				if sp.On() {
 					tileStart = time.Now()
 				}
 				worked := false
@@ -217,11 +218,11 @@ func RunWTBRange(p Propagator, cfg Config, tFrom, tTo int) error {
 				}
 				if r != nil && worked {
 					cTiles.Add(1)
-					if tr != nil {
+					if sp.On() {
 						// No worker field: this loop runs the wavefront's
 						// tiles sequentially, so there is no worker
 						// attribution to record.
-						tr.Complete(fmt.Sprintf("tile %d,%d", bx, by), "wtb", 1,
+						sp.Complete(fmt.Sprintf("tile %d,%d", bx, by), "wtb", 1,
 							tileStart, time.Since(tileStart),
 							map[string]any{"bx": bx, "by": by, "t0": t0, "t1": t0 + tt})
 					}
@@ -229,7 +230,7 @@ func RunWTBRange(p Propagator, cfg Config, tFrom, tTo int) error {
 			}
 		}
 		if r != nil {
-			if tr != nil {
+			if sp.On() {
 				args := map[string]any{"t0": t0, "t1": t0 + tt}
 				after := r.PhaseWalls()
 				for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {
@@ -237,7 +238,7 @@ func RunWTBRange(p Propagator, cfg Config, tFrom, tTo int) error {
 						args[ph.String()+"_ms"] = float64(d) / 1e6
 					}
 				}
-				tr.Complete(fmt.Sprintf("time-tile %d..%d", t0, t0+tt), "wtb", 0,
+				sp.Complete(fmt.Sprintf("time-tile %d..%d", t0, t0+tt), "wtb", 0,
 					ttStart, time.Since(ttStart), args)
 			}
 			r.StepsDone(t0+tt, p.Steps())

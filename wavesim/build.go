@@ -299,7 +299,12 @@ func (s *Simulation) Run(sched Schedule) (*Result, error) {
 
 	res := newResult(sched.schedule(), elapsed,
 		int64(s.geom.Nx)*int64(s.geom.Ny)*int64(s.geom.Nz)*int64(s.geom.Nt))
+	res.sched = sched
 	if reg != nil {
+		// One labeled series per (physics, schedule) pair, so a scraped
+		// /metrics endpoint can break run counts down without log parsing.
+		reg.Counter(obs.SeriesName("runs_total",
+			"physics", s.opts.Physics.String(), "schedule", sched.schedule())).Add(1)
 		res.attachObs(reg.Snapshot().DeltaFrom(before))
 	}
 	rec, err := s.ops.Receivers()
@@ -410,6 +415,7 @@ func (s *Simulation) RunWithSnapshots(every, yPlane, blockX, blockY int) (*Resul
 	elapsed := time.Since(start)
 	res := newResult("spatial+snapshots", elapsed,
 		int64(s.geom.Nx)*int64(s.geom.Ny)*int64(s.geom.Nz)*int64(s.geom.Nt))
+	res.sched = Spatial{BlockX: blockX, BlockY: blockY}
 	if reg != nil {
 		res.attachObs(reg.Snapshot().DeltaFrom(before))
 	}

@@ -1,0 +1,140 @@
+package wavesim
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"wavetile/internal/obs"
+)
+
+// reportSim builds a small observed acoustic simulation at the given order.
+func reportSim(t *testing.T, so int) *Simulation {
+	t.Helper()
+	sim, err := New(Options{
+		Physics:    Acoustic,
+		SpaceOrder: so,
+		Shape:      [3]int{48, 48, 48},
+		Spacing:    [3]float64{10, 10, 10},
+		NBL:        6,
+		Steps:      6,
+		Vp:         Homogeneous(2000),
+		Sources:    []Coord{{235, 235, 100}},
+		Receivers:  LineCoords(8, Coord{100, 235, 80}, Coord{380, 235, 80}),
+		Observe:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// TestReportRooflineAttribution is the acceptance check for the report
+// tentpole: acoustic SO-4 and SO-8 runs produce reports whose roofline join
+// carries a positive achieved-fraction against the paper's machine model.
+func TestReportRooflineAttribution(t *testing.T) {
+	for _, so := range []int{4, 8} {
+		for _, sched := range []Schedule{
+			WTB{TimeTile: 3, TileX: 16, TileY: 16, BlockX: 8, BlockY: 8},
+			Spatial{BlockX: 8, BlockY: 8},
+		} {
+			sim := reportSim(t, so)
+			res, err := sim.Run(sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := sim.Report(res, ReportOptions{TraceN: 24, TraceNt: 2})
+			if err != nil {
+				t.Fatalf("SO-%d %s: %v", so, res.Schedule, err)
+			}
+			if rep.Version != obs.ReportVersion || rep.Kind != obs.ReportKind {
+				t.Fatalf("SO-%d: bad report header %d/%q", so, rep.Version, rep.Kind)
+			}
+			if rep.Run.Physics != "acoustic" || rep.Run.SpaceOrder != so || rep.Run.Schedule != res.Schedule {
+				t.Fatalf("SO-%d: run info mismatch: %+v", so, rep.Run)
+			}
+			if rep.GPointsPerSec != res.GPointsPerSec || rep.Points != res.Points {
+				t.Fatalf("SO-%d: measurements not carried through", so)
+			}
+			if len(rep.PhasesNS) == 0 || rep.Counters == nil {
+				t.Fatalf("SO-%d: observed run report missing phases/counters", so)
+			}
+			rf := rep.Roofline
+			if rf == nil {
+				t.Fatalf("SO-%d %s: no roofline attribution", so, res.Schedule)
+			}
+			if rf.Machine != "Broadwell" || rf.TraceN != 24 || rf.TraceNt != 2 {
+				t.Fatalf("SO-%d: attribution provenance: %+v", so, rf)
+			}
+			if rf.PredictedGPointsPS <= 0 || rf.AchievedFraction <= 0 {
+				t.Fatalf("SO-%d %s: degenerate attribution: predicted %g achieved %g",
+					so, res.Schedule, rf.PredictedGPointsPS, rf.AchievedFraction)
+			}
+			if rf.ModelDRAMBytes == 0 || rf.EffectiveDRAMGBs <= 0 || rf.BandwidthFraction <= 0 {
+				t.Fatalf("SO-%d %s: traffic scaling degenerate: %+v", so, res.Schedule, rf)
+			}
+			if rf.PredictedBound == "" {
+				t.Fatalf("SO-%d: no binding ceiling named", so)
+			}
+		}
+	}
+}
+
+// TestReportWTBTracksSchedule asserts reports for WTB runs record the tile
+// configuration and that Skylake attribution resolves too.
+func TestReportMachineAndConfig(t *testing.T) {
+	sim := reportSim(t, 4)
+	res, err := sim.Run(WTB{TimeTile: 3, TileX: 16, TileY: 16, BlockX: 8, BlockY: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Report(res, ReportOptions{Machine: "skylake", TraceN: 24, TraceNt: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Roofline.Machine != "Skylake" {
+		t.Fatalf("machine = %q", rep.Roofline.Machine)
+	}
+	if rep.Run.Config == "" {
+		t.Fatal("WTB report must record the tile configuration")
+	}
+	if _, err := sim.Report(res, ReportOptions{Machine: "pentium"}); err == nil {
+		t.Fatal("unknown machine must error")
+	}
+}
+
+// TestReportSkipRoofline covers the measurement-only mode and the
+// round-trip through WriteFile/ReadReportFile.
+func TestReportRoundTrip(t *testing.T) {
+	sim := reportSim(t, 4)
+	res, err := sim.Run(Spatial{BlockX: 8, BlockY: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Report(res, ReportOptions{SkipRoofline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Roofline != nil {
+		t.Fatal("SkipRoofline must omit the attribution")
+	}
+
+	path := filepath.Join(t.TempDir(), "run.report.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(rep)
+	b, _ := json.Marshal(back)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("report round-trip changed content:\n%s\nvs\n%s", a, b)
+	}
+
+	if _, err := sim.Report(nil, ReportOptions{}); err == nil {
+		t.Fatal("nil result must error")
+	}
+}

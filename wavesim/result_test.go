@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"time"
+
+	"wavetile/internal/obs"
 )
 
 // TestNewResultZeroElapsed asserts degenerate runs produce well-defined
@@ -147,6 +149,16 @@ func TestObservedRunsStayBitwiseIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	check := func(res *Result, label string) {
+		t.Helper()
+		for ti := range ref.Receivers {
+			for ri := range ref.Receivers[ti] {
+				if ref.Receivers[ti][ri] != res.Receivers[ti][ri] {
+					t.Fatalf("%s %s: receiver (%d,%d) differs", res.Schedule, label, ti, ri)
+				}
+			}
+		}
+	}
 	for _, sched := range []Schedule{
 		Spatial{BlockX: 8, BlockY: 8},
 		WTB{TimeTile: 3, TileX: 16, TileY: 16, BlockX: 8, BlockY: 8},
@@ -155,12 +167,33 @@ func TestObservedRunsStayBitwiseIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for ti := range ref.Receivers {
-			for ri := range ref.Receivers[ti] {
-				if ref.Receivers[ti][ri] != res.Receivers[ti][ri] {
-					t.Fatalf("%s observed: receiver (%d,%d) differs", res.Schedule, ti, ri)
-				}
-			}
+		check(res, "observed")
+	}
+
+	// Telemetry v2 surfaces must be equally inert: a flight recorder on the
+	// global registry, and building a run report after the fact.
+	reg := obs.NewRegistry()
+	reg.StartFlight(256)
+	restore := obs.Swap(reg)
+	for _, sched := range []Schedule{
+		Spatial{BlockX: 8, BlockY: 8},
+		WTB{TimeTile: 3, TileX: 16, TileY: 16, BlockX: 8, BlockY: 8},
+	} {
+		sim := mk(false)
+		res, err := sim.Run(sched)
+		if err != nil {
+			restore()
+			t.Fatal(err)
 		}
+		check(res, "flight-recorded")
+		if _, err := sim.Report(res, ReportOptions{TraceN: 24, TraceNt: 2}); err != nil {
+			restore()
+			t.Fatal(err)
+		}
+		check(res, "reported")
+	}
+	restore()
+	if reg.Flight().Recorded() == 0 {
+		t.Fatal("flight recorder captured no spans from the observed runs")
 	}
 }

@@ -187,6 +187,10 @@ type Result struct {
 	// Counters holds the run's counter deltas (e.g. "steps", "points",
 	// "wtb_time_tiles"). Nil when observability was off.
 	Counters map[string]int64
+
+	// sched is the schedule value the run executed, kept so Report can
+	// recover the WTB tile configuration for roofline attribution.
+	sched Schedule
 }
 
 // newResult assembles a Result with a well-defined throughput: runs with
