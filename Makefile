@@ -1,7 +1,8 @@
 GO ?= go
 
 .PHONY: all build test race-obs race-sched bench bench-json bench-smoke \
-	bench-regress bce-check fmt vet check verify fuzz-smoke golden
+	bench-regress bce-check fmt vet check verify fuzz-smoke golden \
+	generate generate-check
 
 all: build test
 
@@ -69,6 +70,25 @@ bench-regress:
 		-n 48 -steps 4 -tunesteps 2 -json > /tmp/bench_new.json
 	/tmp/benchdiff -min-effect 0.10 /tmp/bench_old.json /tmp/bench_new.json
 
+# Regenerate the radius-specialized stencil kernels and the dispatch
+# registry from internal/wave/kerngen. The emitted files are committed;
+# after editing the generator, run this and commit the diff together.
+generate:
+	$(GO) generate ./internal/wave
+
+# Drift gate: the committed generated kernels must match what the generator
+# emits. CI runs this so a hand-edit to a *_kern.go file (or a generator
+# change without regeneration) fails the build instead of silently
+# diverging.
+generate-check: generate
+	@if ! git -C . diff --exit-code --stat -- \
+		'internal/wave/*_kern.go' internal/wave/kern_registry.go; then \
+		echo "generate-check: committed kernels differ from generator output"; \
+		echo "generate-check: run 'make generate' and commit the result"; \
+		exit 1; \
+	fi
+	@echo "generate-check: generated kernels are in sync"
+
 # Bounds-check-elimination gate: the radius-specialized kernels (*_kern.go)
 # must compile with zero IsInBounds checks — the per-row sub-slice
 # discipline documented in internal/wave/acoustic_kern.go makes the prove
@@ -111,4 +131,4 @@ golden:
 	$(GO) test ./internal/verify -run TestGoldenCorpus -golden.update
 	@git -C . status --short internal/verify/testdata/golden || true
 
-check: build vet test race-obs race-sched bce-check verify bench-regress
+check: build vet test race-obs race-sched generate-check bce-check verify bench-regress

@@ -28,7 +28,13 @@ func main() {
 	top := flag.Int("top", 1, "report the best k configurations per kernel")
 	csv := flag.Bool("csv", false, "emit CSV")
 	schedule := flag.String("schedule", "wtb", "runtime to sweep: wtb (sequential tiles) or wtb-pipelined (task graph)")
+	kernels := flag.Bool("kernels", false, "sweep generated kernel variants (base, y2, …) per model×order instead of tile shapes")
 	flag.Parse()
+
+	if *kernels {
+		sweepKernels(*n, *tuneSteps, *repeats, *models, *orders, *csv)
+		return
+	}
 
 	exec := tiling.RunWTB
 	switch *schedule {
@@ -74,6 +80,41 @@ func main() {
 		}
 	}
 	if *csv {
+		table.FprintCSV(os.Stdout)
+	} else {
+		table.Fprint(os.Stdout)
+	}
+}
+
+// sweepKernels times every generated kernel variant of every model×order
+// under the spatial schedule and reports them ranked, so a host can pick
+// the variant to pin via wavesim.Options.KernelVariant (or propagate
+// -kernel). An order with no generated kernels is a hard error — that is
+// the silent-fallback condition the generator exists to eliminate.
+func sweepKernels(n, tuneSteps, repeats int, models, orders string, csv bool) {
+	table := &bench.Table{
+		Title: fmt.Sprintf("Generated kernel variants (host, %d³ grid, %d tuning steps, spatial runtime)",
+			n, tuneSteps),
+		Header: []string{"Problem", "rank", "variant", "GPts/s"},
+	}
+	for _, m := range strings.Split(models, ",") {
+		for _, o := range strings.Split(orders, ",") {
+			so, err := strconv.Atoi(strings.TrimSpace(o))
+			if err != nil {
+				fatal(err)
+			}
+			spec := bench.Spec{Model: strings.TrimSpace(m), SO: so, N: n}
+			results, err := bench.TuneKernels(spec, tuneSteps, repeats)
+			if err != nil {
+				fatal(err)
+			}
+			for i, r := range results {
+				table.Add(spec.Name(), i+1, r.Variant, r.GPts)
+			}
+			fmt.Fprintf(os.Stderr, "tuned %s kernels: best %q\n", spec.Name(), results[0].Variant)
+		}
+	}
+	if csv {
 		table.FprintCSV(os.Stdout)
 	} else {
 		table.Fprint(os.Stdout)

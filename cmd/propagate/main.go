@@ -35,6 +35,7 @@ func main() {
 	f0 := flag.Float64("f0", 12, "Ricker peak frequency (Hz)")
 	nrec := flag.Int("nrec", 64, "receivers on a surface line")
 	schedule := flag.String("schedule", "wtb", "wtb, wtb-pipelined or spatial")
+	kernel := flag.String("kernel", "", "pin a stencil kernel variant (base, y2, generic; default: best generated)")
 	tt := flag.Int("tt", 16, "WTB time-tile depth")
 	tile := flag.Int("tile", 32, "WTB tile edge")
 	block := flag.Int("block", 8, "parallel block edge")
@@ -111,6 +112,7 @@ func main() {
 		Receivers: wavesim.LineCoords(*nrec,
 			wavesim.Coord{float64(*nbl+1) * h, center, surfZ},
 			wavesim.Coord{float64(*n-*nbl-2) * h, center, surfZ}),
+		KernelVariant: *kernel,
 	})
 	if err != nil {
 		fatal(err)
@@ -155,8 +157,8 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		fmt.Printf("%s O(·,%d) %d³, nt=%d dt=%.3gms: %s schedule, %.3f GPts/s, %v\n",
-			*physics, *so, *n, nt, dt*1e3, res.Schedule, res.GPointsPerSec, res.Elapsed.Round(1e6))
+		fmt.Printf("%s O(·,%d) %d³, nt=%d dt=%.3gms: %s schedule, %s kernel, %.3f GPts/s, %v\n",
+			*physics, *so, *n, nt, dt*1e3, res.Schedule, res.Kernel, res.GPointsPerSec, res.Elapsed.Round(1e6))
 		printPhases(res)
 	}
 
@@ -190,6 +192,7 @@ type runJSON struct {
 	Steps         int              `json:"steps"`
 	DtSeconds     float64          `json:"dt_seconds"`
 	Schedule      string           `json:"schedule"`
+	Kernel        string           `json:"kernel"`
 	ElapsedNS     int64            `json:"elapsed_ns"`
 	Points        int64            `json:"points"`
 	GPointsPerSec float64          `json:"gpoints_per_sec"`
@@ -206,6 +209,7 @@ func emitJSON(w *os.File, physics string, so, n, nt int, dt float64, schedule st
 		Steps:         nt,
 		DtSeconds:     dt,
 		Schedule:      res.Schedule,
+		Kernel:        res.Kernel,
 		ElapsedNS:     res.Elapsed.Nanoseconds(),
 		Points:        res.Points,
 		GPointsPerSec: res.GPointsPerSec,

@@ -90,6 +90,30 @@ func TuneWTBWith(spec Spec, exec autotune.Exec, tuneSteps, repeats int, tts []in
 	return autotune.TuneWith(runner, exec, tuneSteps, repeats, built.PointsPerStep, cands)
 }
 
+// TuneKernels sweeps the generated kernel variants (base, y2, …) of one
+// spec under the spatially-blocked schedule and returns results sorted
+// fastest-first. An error is returned when the spec's radius only has the
+// generic fallback — the condition the kernel generator exists to prevent
+// at the paper's space orders.
+func TuneKernels(spec Spec, tuneSteps, repeats int) ([]autotune.KernelResult, error) {
+	built, err := Spec{
+		Model: spec.Model, SO: spec.SO, N: spec.N, NBL: spec.NBL,
+		Steps: tuneSteps, NSrc: spec.NSrc, SrcLayout: spec.SrcLayout, NRec: spec.NRec,
+	}.Build()
+	if err != nil {
+		return nil, err
+	}
+	runner := func(nt int) (tiling.Propagator, error) {
+		built.Reset()
+		return built.Prop, nil
+	}
+	exec := func(p tiling.Propagator, _ tiling.Config) error {
+		tiling.RunSpatial(p, 8, 8, true)
+		return nil
+	}
+	return autotune.TuneKernelVariants(runner, exec, tiling.Config{}, tuneSteps, repeats, built.PointsPerStep)
+}
+
 // WallRow holds one Figure-9-style wall-clock measurement. PipeGP and
 // PipeSpeedup report the task-graph runtime (RunWTBPipelined) at the same
 // tuned tile shape as WTBGP, so the two columns isolate the scheduling

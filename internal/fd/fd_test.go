@@ -83,7 +83,7 @@ func TestSecondDerivPolynomialExactness(t *testing.T) {
 }
 
 func TestFirstDerivPolynomialExactness(t *testing.T) {
-	for _, order := range []int{2, 4, 8} {
+	for _, order := range []int{2, 4, 8, 12} {
 		c := FirstDeriv(order)
 		for deg := 0; deg <= order; deg++ {
 			deg := deg
@@ -106,7 +106,7 @@ func TestFirstDerivPolynomialExactness(t *testing.T) {
 
 func TestStaggeredPolynomialExactness(t *testing.T) {
 	// Staggered derivative evaluated at x0+h/2 from integer samples.
-	for _, order := range []int{2, 4, 8} {
+	for _, order := range []int{2, 4, 8, 12} {
 		c := StaggeredFirstDeriv(order)
 		for deg := 0; deg < order; deg++ {
 			x0, h := 0.09, 0.01

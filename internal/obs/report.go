@@ -51,6 +51,9 @@ type RunInfo struct {
 	DtSeconds  float64    `json:"dt_seconds,omitempty"`
 	Schedule   string     `json:"schedule"`
 	Config     string     `json:"config,omitempty"` // schedule parameters, e.g. "TT=8 tile=32x32 block=8x8"
+	// Kernel is the dispatched stencil kernel ("physics/rN/variant");
+	// variant "generic" marks the radius-generic slow path.
+	Kernel string `json:"kernel,omitempty"`
 	Sources    int        `json:"sources,omitempty"`
 	Receivers  int        `json:"receivers,omitempty"`
 }

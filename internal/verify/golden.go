@@ -104,6 +104,27 @@ func GoldenCases() []GoldenCase {
 	cases = append(cases, GoldenCase{"acoustic-so4-ongrid-hard",
 		"acoustic SO4, on-grid sources, zero damping (hard reflections), boundary receivers", c})
 
+	// 107/108 pin the high-order coupled systems to their generated
+	// specialized kernels — the configurations that previously fell back to
+	// the generic path silently. A bitwise drift here means the generator's
+	// expression ordering changed.
+	c = base(107)
+	c.Physics = Elastic
+	c.SO = 8
+	c.Shape = [3]int{28, 28, 28}
+	c.WTB = tiling.Config{TT: 3, TileX: 16, TileY: 16, BlockX: 8, BlockY: 8}
+	cases = append(cases, GoldenCase{"elastic-so8-layered",
+		"elastic SO8, layered model, specialized generated kernel (radius 4)", c})
+
+	c = base(108)
+	c.Physics = TTI
+	c.SO = 8
+	c.Shape = [3]int{28, 28, 28}
+	c.Model = ModelGradient
+	c.WTB = tiling.Config{TT: 3, TileX: 16, TileY: 16, BlockX: 8, BlockY: 8}
+	cases = append(cases, GoldenCase{"tti-so8-gradient",
+		"TTI SO8, gradient model, specialized generated kernel (radius 4)", c})
+
 	return cases
 }
 

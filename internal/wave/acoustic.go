@@ -38,6 +38,7 @@ type Acoustic struct {
 
 	blockX, blockY int
 	kern           func(t int, reg grid.Region)
+	ks             kernState
 }
 
 // AcousticOpts configures NewAcoustic.
@@ -91,16 +92,7 @@ func NewAcoustic(o AcousticOpts) (*Acoustic, error) {
 	}
 	a.Ops = ops
 
-	switch r {
-	case 2:
-		a.kern = a.kernelR2
-	case 4:
-		a.kern = a.kernelR4
-	case 6:
-		a.kern = a.kernelR6
-	default:
-		a.kern = a.kernelGeneric
-	}
+	a.selectKernel()
 	return a, nil
 }
 
@@ -127,6 +119,9 @@ func (a *Acoustic) SetBlocks(bx, by int) { a.blockX, a.blockY = bx, by }
 // Step advances u from time index t to t+1 on the clamped region, applying
 // fused injection and receiver sampling per block when fused is set.
 func (a *Acoustic) Step(t int, raw grid.Region, fused bool) {
+	if a.ks.generic {
+		a.ks.noteStep()
+	}
 	g := a.P.Geom
 	reg := raw.Clamp(g.Nx, g.Ny)
 	if reg.Empty() {

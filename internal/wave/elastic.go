@@ -43,6 +43,7 @@ type Elastic struct {
 	blockX, blockY int
 
 	velKern, stressKern func(grid.Region)
+	ks                  kernState
 }
 
 // ElasticOpts configures NewElastic.
@@ -96,11 +97,7 @@ func NewElastic(o ElasticOpts) (*Elastic, error) {
 		return nil, err
 	}
 	e.Ops = ops
-	if r == 2 {
-		e.velKern, e.stressKern = e.velKernelR2, e.stressKernelR2
-	} else {
-		e.velKern, e.stressKern = e.velKernel, e.stressKernel
-	}
+	e.selectKernel()
 	return e, nil
 }
 
@@ -130,6 +127,9 @@ func (e *Elastic) SetBlocks(bx, by int) { e.blockX, e.blockY = bx, by }
 // first the velocity phase on the clamped base region, then the stress
 // phase on the region shifted back by the radius.
 func (e *Elastic) Step(t int, raw grid.Region, fused bool) {
+	if e.ks.generic {
+		e.ks.noteStep()
+	}
 	g := e.P.Geom
 	e.Ops.setFused(fused)
 	vreg := raw.Clamp(g.Nx, g.Ny)
@@ -236,13 +236,14 @@ func (e *Elastic) PointsPerStep() int {
 	return g.Nx * g.Ny * g.Nz
 }
 
-// velKernel updates vx, vy, vz from the stresses on reg.
+// velKernelGeneric updates vx, vy, vz from the stresses on reg at any
+// radius; the generated kernels specialize it per radius.
 //
 // Staggering: vx lives at (i+½,j,k), vy at (i,j+½,k), vz at (i,j,k+½);
 // diagonal stresses at (i,j,k), τxy at (i+½,j+½,k), τxz at (i+½,j,k+½),
 // τyz at (i,j+½,k+½). df computes a staggered derivative a half cell up
 // (forward), db a half cell down (backward).
-func (e *Elastic) velKernel(reg grid.Region) {
+func (e *Elastic) velKernelGeneric(reg grid.Region) {
 	nz := e.Vx.Nz
 	sx, sy := e.Vx.SX, e.Vx.SY
 	vx, vy, vz := e.Vx.Data, e.Vy.Data, e.Vz.Data
@@ -280,8 +281,9 @@ func (e *Elastic) velKernel(reg grid.Region) {
 	}
 }
 
-// stressKernel updates the six stresses from the fresh velocities on reg.
-func (e *Elastic) stressKernel(reg grid.Region) {
+// stressKernelGeneric updates the six stresses from the fresh velocities on
+// reg at any radius; the generated kernels specialize it per radius.
+func (e *Elastic) stressKernelGeneric(reg grid.Region) {
 	nz := e.Vx.Nz
 	sx, sy := e.Vx.SX, e.Vx.SY
 	vx, vy, vz := e.Vx.Data, e.Vy.Data, e.Vz.Data

@@ -217,7 +217,7 @@ func TestAcousticEquivalenceManySources(t *testing.T) {
 }
 
 func TestTTIEquivalence(t *testing.T) {
-	for _, so := range []int{4, 8} {
+	for _, so := range []int{4, 8, 12} {
 		so := so
 		t.Run(fmt.Sprintf("SO%d", so), func(t *testing.T) {
 			w := buildTTI(t, 30, so)
@@ -232,14 +232,14 @@ func TestTTIEquivalence(t *testing.T) {
 }
 
 func TestElasticEquivalence(t *testing.T) {
-	for _, so := range []int{4, 8} {
+	for _, so := range []int{4, 8, 12} {
 		so := so
 		t.Run(fmt.Sprintf("SO%d", so), func(t *testing.T) {
 			e := buildElastic(t, 30, so)
 			r := e.R
 			cfgs := []tiling.Config{
 				{TT: 3, TileX: 2 * r, TileY: 4 * r, BlockX: 4, BlockY: 4},
-				{TT: 5, TileX: 12, TileY: 10, BlockX: 6, BlockY: 5},
+				{TT: 5, TileX: max(12, 2*r), TileY: max(10, 2*r), BlockX: 6, BlockY: 5},
 				{TT: 2, TileX: 16, TileY: 16, BlockX: 8, BlockY: 8},
 			}
 			runEquivalence(t, e, e.Ops, cfgs)

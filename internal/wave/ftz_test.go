@@ -51,6 +51,32 @@ func TestFtzBitIdentical(t *testing.T) {
 	}
 }
 
+// TestFtzAppliedInEveryVariant runs every generated kernel variant and the
+// generic fallback across all physics × space orders and asserts no
+// wavefield store survived in the flush band (0, flushEps): the generator
+// must wrap ftz around every store exactly as the generic path does, or
+// denormal stragglers would reappear — and differ between variants.
+func TestFtzAppliedInEveryVariant(t *testing.T) {
+	for _, c := range variantCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			probe := c.build(t)
+			for _, v := range append(probe.KernelVariants(), KernelGeneric) {
+				p := runVariant(t, c, v)
+				for name, f := range p.Fields() {
+					for z, val := range f.Data {
+						a := math.Abs(float64(val))
+						if a != 0 && a < float64(flushEps) {
+							t.Fatalf("variant %s field %s: unflushed denormal %g at flat index %d",
+								v, name, val, z)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestFtzBitIdenticalSweep walks the whole float32 exponent range (both
 // signs, several mantissa patterns each) so the boundary logic is checked
 // far beyond the handpicked cases.

@@ -1,0 +1,10 @@
+package wave
+
+// Kernel code generation: the radius-specialized kernels (acoustic_kern.go,
+// elastic_kern.go, tti_kern.go) and their dispatch registry
+// (kern_registry.go) are emitted by internal/wave/kerngen — run
+// `go generate ./internal/wave` (or `make generate`) after changing the
+// generator. The generated files are committed; the CI drift gate
+// (`make generate-check`) regenerates and fails on any diff.
+
+//go:generate go run ./kerngen -out .

@@ -1,0 +1,202 @@
+package wave
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"wavetile/internal/grid"
+	"wavetile/internal/obs"
+)
+
+// Kernel variant names. The generated registry (kern_registry.go) maps
+// (radius, variant) → kernel function; dispatch happens through
+// SetKernelVariant so a propagator can never silently run an unintended
+// kernel: either a generated kernel exists for the radius and is installed,
+// or the propagator is explicitly marked generic and every Step through it
+// is counted and logged.
+const (
+	// KernelBase is the straight per-offset row-sub-slice kernel, the
+	// default for every generated radius.
+	KernelBase = "base"
+	// KernelY2 software-pipelines two adjacent y rows through one z pass —
+	// bitwise-identical per point, selectable by autotune.
+	KernelY2 = "y2"
+	// KernelGeneric names the radius-generic fallback. It is selectable
+	// explicitly (the differential tests pin it to compare against the
+	// generated kernels) and is otherwise only reached when no generated
+	// kernel exists for the propagator's radius.
+	KernelGeneric = "generic"
+)
+
+// CounterGenericSteps is the obs counter incremented once per Step executed
+// through the radius-generic fallback kernel. A nonzero value in a run
+// report means the run did not use a specialized kernel — the silent
+// high-order slow path this counter was added to expose.
+const CounterGenericSteps = "kernel_generic_steps"
+
+// kernState tracks which kernel a propagator dispatches to, for reporting
+// (KernelName) and for making the generic fallback observable.
+type kernState struct {
+	physics string
+	radius  int
+	variant string // a generated variant name, or KernelGeneric
+	generic bool
+	forced  bool // generic was requested, not fallen back to
+	once    sync.Once
+}
+
+func (k *kernState) set(variant string, forced bool) {
+	k.variant = variant
+	k.generic = variant == KernelGeneric
+	k.forced = forced
+}
+
+// name reports the dispatched kernel as "physics/rN/variant", or
+// "physics/rN/generic" for the fallback.
+func (k *kernState) name() string {
+	return fmt.Sprintf("%s/r%d/%s", k.physics, k.radius, k.variant)
+}
+
+// noteStep records one Step dispatched through the generic kernel: it bumps
+// the kernel_generic_steps counter when observability is installed and, for
+// a genuine fallback (not an explicitly requested generic), logs once per
+// propagator so the slow path is visible even without obs.
+func (k *kernState) noteStep() {
+	if reg := obs.Active(); reg != nil {
+		reg.Counter(CounterGenericSteps).Add(1)
+	}
+	if k.forced {
+		return
+	}
+	k.once.Do(func() {
+		log.Printf("wave: %s has no specialized kernel for radius %d (space order %d); running the radius-generic fallback",
+			k.physics, k.radius, 2*k.radius)
+	})
+}
+
+// variantNames returns the generated variant names available at radius r,
+// in kernVariantOrder.
+func variantNames[K any](table map[int]map[string]K, r int) []string {
+	m := table[r]
+	out := make([]string, 0, len(m))
+	for _, v := range kernVariantOrder {
+		if _, ok := m[v]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// --- Acoustic ---
+
+// KernelVariants lists the generated kernel variants selectable at this
+// propagator's radius (empty when only the generic fallback exists).
+func (a *Acoustic) KernelVariants() []string { return variantNames(acousticKernelTable, a.R) }
+
+// KernelName reports the dispatched kernel as "acoustic/rN/variant".
+func (a *Acoustic) KernelName() string { return a.ks.name() }
+
+// SetKernelVariant installs the named generated kernel variant (KernelBase,
+// KernelY2, …) or, for KernelGeneric, the radius-generic fallback. A
+// variant that is not generated for this radius is an error; the previous
+// selection stays installed.
+func (a *Acoustic) SetKernelVariant(v string) error {
+	if v == KernelGeneric {
+		a.kern = a.kernelGeneric
+		a.ks.set(KernelGeneric, true)
+		return nil
+	}
+	fn, ok := acousticKernelTable[a.R][v]
+	if !ok {
+		return fmt.Errorf("wave: no generated acoustic kernel for radius %d variant %q (have %v)",
+			a.R, v, a.KernelVariants())
+	}
+	a.kern = func(t int, reg grid.Region) { fn(a, t, reg) }
+	a.ks.set(v, false)
+	return nil
+}
+
+// selectKernel wires the default kernel at construction: the base generated
+// variant when the registry covers the radius, else the observable generic
+// fallback. Because dispatch only flows through here and SetKernelVariant,
+// an unspecialized radius cannot be reached silently.
+func (a *Acoustic) selectKernel() {
+	a.ks.physics, a.ks.radius = "acoustic", a.R
+	if err := a.SetKernelVariant(KernelBase); err != nil {
+		a.kern = a.kernelGeneric
+		a.ks.set(KernelGeneric, false)
+	}
+}
+
+// --- Elastic ---
+
+// KernelVariants lists the generated kernel variants selectable at this
+// propagator's radius (empty when only the generic fallback exists).
+func (e *Elastic) KernelVariants() []string { return variantNames(elasticKernelTable, e.R) }
+
+// KernelName reports the dispatched kernel as "elastic/rN/variant".
+func (e *Elastic) KernelName() string { return e.ks.name() }
+
+// SetKernelVariant installs the named generated kernel pair (velocity and
+// stress phases switch together) or the generic fallback; see
+// (*Acoustic).SetKernelVariant.
+func (e *Elastic) SetKernelVariant(v string) error {
+	if v == KernelGeneric {
+		e.velKern, e.stressKern = e.velKernelGeneric, e.stressKernelGeneric
+		e.ks.set(KernelGeneric, true)
+		return nil
+	}
+	pair, ok := elasticKernelTable[e.R][v]
+	if !ok {
+		return fmt.Errorf("wave: no generated elastic kernel for radius %d variant %q (have %v)",
+			e.R, v, e.KernelVariants())
+	}
+	e.velKern = func(reg grid.Region) { pair.vel(e, reg) }
+	e.stressKern = func(reg grid.Region) { pair.stress(e, reg) }
+	e.ks.set(v, false)
+	return nil
+}
+
+func (e *Elastic) selectKernel() {
+	e.ks.physics, e.ks.radius = "elastic", e.R
+	if err := e.SetKernelVariant(KernelBase); err != nil {
+		e.velKern, e.stressKern = e.velKernelGeneric, e.stressKernelGeneric
+		e.ks.set(KernelGeneric, false)
+	}
+}
+
+// --- TTI ---
+
+// KernelVariants lists the generated kernel variants selectable at this
+// propagator's radius (empty when only the generic fallback exists).
+func (w *TTI) KernelVariants() []string { return variantNames(ttiKernelTable, w.R) }
+
+// KernelName reports the dispatched kernel as "tti/rN/variant".
+func (w *TTI) KernelName() string { return w.ks.name() }
+
+// SetKernelVariant installs the named generated kernel variant or the
+// generic fallback; see (*Acoustic).SetKernelVariant.
+func (w *TTI) SetKernelVariant(v string) error {
+	if v == KernelGeneric {
+		w.kern = w.kernelGeneric
+		w.ks.set(KernelGeneric, true)
+		return nil
+	}
+	fn, ok := ttiKernelTable[w.R][v]
+	if !ok {
+		return fmt.Errorf("wave: no generated TTI kernel for radius %d variant %q (have %v)",
+			w.R, v, w.KernelVariants())
+	}
+	w.kern = func(t int, reg grid.Region) { fn(w, t, reg) }
+	w.ks.set(v, false)
+	return nil
+}
+
+func (w *TTI) selectKernel() {
+	w.ks.physics, w.ks.radius = "tti", w.R
+	if err := w.SetKernelVariant(KernelBase); err != nil {
+		w.kern = w.kernelGeneric
+		w.ks.set(KernelGeneric, false)
+	}
+}

@@ -44,6 +44,7 @@ type TTI struct {
 
 	blockX, blockY int
 	kern           func(t int, reg grid.Region)
+	ks             kernState
 }
 
 // TTIOpts configures NewTTI.
@@ -119,11 +120,7 @@ func NewTTI(o TTIOpts) (*TTI, error) {
 		return nil, err
 	}
 	w.Ops = ops
-	if r == 2 {
-		w.kern = w.kernelR2
-	} else {
-		w.kern = w.kernel
-	}
+	w.selectKernel()
 	return w, nil
 }
 
@@ -150,6 +147,9 @@ func (w *TTI) SetBlocks(bx, by int) { w.blockX, w.blockY = bx, by }
 
 // Step advances p and q from time index t to t+1 on the clamped region.
 func (w *TTI) Step(t int, raw grid.Region, fused bool) {
+	if w.ks.generic {
+		w.ks.noteStep()
+	}
 	g := w.P.Geom
 	reg := raw.Clamp(g.Nx, g.Ny)
 	if reg.Empty() {
@@ -254,8 +254,9 @@ func (w *TTI) PointsPerStep() int {
 	return g.Nx * g.Ny * g.Nz
 }
 
-// kernel evaluates the coupled rotated-Laplacian update on reg.
-func (w *TTI) kernel(t int, reg grid.Region) {
+// kernelGeneric evaluates the coupled rotated-Laplacian update on reg for
+// any radius; the generated kernels specialize it per radius.
+func (w *TTI) kernelGeneric(t int, reg grid.Region) {
 	p := w.Pw[t&1]
 	pn := w.Pw[(t+1)&1]
 	q := w.Qw[t&1]

@@ -167,6 +167,11 @@ func New(o Options) (*Simulation, error) {
 		}
 		s.elastic, s.prop, s.ops = e, e, e.Ops
 	}
+	if o.KernelVariant != "" {
+		if err := s.SetKernelVariant(o.KernelVariant); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+		}
+	}
 	return s, nil
 }
 
@@ -300,6 +305,7 @@ func (s *Simulation) Run(sched Schedule) (*Result, error) {
 	res := newResult(sched.schedule(), elapsed,
 		int64(s.geom.Nx)*int64(s.geom.Ny)*int64(s.geom.Nz)*int64(s.geom.Nt))
 	res.sched = sched
+	res.Kernel = s.KernelName()
 	if reg != nil {
 		// One labeled series per (physics, schedule) pair, so a scraped
 		// /metrics endpoint can break run counts down without log parsing.
@@ -416,6 +422,7 @@ func (s *Simulation) RunWithSnapshots(every, yPlane, blockX, blockY int) (*Resul
 	res := newResult("spatial+snapshots", elapsed,
 		int64(s.geom.Nx)*int64(s.geom.Ny)*int64(s.geom.Nz)*int64(s.geom.Nt))
 	res.sched = Spatial{BlockX: blockX, BlockY: blockY}
+	res.Kernel = s.KernelName()
 	if reg != nil {
 		res.attachObs(reg.Snapshot().DeltaFrom(before))
 	}

@@ -1,0 +1,38 @@
+package wavesim
+
+import "fmt"
+
+// kernelControl is the kernel-selection surface all three propagators
+// implement (see internal/wave/kern_select.go).
+type kernelControl interface {
+	KernelName() string
+	KernelVariants() []string
+	SetKernelVariant(string) error
+}
+
+// KernelName reports the stencil kernel the simulation dispatches to, as
+// "physics/rN/variant" — e.g. "elastic/r4/base", or "tti/r8/generic" when
+// no specialized kernel exists for the radius. The same string appears in
+// Result.Kernel and report RunInfo, so a run that silently used the slow
+// generic path is visible in every artifact.
+func (s *Simulation) KernelName() string {
+	return s.prop.(kernelControl).KernelName()
+}
+
+// KernelVariants lists the generated kernel variants selectable for this
+// simulation's physics and space order (empty when only the generic
+// fallback exists). Variants compute bitwise-identical per-point results;
+// they differ only in loop structure, so switching them is safe mid-study.
+func (s *Simulation) KernelVariants() []string {
+	return s.prop.(kernelControl).KernelVariants()
+}
+
+// SetKernelVariant switches the stencil kernel variant (wave.KernelBase,
+// wave.KernelY2, or wave.KernelGeneric to pin the radius-generic path).
+// Unknown variants are an error and leave the selection unchanged.
+func (s *Simulation) SetKernelVariant(v string) error {
+	if err := s.prop.(kernelControl).SetKernelVariant(v); err != nil {
+		return fmt.Errorf("wavesim: %w", err)
+	}
+	return nil
+}

@@ -42,6 +42,7 @@ func (s *Simulation) Report(res *Result, o ReportOptions) (*obs.Report, error) {
 		Steps:      s.geom.Nt,
 		DtSeconds:  s.geom.Dt,
 		Schedule:   res.Schedule,
+		Kernel:     res.Kernel,
 		Sources:    len(s.opts.Sources),
 		Receivers:  len(s.opts.Receivers),
 	}

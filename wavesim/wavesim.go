@@ -117,6 +117,14 @@ type Options struct {
 	// least 4 grid points inside the domain.
 	SincSources bool
 
+	// KernelVariant pins a generated stencil kernel variant
+	// (wave.KernelBase, wave.KernelY2, or wave.KernelGeneric for the
+	// radius-generic reference path). Empty selects the default: the base
+	// generated kernel when one exists for the space order, else the
+	// observable generic fallback. An unknown variant is an
+	// ErrInvalidOptions from New.
+	KernelVariant string
+
 	// Observe collects a per-phase wall-time breakdown and counters during
 	// Run, returned in Result.Phases / Result.Counters. It costs a few
 	// clock readings per parallel block (typically 1–3% of the run); when
@@ -169,7 +177,11 @@ func (WTBPipelined) schedule() string { return "wtb-pipelined" }
 
 // Result summarizes one run.
 type Result struct {
-	Schedule      string
+	Schedule string
+	// Kernel is the stencil kernel the run dispatched to, as
+	// "physics/rN/variant" (variant "generic" = the radius-generic slow
+	// path — at paper orders that means a kernel-dispatch bug).
+	Kernel        string
 	Elapsed       time.Duration
 	Points        int64   // grid points × timesteps
 	GPointsPerSec float64 // points/s / 1e9 (the paper's throughput metric)
