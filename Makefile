@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race-obs race-sched bench bench-json bench-smoke \
-	bench-regress bce-check fmt vet check verify fuzz-smoke golden \
-	generate generate-check
+.PHONY: all build test race-obs race-sched race-survey bench bench-json \
+	bench-smoke bench-regress bench-survey bce-check fmt vet check verify \
+	fuzz-smoke golden generate generate-check
 
 all: build test
 
@@ -29,6 +29,14 @@ race-obs:
 # deques, park/wake protocol) and the dist pack-early/unpack handshake.
 race-sched:
 	$(GO) test -race ./internal/sched/... ./internal/dist/...
+
+# Race-detector pass over the multi-shot batch engine: concurrent lanes
+# (K > 1) over shared immutable model state, the grid pool, and the
+# survey counters — exercised through both the batch package's dispatch
+# tests and the wavesim survey oracle/autotune tests.
+race-survey:
+	$(GO) test -race ./internal/batch/...
+	$(GO) test -race ./wavesim -run Survey
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -69,6 +77,17 @@ bench-regress:
 	/tmp/wavebench -mode wall -models acoustic -orders 4 \
 		-n 48 -steps 4 -tunesteps 2 -json > /tmp/bench_new.json
 	/tmp/benchdiff -min-effect 0.10 /tmp/bench_old.json /tmp/bench_new.json
+
+# Survey benchmark: the same N-shot acquisition as a per-shot wavesim.New
+# loop vs the batch engine, emitted as benchdiff-compatible trajectory
+# rows. BENCH_PR8.json in the repo root is the committed artifact.
+BENCH_SURVEY_JSON ?= BENCH_PR8.json
+bench-survey:
+	$(GO) build -o /tmp/wavesurvey ./cmd/survey
+	/tmp/wavesurvey -physics acoustic,elastic,tti -so 4 -n 48 -nbl 6 \
+		-steps 12 -shots 6 -schedule wtb -json > $(BENCH_SURVEY_JSON)
+	$(GO) run ./cmd/benchdiff $(BENCH_SURVEY_JSON) $(BENCH_SURVEY_JSON)
+	@echo "wrote $(BENCH_SURVEY_JSON)"
 
 # Regenerate the radius-specialized stencil kernels and the dispatch
 # registry from internal/wave/kerngen. The emitted files are committed;
@@ -131,4 +150,4 @@ golden:
 	$(GO) test ./internal/verify -run TestGoldenCorpus -golden.update
 	@git -C . status --short internal/verify/testdata/golden || true
 
-check: build vet test race-obs race-sched generate-check bce-check verify bench-regress
+check: build vet test race-obs race-sched race-survey generate-check bce-check verify bench-regress

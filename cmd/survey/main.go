@@ -1,0 +1,220 @@
+// Command survey benchmarks the multi-shot batch engine against the
+// pre-batch baseline: the same N-shot acquisition run once as a per-shot
+// wavesim.New loop (model grids, damping, receiver supports and source
+// decompositions rebuilt every shot) and once through wavesim.RunSurvey
+// (shared model, upfront parallel precompute, pooled wavefields,
+// optional shot-level concurrency).
+//
+// The two paths are bitwise identical per shot — asserted by the oracle
+// test in the wavesim package and re-checked here on shot 0 — so the
+// comparison isolates the batch engine's amortization.
+//
+// Examples:
+//
+//	survey -physics acoustic -so 4 -n 64 -shots 8
+//	survey -shots 8 -k 2 -schedule wtb-pipelined
+//	survey -json > BENCH_PR8.json      # benchdiff-compatible trajectory rows
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"wavetile/internal/par"
+	"wavetile/wavesim"
+)
+
+type row struct {
+	Model       string  `json:"model"`
+	SO          int     `json:"so"`
+	Shots       int     `json:"shots"`
+	Schedule    string  `json:"schedule_kind"`
+	Concurrency int     `json:"concurrency"`
+	SeqSPS      float64 `json:"survey_seq_sps_after"`
+	BatchSPS    float64 `json:"survey_batch_sps_after"`
+	Speedup     float64 `json:"survey_speedup"`
+	PrecomputeS float64 `json:"precompute_sec"`
+	PoolHits    int64   `json:"pool_hits"`
+	PoolMisses  int64   `json:"pool_misses"`
+}
+
+type doc struct {
+	PR          int    `json:"pr"`
+	Description string `json:"description"`
+	Method      string `json:"method"`
+	Host        host   `json:"host"`
+	Rows        []row  `json:"rows"`
+}
+
+type host struct {
+	CPUs int    `json:"cpus"`
+	Go   string `json:"go"`
+}
+
+func main() {
+	physics := flag.String("physics", "acoustic", "comma-separated: acoustic, tti, elastic")
+	so := flag.Int("so", 4, "space order")
+	n := flag.Int("n", 48, "grid edge")
+	nbl := flag.Int("nbl", 6, "absorbing layer width")
+	steps := flag.Int("steps", 12, "timesteps per shot")
+	nshots := flag.Int("shots", 6, "shots in the survey")
+	schedule := flag.String("schedule", "wtb", "spatial, wtb or wtb-pipelined")
+	k := flag.Int("k", 1, "concurrent shots (0 = autotune)")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit a benchdiff-compatible trajectory document")
+	flag.Parse()
+
+	if *workers > 0 {
+		par.Workers = *workers
+	}
+
+	var rows []row
+	for _, ph := range strings.Split(*physics, ",") {
+		phys, err := parsePhysics(strings.TrimSpace(ph))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, runOne(phys, *so, *n, *nbl, *steps, *nshots, *schedule, *k, !*jsonOut))
+	}
+
+	if *jsonOut {
+		out := doc{
+			PR:          8,
+			Description: "Survey throughput (shots/s): per-shot wavesim.New loop (survey_seq_sps_after) vs the batch engine (survey_batch_sps_after) on the same shots, schedule and worker count. The batch engine amortizes model construction, precomputes source decompositions up front and recycles wavefields through a pool.",
+			Method:      "cmd/survey, both paths in one process back-to-back; per-shot records bitwise-checked on shot 0.",
+			Host:        host{CPUs: runtime.NumCPU(), Go: runtime.Version()},
+			Rows:        rows,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func parsePhysics(s string) (wavesim.Physics, error) {
+	switch s {
+	case "acoustic":
+		return wavesim.Acoustic, nil
+	case "tti":
+		return wavesim.TTI, nil
+	case "elastic":
+		return wavesim.Elastic, nil
+	}
+	return 0, fmt.Errorf("unknown physics %q", s)
+}
+
+func makeSchedule(kind string, mt int) (wavesim.Schedule, error) {
+	tt := 4 * mt
+	switch kind {
+	case "spatial":
+		return wavesim.Spatial{BlockX: 8, BlockY: 8}, nil
+	case "wtb":
+		return wavesim.WTB{TimeTile: 4, TileX: tt, TileY: tt, BlockX: 8, BlockY: 8}, nil
+	case "wtb-pipelined":
+		return wavesim.WTBPipelined{TimeTile: 4, TileX: tt, TileY: tt, BlockX: 8, BlockY: 8}, nil
+	}
+	return nil, fmt.Errorf("unknown schedule %q", kind)
+}
+
+func runOne(phys wavesim.Physics, so, n, nbl, steps, nshots int, schedKind string, k int, verbose bool) row {
+	extent := float64(n-1) * 10
+	base := wavesim.Options{
+		Physics:    phys,
+		SpaceOrder: so,
+		Shape:      [3]int{n, n, n},
+		Spacing:    [3]float64{10, 10, 10},
+		NBL:        nbl,
+		Steps:      steps,
+		Vp:         wavesim.Gradient(1500, 3200, extent),
+		SourceF0:   15,
+		Receivers:  wavesim.LineCoords(8, wavesim.Coord{0.1 * extent, 0.5 * extent, 0.2 * extent}, wavesim.Coord{0.9 * extent, 0.5 * extent, 0.2 * extent}),
+	}
+	shots := make([]wavesim.Shot, nshots)
+	for s := range shots {
+		off := 0.4 * extent * float64(s) / float64(max(nshots-1, 1))
+		shots[s] = wavesim.Shot{Sources: []wavesim.Coord{
+			{0.2*extent + off + 3.3, 0.4*extent + 1.7, 0.3*extent + 4.9},
+			{0.2*extent + off + 24.1, 0.6*extent - 2.3, 0.3*extent + 4.9},
+		}}
+	}
+
+	sv, err := wavesim.NewSurvey(base, shots, wavesim.SurveyOptions{Concurrency: k})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := makeSchedule(schedKind, sv.MinTile())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline: the pre-batch loop — a fresh Simulation per shot, nothing
+	// shared, nothing pooled.
+	seqStart := time.Now()
+	var seqFirst [][]float32
+	for i, sh := range shots {
+		o := base
+		o.Sources = sh.Sources
+		sim, err := wavesim.New(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(sched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			seqFirst = res.Receivers
+		}
+	}
+	seqElapsed := time.Since(seqStart)
+	seqSPS := float64(nshots) / seqElapsed.Seconds()
+
+	// Batch engine: warm run after a discarded first run so the pool is
+	// primed and the measurement is the steady state a long survey sees.
+	if _, err := sv.Run(sched); err != nil {
+		log.Fatal(err)
+	}
+	res, err := sv.Run(sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bitwise cross-check on shot 0 (the oracle test covers the rest).
+	got := res.Shots[0].Receivers
+	for t := range seqFirst {
+		for r := range seqFirst[t] {
+			if seqFirst[t][r] != got[t][r] {
+				log.Fatalf("%s shot 0 receiver %d t=%d: sequential %g vs batched %g",
+					phys, r, t, seqFirst[t][r], got[t][r])
+			}
+		}
+	}
+
+	rw := row{
+		Model:       phys.String(),
+		SO:          so,
+		Shots:       nshots,
+		Schedule:    schedKind,
+		Concurrency: res.Concurrency,
+		SeqSPS:      seqSPS,
+		BatchSPS:    res.ShotsPerSec,
+		Speedup:     res.ShotsPerSec / seqSPS,
+		PrecomputeS: res.Precompute.Seconds(),
+		PoolHits:    res.PoolHits,
+		PoolMisses:  res.PoolMisses,
+	}
+	if verbose {
+		fmt.Printf("%s/so%d %s ×%d shots (K=%d): per-shot loop %.2f shots/s, batch %.2f shots/s (%.2fx), pool %d hit / %d miss\n",
+			rw.Model, rw.SO, rw.Schedule, rw.Shots, rw.Concurrency,
+			rw.SeqSPS, rw.BatchSPS, rw.Speedup, rw.PoolHits, rw.PoolMisses)
+	}
+	return rw
+}

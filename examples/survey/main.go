@@ -6,10 +6,17 @@
 // shines: hundreds of sources decompose onto grid-aligned points once per
 // shot, and temporal blocking then runs unhindered.
 //
-// The shot loop reports two levels of progress through the obs layer:
-// within a shot, the schedule's step-level ETA (obs.EnableProgress); across
-// the survey, a shot-level ETA from an obs.Meter — the pattern any
-// multi-hour acquisition driver needs.
+// The shots run through wavesim.RunSurvey — the batch engine: the earth
+// model, damping profile and receiver supports are built once, every
+// shot's source decomposition is precomputed up front in parallel, and
+// the propagator's wavefield grids recycle through a buffer pool between
+// shots instead of being reallocated.
+//
+// The survey reports two levels of progress through the obs layer: within
+// a shot, the schedule's step-level ETA (obs.EnableProgress); across the
+// survey, a shot-level ETA from an obs.Meter driven by the engine's
+// per-shot completion callback — the pattern any multi-hour acquisition
+// driver needs.
 //
 //	go run ./examples/survey
 package main
@@ -20,6 +27,7 @@ import (
 	"log/slog"
 	"math"
 	"os"
+	"sync"
 	"time"
 
 	"wavetile/internal/obs"
@@ -57,35 +65,58 @@ func main() {
 		}
 	}
 
-	var nt int
-	for shot := 0; shot < nshots; shot++ {
-		sim, dt, steps := buildShot(shot, extent, receivers)
-		nt = steps
-		if shot == 0 {
-			fmt.Printf("survey: %d shots × 49 sources, %d receivers, %d³ grid, %d steps (dt=%.2f ms)\n",
-				nshots, len(receivers), n, nt, dt*1e3)
-			// First shot doubles as the correctness demonstration: the
-			// paper's unfused Listing-1 baseline against the precomputed +
-			// temporally blocked path.
-			compareSchedules(sim)
-		}
-		wtb, err := sim.Run(wavesim.WTB{TimeTile: 16, TileX: 32, TileY: 32, BlockX: 8, BlockY: 8})
-		if err != nil {
-			log.Fatal(err)
-		}
-		path := fmt.Sprintf("survey_shot_%02d.csv", shot)
-		writeRecord(path, wtb.Receivers)
-		fmt.Printf("shot %d/%d: %8v (%.3f GPts/s) → %s\n",
-			shot+1, nshots, wtb.Elapsed.Round(1e6), wtb.GPointsPerSec, path)
-		meter.Done(shot + 1)
+	// The shared-model side of the survey: everything except the sources.
+	base := wavesim.Options{
+		Physics:    wavesim.Acoustic,
+		SpaceOrder: 4,
+		Shape:      [3]int{n, n, n},
+		Spacing:    [3]float64{h, h, h},
+		NBL:        nbl,
+		TMax:       0.15,
+		Vp:         wavesim.Gradient(1500, 3200, extent),
+		SourceF0:   15,
+		SourceAmp:  1,
+		Receivers:  receivers,
 	}
-	fmt.Printf("survey complete: %d shots, %d-step records\n", nshots, nt)
+	shots := make([]wavesim.Shot, nshots)
+	for s := range shots {
+		shots[s] = wavesim.Shot{Sources: shotSources(s, extent)}
+	}
+
+	sv, err := wavesim.NewSurvey(base, shots, wavesim.SurveyOptions{
+		Concurrency: 1, // one lane: the survey interior stays the hot path
+		OnShot: func(shot int, res *wavesim.Result) {
+			path := fmt.Sprintf("survey_shot_%02d.csv", shot)
+			writeRecord(path, res.Receivers)
+			fmt.Printf("shot %d/%d: %8v (%.3f GPts/s) → %s\n",
+				shot+1, nshots, res.Elapsed.Round(1e6), res.GPointsPerSec, path)
+			meter.Done(shot + 1)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, _, dt, nt := sv.Geometry()
+	fmt.Printf("survey: %d shots × 49 sources, %d receivers, %d³ grid, %d steps (dt=%.2f ms)\n",
+		nshots, len(receivers), n, nt, dt*1e3)
+
+	// Correctness demonstration on shot 0: the paper's unfused Listing-1
+	// baseline against the precomputed + temporally blocked path.
+	compareSchedules(base, shots[0])
+
+	res, err := sv.Run(wavesim.WTB{TimeTile: 16, TileX: 32, TileY: 32, BlockX: 8, BlockY: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("survey complete: %d shots in %v (%.2f shots/s, precompute %v, pool %d hit / %d miss)\n",
+		nshots, res.Elapsed.Round(1e6), res.ShotsPerSec, res.Precompute.Round(1e6),
+		res.PoolHits, res.PoolMisses)
 }
 
-// buildShot places the 7×7 blended source array for one shot position: the
-// array center advances along x per shot (the sail line), every source
+// shotSources places the 7×7 blended source array for one shot position:
+// the array center advances along x per shot (the sail line), every source
 // deliberately off-the-grid (fractional offsets).
-func buildShot(shot int, extent float64, receivers []wavesim.Coord) (*wavesim.Simulation, float64, int) {
+func shotSources(shot int, extent float64) []wavesim.Coord {
 	sail := 0.15 * extent * float64(shot) / float64(nshots)
 	lo, hi := 0.15*extent+sail, 0.65*extent+sail
 	var sources []wavesim.Coord
@@ -98,31 +129,20 @@ func buildShot(shot int, extent float64, receivers []wavesim.Coord) (*wavesim.Si
 			})
 		}
 	}
-	sim, err := wavesim.New(wavesim.Options{
-		Physics:    wavesim.Acoustic,
-		SpaceOrder: 4,
-		Shape:      [3]int{n, n, n},
-		Spacing:    [3]float64{h, h, h},
-		NBL:        nbl,
-		TMax:       0.15,
-		Vp:         wavesim.Gradient(1500, 3200, extent),
-		SourceF0:   15,
-		SourceAmp:  1,
-		Sources:    sources,
-		Receivers:  receivers,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	_, _, dt, nt := sim.Geometry()
-	return sim, dt, nt
+	return sources
 }
 
 // compareSchedules runs the unfused Listing-1 baseline and the precomputed
 // WTB path on the same shot and checks the records agree to single-precision
 // tolerance (the two paths differ only in FP accumulation order).
-func compareSchedules(sim *wavesim.Simulation) {
-	base, err := sim.Run(wavesim.Spatial{Unfused: true})
+func compareSchedules(base wavesim.Options, shot wavesim.Shot) {
+	opts := base
+	opts.Sources = shot.Sources
+	sim, err := wavesim.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := sim.Run(wavesim.Spatial{Unfused: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -130,21 +150,21 @@ func compareSchedules(sim *wavesim.Simulation) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("listing-1 baseline: %8v (%.3f GPts/s)\n", base.Elapsed.Round(1e6), base.GPointsPerSec)
+	fmt.Printf("listing-1 baseline: %8v (%.3f GPts/s)\n", ref.Elapsed.Round(1e6), ref.GPointsPerSec)
 	fmt.Printf("precomputed + WTB:  %8v (%.3f GPts/s)\n", wtb.Elapsed.Round(1e6), wtb.GPointsPerSec)
 
 	peak := 0.0
-	for t := range base.Receivers {
-		for r := range base.Receivers[t] {
-			if v := math.Abs(float64(base.Receivers[t][r])); v > peak {
+	for t := range ref.Receivers {
+		for r := range ref.Receivers[t] {
+			if v := math.Abs(float64(ref.Receivers[t][r])); v > peak {
 				peak = v
 			}
 		}
 	}
 	maxRel := 0.0
-	for t := range base.Receivers {
-		for r := range base.Receivers[t] {
-			d := math.Abs(float64(base.Receivers[t][r]-wtb.Receivers[t][r])) / peak
+	for t := range ref.Receivers {
+		for r := range ref.Receivers[t] {
+			d := math.Abs(float64(ref.Receivers[t][r]-wtb.Receivers[t][r])) / peak
 			if d > maxRel {
 				maxRel = d
 			}
@@ -156,8 +176,13 @@ func compareSchedules(sim *wavesim.Simulation) {
 	}
 }
 
+var writeMu sync.Mutex
+
 // writeRecord writes one shot's blended record as CSV (rows = timesteps).
+// Serialized: OnShot may fire from concurrent lanes.
 func writeRecord(path string, rec [][]float32) {
+	writeMu.Lock()
+	defer writeMu.Unlock()
 	f, err := os.Create(path)
 	if err != nil {
 		log.Fatal(err)

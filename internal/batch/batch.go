@@ -1,0 +1,277 @@
+// Package batch is the generic multi-shot execution engine behind
+// wavesim.Survey: it amortizes per-shot setup by precomputing every shot up
+// front (in parallel), then drains the shot queue through K concurrent
+// lanes, each a shared-model propagator clone running with its slice of the
+// machine's workers.
+//
+// The engine is deliberately ignorant of wave physics: callers provide a
+// precompute function and a lane factory, and the engine owns ordering,
+// worker partitioning, the concurrency autotune and the survey-level
+// observability counters. Correctness does not depend on K — every shot is
+// computed by exactly one lane from freshly reset state, and the per-shot
+// results are bitwise independent of which lane ran it or what ran
+// concurrently (the batched-vs-sequential oracle in wavesim asserts this).
+package batch
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wavetile/internal/obs"
+	"wavetile/internal/par"
+)
+
+// Survey-level obs counters. They land on /metrics like every registry
+// counter, giving scrape-level visibility into a long acquisition.
+const (
+	// CounterShotsDone counts completed shots.
+	CounterShotsDone = "survey_shots_done"
+	// CounterPrecomputed counts source bundles built up front.
+	CounterPrecomputed = "survey_precompute_shots"
+	// CounterPrecomputeReused counts shots that ran off a precomputed
+	// bundle instead of rebuilding source state at run time — the
+	// amortization the engine exists for, made observable.
+	CounterPrecomputeReused = "survey_precompute_reused"
+)
+
+// Lane is one concurrent shot executor. RunShot runs a single shot to
+// completion; SetWorkers caps the parallelism of subsequent runs (the
+// engine re-partitions lanes whenever the concurrency level changes).
+// Lanes are never invoked concurrently with themselves.
+type Lane interface {
+	RunShot(shot int) error
+	SetWorkers(n int)
+}
+
+// Funcs supplies the workload. Precompute(shot) builds shot's amortizable
+// state and must be safe for concurrent calls on distinct shots; NewLane
+// builds lane executors (called serially); CloseLane releases one (may be
+// nil).
+type Funcs struct {
+	Precompute func(shot int) error
+	NewLane    func(lane int) (Lane, error)
+	CloseLane  func(l Lane)
+}
+
+// Config sizes the run.
+type Config struct {
+	Shots int
+	// Concurrency fixes the number of concurrent lanes K; 0 selects the
+	// autotune, which measures shots/sec at candidate K values on the
+	// first shots and runs the remainder at the best.
+	Concurrency int
+	// MaxConcurrency bounds the autotune's candidates (0 = Workers).
+	MaxConcurrency int
+	// ProbeShots is how many shots per lane each autotune candidate
+	// measures (default 2; the probed shots' results are kept).
+	ProbeShots int
+	// Workers is the total worker budget split across lanes as
+	// max(1, Workers/K) each (0 = par.Workers).
+	Workers int
+}
+
+// Probe records one autotune measurement.
+type Probe struct {
+	K           int
+	Shots       int
+	ShotsPerSec float64
+}
+
+// Result summarizes a batch run.
+type Result struct {
+	Concurrency int // the K the bulk of the survey ran at
+	Elapsed     time.Duration
+	Precompute  time.Duration // wall time of the upfront precompute phase
+	ShotsPerSec float64
+	Probes      []Probe // autotune trajectory (nil when K was fixed)
+}
+
+// engine is the per-run state shared by the dispatch goroutines.
+type engine struct {
+	cfg   Config
+	funcs Funcs
+
+	lanes []Lane
+	next  atomic.Int64 // global shot cursor
+
+	failed  atomic.Bool
+	errOnce sync.Once
+	err     error
+
+	cShots  *obs.Counter
+	cReused *obs.Counter
+}
+
+func (e *engine) fail(err error) {
+	e.errOnce.Do(func() { e.err = err })
+	e.failed.Store(true)
+}
+
+// Run executes cfg.Shots shots through f. On error the dispatch drains
+// (in-flight shots finish) and the first error is returned.
+func Run(cfg Config, f Funcs) (*Result, error) {
+	if cfg.Shots <= 0 {
+		return nil, fmt.Errorf("batch: no shots (Shots=%d)", cfg.Shots)
+	}
+	if f.Precompute == nil || f.NewLane == nil {
+		return nil, fmt.Errorf("batch: Funcs.Precompute and Funcs.NewLane are required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = par.Workers
+	}
+	if cfg.ProbeShots <= 0 {
+		cfg.ProbeShots = 2
+	}
+
+	e := &engine{cfg: cfg, funcs: f}
+	reg := obs.Active()
+	if reg != nil {
+		e.cShots = reg.Counter(CounterShotsDone)
+		e.cReused = reg.Counter(CounterPrecomputeReused)
+	}
+	start := time.Now()
+
+	// Phase 1: precompute every shot up front, in parallel. Errors are
+	// collected per shot; the first (by shot index) is reported.
+	preErrs := make([]error, cfg.Shots)
+	par.For(cfg.Shots, func(i int) { preErrs[i] = f.Precompute(i) })
+	for i, err := range preErrs {
+		if err != nil {
+			return nil, fmt.Errorf("batch: precompute shot %d: %w", i, err)
+		}
+	}
+	precompute := time.Since(start)
+	if reg != nil {
+		reg.Counter(CounterPrecomputed).Add(int64(cfg.Shots))
+	}
+
+	res := &Result{Precompute: precompute}
+	defer func() {
+		if f.CloseLane != nil {
+			for _, l := range e.lanes {
+				f.CloseLane(l)
+			}
+		}
+	}()
+
+	// Phase 2: drain the shot queue at the chosen (or autotuned) K.
+	if cfg.Concurrency > 0 {
+		res.Concurrency = min(cfg.Concurrency, cfg.Shots)
+		if _, err := e.runPhase(res.Concurrency, -1); err != nil {
+			return nil, err
+		}
+	} else {
+		k, probes, err := e.autotune()
+		if err != nil {
+			return nil, err
+		}
+		res.Concurrency, res.Probes = k, probes
+		if _, err := e.runPhase(k, -1); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Elapsed = time.Since(start)
+	if s := res.Elapsed.Seconds(); s > 0 {
+		res.ShotsPerSec = float64(cfg.Shots) / s
+	}
+	return res, nil
+}
+
+// ensureLanes grows the lane set to at least k executors.
+func (e *engine) ensureLanes(k int) error {
+	for len(e.lanes) < k {
+		l, err := e.funcs.NewLane(len(e.lanes))
+		if err != nil {
+			return fmt.Errorf("batch: lane %d: %w", len(e.lanes), err)
+		}
+		e.lanes = append(e.lanes, l)
+	}
+	return nil
+}
+
+// runPhase dispatches up to budget shots (all remaining when budget < 0)
+// across k concurrent lanes, each capped at Workers/k workers, and returns
+// how many shots it completed.
+func (e *engine) runPhase(k, budget int) (int, error) {
+	if remaining := e.cfg.Shots - int(e.next.Load()); remaining <= 0 {
+		return 0, e.err
+	} else if k > remaining {
+		k = remaining
+	}
+	if err := e.ensureLanes(k); err != nil {
+		return 0, err
+	}
+	perLane := max(1, e.cfg.Workers/k)
+	for _, l := range e.lanes[:k] {
+		l.SetWorkers(perLane)
+	}
+	var taken atomic.Int64
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(l Lane) {
+			defer wg.Done()
+			for !e.failed.Load() {
+				if budget >= 0 && taken.Add(1) > int64(budget) {
+					return
+				}
+				shot := int(e.next.Add(1)) - 1
+				if shot >= e.cfg.Shots {
+					return
+				}
+				if err := l.RunShot(shot); err != nil {
+					e.fail(fmt.Errorf("batch: shot %d: %w", shot, err))
+					return
+				}
+				done.Add(1)
+				if e.cShots != nil {
+					e.cShots.Add(1)
+					e.cReused.Add(1)
+				}
+			}
+		}(e.lanes[i])
+	}
+	wg.Wait()
+	return int(done.Load()), e.err
+}
+
+// autotune measures shots/sec at doubling candidate K values (1, 2, 4, …,
+// capped by MaxConcurrency, Workers and the shot count) on the first shots
+// of the survey — every probed shot's result is kept — and returns the
+// fastest K. Surveys too short to probe a candidate stop escalating; if the
+// queue drains mid-probe the best K measured so far is reported.
+func (e *engine) autotune() (int, []Probe, error) {
+	maxK := e.cfg.Workers
+	if e.cfg.MaxConcurrency > 0 && e.cfg.MaxConcurrency < maxK {
+		maxK = e.cfg.MaxConcurrency
+	}
+	if e.cfg.Shots < maxK {
+		maxK = e.cfg.Shots
+	}
+	bestK, bestRate := 1, 0.0
+	var probes []Probe
+	for k := 1; k <= maxK; k *= 2 {
+		want := k * e.cfg.ProbeShots
+		if remaining := e.cfg.Shots - int(e.next.Load()); remaining < want {
+			break // not enough shots left to measure this candidate fairly
+		}
+		t0 := time.Now()
+		n, err := e.runPhase(k, want)
+		if err != nil {
+			return 0, nil, err
+		}
+		rate := 0.0
+		if s := time.Since(t0).Seconds(); s > 0 {
+			rate = float64(n) / s
+		}
+		probes = append(probes, Probe{K: k, Shots: n, ShotsPerSec: rate})
+		if rate > bestRate {
+			bestK, bestRate = k, rate
+		}
+	}
+	return bestK, probes, nil
+}

@@ -1,0 +1,199 @@
+package batch
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"wavetile/internal/obs"
+)
+
+// fakeLane records which shots it ran and at which worker cap.
+type fakeLane struct {
+	mu      sync.Mutex
+	workers int
+	shots   []int
+	fail    map[int]error
+	active  *atomic.Int64 // concurrent-lane high-water mark
+	peak    *atomic.Int64
+}
+
+func (l *fakeLane) SetWorkers(n int) { l.mu.Lock(); l.workers = n; l.mu.Unlock() }
+
+func (l *fakeLane) RunShot(shot int) error {
+	cur := l.active.Add(1)
+	for {
+		p := l.peak.Load()
+		if cur <= p || l.peak.CompareAndSwap(p, cur) {
+			break
+		}
+	}
+	defer l.active.Add(-1)
+	l.mu.Lock()
+	l.shots = append(l.shots, shot)
+	err := l.fail[shot]
+	l.mu.Unlock()
+	return err
+}
+
+type harness struct {
+	mu       sync.Mutex
+	lanes    []*fakeLane
+	pre      []int32
+	active   atomic.Int64
+	peak     atomic.Int64
+	preErr   map[int]error
+	laneFail map[int]error
+}
+
+func newHarness(shots int) *harness {
+	return &harness{pre: make([]int32, shots)}
+}
+
+func (h *harness) funcs() Funcs {
+	return Funcs{
+		Precompute: func(shot int) error {
+			atomic.AddInt32(&h.pre[shot], 1)
+			if err := h.preErr[shot]; err != nil {
+				return err
+			}
+			return nil
+		},
+		NewLane: func(lane int) (Lane, error) {
+			l := &fakeLane{fail: h.laneFail, active: &h.active, peak: &h.peak}
+			h.mu.Lock()
+			h.lanes = append(h.lanes, l)
+			h.mu.Unlock()
+			return l, nil
+		},
+	}
+}
+
+// allShots gathers every shot run across lanes.
+func (h *harness) allShots() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []int
+	for _, l := range h.lanes {
+		l.mu.Lock()
+		out = append(out, l.shots...)
+		l.mu.Unlock()
+	}
+	return out
+}
+
+func TestRunCoversEveryShotExactlyOnce(t *testing.T) {
+	const shots = 17
+	h := newHarness(shots)
+	res, err := Run(Config{Shots: shots, Concurrency: 3, Workers: 6}, h.funcs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Concurrency != 3 {
+		t.Fatalf("Concurrency = %d, want 3", res.Concurrency)
+	}
+	seen := map[int]int{}
+	for _, s := range h.allShots() {
+		seen[s]++
+	}
+	for s := 0; s < shots; s++ {
+		if seen[s] != 1 {
+			t.Fatalf("shot %d ran %d times", s, seen[s])
+		}
+		if h.pre[s] != 1 {
+			t.Fatalf("shot %d precomputed %d times", s, h.pre[s])
+		}
+	}
+	// Worker partitioning: 6 workers over 3 lanes = 2 each.
+	for i, l := range h.lanes {
+		if l.workers != 2 {
+			t.Fatalf("lane %d workers = %d, want 2", i, l.workers)
+		}
+	}
+}
+
+func TestRunPrecomputeErrorAborts(t *testing.T) {
+	h := newHarness(5)
+	boom := errors.New("bad shot")
+	h.preErr = map[int]error{3: boom}
+	_, err := Run(Config{Shots: 5, Concurrency: 1}, h.funcs())
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if got := h.allShots(); len(got) != 0 {
+		t.Fatalf("shots ran despite precompute failure: %v", got)
+	}
+}
+
+func TestRunShotErrorStopsDispatch(t *testing.T) {
+	h := newHarness(40)
+	boom := errors.New("shot blew up")
+	h.laneFail = map[int]error{1: boom}
+	_, err := Run(Config{Shots: 40, Concurrency: 2}, h.funcs())
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if n := len(h.allShots()); n >= 40 {
+		t.Fatalf("dispatch did not stop after failure (%d shots ran)", n)
+	}
+}
+
+func TestAutotuneProbesAndFinishes(t *testing.T) {
+	const shots = 24
+	h := newHarness(shots)
+	res, err := Run(Config{Shots: shots, Workers: 4, MaxConcurrency: 4, ProbeShots: 2}, h.funcs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Probes) == 0 {
+		t.Fatal("autotune recorded no probes")
+	}
+	if res.Probes[0].K != 1 {
+		t.Fatalf("first probe K = %d, want 1", res.Probes[0].K)
+	}
+	seen := map[int]bool{}
+	for _, s := range h.allShots() {
+		if seen[s] {
+			t.Fatalf("shot %d ran twice", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != shots {
+		t.Fatalf("%d distinct shots ran, want %d", len(seen), shots)
+	}
+	if res.Concurrency < 1 || res.Concurrency > 4 {
+		t.Fatalf("tuned K = %d out of range", res.Concurrency)
+	}
+}
+
+func TestRunCountsShotsDone(t *testing.T) {
+	reg := obs.NewRegistry()
+	defer obs.Swap(reg)()
+	const shots = 9
+	h := newHarness(shots)
+	if _, err := Run(Config{Shots: shots, Concurrency: 2}, h.funcs()); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[CounterShotsDone]; got != shots {
+		t.Fatalf("%s = %d, want %d", CounterShotsDone, got, shots)
+	}
+	if got := snap.Counters[CounterPrecomputed]; got != shots {
+		t.Fatalf("%s = %d, want %d", CounterPrecomputed, got, shots)
+	}
+	if got := snap.Counters[CounterPrecomputeReused]; got != shots {
+		t.Fatalf("%s = %d, want %d", CounterPrecomputeReused, got, shots)
+	}
+}
+
+func TestConcurrencyNeverExceedsK(t *testing.T) {
+	const shots = 30
+	h := newHarness(shots)
+	if _, err := Run(Config{Shots: shots, Concurrency: 3, Workers: 8}, h.funcs()); err != nil {
+		t.Fatal(err)
+	}
+	if p := h.peak.Load(); p > 3 {
+		t.Fatalf("concurrent shots peaked at %d, cap was 3", p)
+	}
+}

@@ -204,6 +204,11 @@ func (f *BenchFile) addTrajectoryRows(path string, rows []any) error {
 		f.put(SeriesKey{model, so, "spatial"}, num(row["spatial_gpts_after"]))
 		f.put(SeriesKey{model, so, "wtb"}, num(row["wtb_gpts_after"]))
 		f.put(SeriesKey{model, so, "wtb-pipelined"}, num(row["pipelined_gpts_after"]))
+		// Survey trajectory rows (cmd/survey -json) carry shots/s for the
+		// per-shot baseline loop and the batch engine; the units differ from
+		// GPts/s but pair consistently across artifacts of the same shape.
+		f.put(SeriesKey{model, so, "survey-seq"}, num(row["survey_seq_sps_after"]))
+		f.put(SeriesKey{model, so, "survey-batch"}, num(row["survey_batch_sps_after"]))
 	}
 	return nil
 }

@@ -76,6 +76,36 @@ func TestLoadBenchFileTrajectoryMaxOnDuplicates(t *testing.T) {
 	}
 }
 
+func TestLoadBenchFileTrajectorySurveySeries(t *testing.T) {
+	// cmd/survey -json rows: shots/s for the per-shot loop and the batch
+	// engine load as survey-seq / survey-batch series.
+	const traj = `{
+	  "pr": 8,
+	  "rows": [
+	    {"model": "acoustic", "so": 4, "shots": 6,
+	     "survey_seq_sps_after": 12.5, "survey_batch_sps_after": 28.0},
+	    {"model": "tti", "so": 4, "shots": 6,
+	     "survey_seq_sps_after": 1.5}
+	  ]
+	}`
+	f, err := LoadBenchFile(writeTemp(t, "survey.json", traj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Format != "trajectory" {
+		t.Fatalf("format = %q", f.Format)
+	}
+	if got := f.Series[SeriesKey{"acoustic", 4, "survey-seq"}]; got != 12.5 {
+		t.Fatalf("survey-seq = %g, want 12.5", got)
+	}
+	if got := f.Series[SeriesKey{"acoustic", 4, "survey-batch"}]; got != 28.0 {
+		t.Fatalf("survey-batch = %g, want 28.0", got)
+	}
+	if _, ok := f.Series[SeriesKey{"tti", 4, "survey-batch"}]; ok {
+		t.Fatal("absent batch column must not produce a series")
+	}
+}
+
 func TestLoadBenchFileReportFormats(t *testing.T) {
 	const rep = `{
 	  "version": 1, "kind": "wavetile.run-report",

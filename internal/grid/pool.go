@@ -1,0 +1,84 @@
+package grid
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool recycles wavefield-sized grids across the shots of a survey. Grids
+// are keyed by their full shape (interior extent + halo), so a Get can only
+// ever be satisfied by a buffer of the exact layout the caller would have
+// allocated — there is no partial reuse and no reshaping.
+//
+// Grids returned by Get are always fully zeroed (halo included), exactly
+// like a fresh New, so pooled and freshly allocated wavefields are
+// indistinguishable to the propagators — the property the batched-vs-
+// sequential bitwise oracle rests on. The zeroing happens on the Get path
+// (not Put) so that grids parked in the pool cost no work until needed.
+//
+// All methods are safe for concurrent use. A nil *Pool is valid and simply
+// allocates: every Get falls through to New and every Put drops the grid,
+// which lets pooling be threaded through constructors unconditionally.
+type Pool struct {
+	mu   sync.Mutex
+	free map[poolKey][]*Grid
+
+	hits   atomic.Int64 // Gets satisfied by recycling
+	misses atomic.Int64 // Gets that had to allocate
+}
+
+type poolKey struct {
+	nx, ny, nz, halo int
+}
+
+// NewPool returns an empty grid pool.
+func NewPool() *Pool {
+	return &Pool{free: map[poolKey][]*Grid{}}
+}
+
+// Get returns a zeroed grid of the given shape, recycling a previously Put
+// buffer when one of the exact shape is available. A nil pool allocates.
+func (p *Pool) Get(nx, ny, nz, halo int) *Grid {
+	if p == nil {
+		return New(nx, ny, nz, halo)
+	}
+	k := poolKey{nx, ny, nz, halo}
+	p.mu.Lock()
+	list := p.free[k]
+	var g *Grid
+	if n := len(list); n > 0 {
+		g = list[n-1]
+		list[n-1] = nil
+		p.free[k] = list[:n-1]
+	}
+	p.mu.Unlock()
+	if g == nil {
+		p.misses.Add(1)
+		return New(nx, ny, nz, halo)
+	}
+	p.hits.Add(1)
+	g.Zero()
+	return g
+}
+
+// Put returns a grid to the pool for later reuse. The caller must not touch
+// g afterwards. A nil pool (or a nil grid) drops it.
+func (p *Pool) Put(g *Grid) {
+	if p == nil || g == nil {
+		return
+	}
+	k := poolKey{g.Nx, g.Ny, g.Nz, g.H}
+	p.mu.Lock()
+	p.free[k] = append(p.free[k], g)
+	p.mu.Unlock()
+}
+
+// Stats reports the cumulative hit (recycled) and miss (allocated) counts
+// of Get. Survey drivers diff these around a run to attribute steady-state
+// allocation behaviour.
+func (p *Pool) Stats() (hits, misses int64) {
+	if p == nil {
+		return 0, 0
+	}
+	return p.hits.Load(), p.misses.Load()
+}

@@ -1,0 +1,90 @@
+package grid
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolRecyclesZeroed(t *testing.T) {
+	p := NewPool()
+	g := p.Get(8, 9, 10, 2)
+	if h, m := p.Stats(); h != 0 || m != 1 {
+		t.Fatalf("after first Get: hits=%d misses=%d, want 0/1", h, m)
+	}
+	g.Set(3, 4, 5, 7)
+	g.Data[0] = 9 // dirty the halo too
+	p.Put(g)
+	r := p.Get(8, 9, 10, 2)
+	if r != g {
+		t.Fatalf("Get did not recycle the Put grid")
+	}
+	if h, m := p.Stats(); h != 1 || m != 1 {
+		t.Fatalf("after recycled Get: hits=%d misses=%d, want 1/1", h, m)
+	}
+	for i, v := range r.Data {
+		if v != 0 {
+			t.Fatalf("recycled grid not zeroed at flat index %d: %g", i, v)
+		}
+	}
+}
+
+func TestPoolShapeKeying(t *testing.T) {
+	p := NewPool()
+	p.Put(New(8, 8, 8, 2))
+	// Same interior, different halo: must not be recycled.
+	g := p.Get(8, 8, 8, 3)
+	if g.H != 3 {
+		t.Fatalf("pool returned halo %d, want 3", g.H)
+	}
+	if h, m := p.Stats(); h != 0 || m != 1 {
+		t.Fatalf("hits=%d misses=%d, want 0/1", h, m)
+	}
+}
+
+func TestPoolNilSafe(t *testing.T) {
+	var p *Pool
+	g := p.Get(4, 4, 4, 1)
+	if g == nil || g.Nx != 4 {
+		t.Fatalf("nil pool Get returned %v", g)
+	}
+	p.Put(g)
+	if h, m := p.Stats(); h != 0 || m != 0 {
+		t.Fatalf("nil pool stats %d/%d, want 0/0", h, m)
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				g := p.Get(6, 6, 6, 2)
+				g.Fill(1)
+				p.Put(g)
+			}
+		}()
+	}
+	wg.Wait()
+	h, m := p.Stats()
+	if h+m != 8*50 {
+		t.Fatalf("hits+misses = %d, want %d", h+m, 8*50)
+	}
+}
+
+func TestAppendBlocksMatchesSplitBlocks(t *testing.T) {
+	r := Region{X0: 1, X1: 30, Y0: 2, Y1: 17}
+	want := r.SplitBlocks(8, 4)
+	buf := make([]Region, 0, 4)
+	got := r.AppendBlocks(buf[:0], 8, 4)
+	if len(got) != len(want) {
+		t.Fatalf("AppendBlocks len %d, SplitBlocks len %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("block %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}

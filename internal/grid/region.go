@@ -75,8 +75,16 @@ func (r Region) String() string {
 //
 // Non-positive bx/by select the full extent in that dimension.
 func (r Region) SplitBlocks(bx, by int) []Region {
+	return r.AppendBlocks(nil, bx, by)
+}
+
+// AppendBlocks is SplitBlocks appending into dst, so hot schedule loops can
+// recycle one buffer per step instead of allocating the block list anew
+// (tiling.ForBlocks feeds it from a sync.Pool). Block order and contents
+// are identical to SplitBlocks.
+func (r Region) AppendBlocks(dst []Region, bx, by int) []Region {
 	if r.Empty() {
-		return nil
+		return dst
 	}
 	if bx <= 0 {
 		bx = r.X1 - r.X0
@@ -84,14 +92,11 @@ func (r Region) SplitBlocks(bx, by int) []Region {
 	if by <= 0 {
 		by = r.Y1 - r.Y0
 	}
-	nbx := (r.X1 - r.X0 + bx - 1) / bx
-	nby := (r.Y1 - r.Y0 + by - 1) / by
-	out := make([]Region, 0, nbx*nby)
 	for x0 := r.X0; x0 < r.X1; x0 += bx {
 		x1 := min(x0+bx, r.X1)
 		for y0 := r.Y0; y0 < r.Y1; y0 += by {
-			out = append(out, Region{x0, x1, y0, min(y0+by, r.Y1)})
+			dst = append(dst, Region{x0, x1, y0, min(y0+by, r.Y1)})
 		}
 	}
-	return out
+	return dst
 }

@@ -69,7 +69,11 @@ func RunWTBPipelinedHooked(p Propagator, cfg Config, tFrom, tTo int, h PipelineH
 		tg := NewTileGrid(p, cfg, tt)
 		g := sched.NewTileGraph(tg.NBX, tg.NBY, tt, p.MaxPhaseOffset() > 0, tg.Empty)
 		base := t0
-		g.Run(par.Workers, func(worker, bx, by, k int) {
+		workers := cfg.Workers
+		if workers <= 0 {
+			workers = par.Workers
+		}
+		g.Run(workers, func(worker, bx, by, k int) {
 			var taskStart time.Time
 			if sp.On() {
 				taskStart = time.Now()

@@ -20,6 +20,7 @@ package tiling
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"wavetile/internal/grid"
@@ -59,6 +60,16 @@ type Config struct {
 	TT             int // time-tile depth (timesteps kept in cache)
 	TileX, TileY   int // space-tile shape (wavefront extent per time level)
 	BlockX, BlockY int // parallel sub-block shape inside a wavefront update
+
+	// Workers caps the worker count of the pipelined task-graph runner
+	// (RunWTBPipelined*); 0 means par.Workers. Survey drivers running K
+	// shots concurrently set it to Workers/K so the K task graphs split
+	// the machine instead of oversubscribing it. The sequential schedules
+	// (RunSpatial, RunWTB) parallelize through the shared par pool, whose
+	// dynamic chunk claiming load-balances concurrent callers on its own,
+	// so they take no explicit cap. Results are bitwise identical for any
+	// value (the worker-count invariance internal/verify asserts).
+	Workers int
 }
 
 func (c Config) String() string {
@@ -77,28 +88,41 @@ func (c Config) Validate(p Propagator) error {
 	return nil
 }
 
+// blockBufs recycles the per-step block lists of ForBlocks across calls.
+// Every Step of every propagator splits its region here, so on a survey's
+// steady state this pool is what keeps the schedule hot path allocation-
+// free. Safe because the block slice is fully consumed (par.For joins)
+// before the buffer is returned.
+var blockBufs = sync.Pool{New: func() any { return new([]grid.Region) }}
+
 // ForBlocks splits reg into bx×by blocks and runs f on each in parallel.
 // Propagators use it to parallelize one wavefront (or one baseline
 // timestep) over sub-blocks, the analogue of the paper's OpenMP loops.
 func ForBlocks(reg grid.Region, bx, by int, f func(grid.Region)) {
-	blocks := reg.SplitBlocks(bx, by)
+	bp := blockBufs.Get().(*[]grid.Region)
+	blocks := reg.AppendBlocks((*bp)[:0], bx, by)
 	if len(blocks) == 1 {
 		f(blocks[0])
-		return
+	} else {
+		par.For(len(blocks), func(i int) { f(blocks[i]) })
 	}
-	par.For(len(blocks), func(i int) { f(blocks[i]) })
+	*bp = blocks[:0]
+	blockBufs.Put(bp)
 }
 
 // ForBlocksIndexed is ForBlocks with the parallel worker index passed to f,
 // so instrumented propagators can attribute block work per worker (making
 // par contention and load imbalance visible in obs snapshots).
 func ForBlocksIndexed(reg grid.Region, bx, by int, f func(worker int, b grid.Region)) {
-	blocks := reg.SplitBlocks(bx, by)
+	bp := blockBufs.Get().(*[]grid.Region)
+	blocks := reg.AppendBlocks((*bp)[:0], bx, by)
 	if len(blocks) == 1 {
 		f(0, blocks[0])
-		return
+	} else {
+		par.ForWorkers(len(blocks), func(w, i int) { f(w, blocks[i]) })
 	}
-	par.ForWorkers(len(blocks), func(w, i int) { f(w, blocks[i]) })
+	*bp = blocks[:0]
+	blockBufs.Put(bp)
 }
 
 // RunSpatial executes the spatially-blocked baseline schedule: for every

@@ -1,0 +1,120 @@
+// Shared-model propagator clones for the multi-shot batch engine.
+//
+// A survey runs N shots over one immutable earth model. Everything derived
+// from the model alone — material factor grids, damping/taper profiles, FD
+// coefficient tables, receiver supports/masks — is shot-invariant and is
+// shared by reference between a template propagator and its clones; only
+// the wavefields, the source side of SparseOps and the recording buffers
+// are per-clone. Wavefields come from a grid.Pool so the steady state of a
+// survey allocates no grid-sized buffers per shot.
+//
+// Clones must re-run kernel selection: the dispatched kern closures capture
+// their receiver, so a copied closure would silently keep updating the
+// template's wavefields.
+package wave
+
+import "wavetile/internal/grid"
+
+// copyKernelSelection re-dispatches dst to the same kernel variant src uses.
+// selectKernel has already installed the default for dst; only an explicit
+// divergence (a pinned y2 variant, a forced generic) needs replaying. The
+// error is impossible by construction — src dispatched that variant at the
+// same radius — but is surfaced as a panic rather than swallowed.
+func copyKernelSelection(dst interface{ SetKernelVariant(string) error }, dstKS, srcKS *kernState) {
+	if dstKS.variant == srcKS.variant {
+		return
+	}
+	if err := dst.SetKernelVariant(srcKS.variant); err != nil {
+		panic("wave: clone cannot dispatch template kernel variant: " + err.Error())
+	}
+}
+
+// CloneShared returns an acoustic propagator sharing a's model-derived
+// state (params, factor grids, FD coefficients, receiver-side sparse
+// structures) with fresh pooled wavefields and its own recording buffers.
+// The clone has an empty source side; install a SourceBundle before
+// running. Safe to run concurrently with other clones of the same template.
+func (a *Acoustic) CloneShared(pool *grid.Pool) *Acoustic {
+	g := a.P.Geom
+	c := &Acoustic{
+		P: a.P, SO: a.SO, R: a.R,
+		cx: a.cx, cy: a.cy, cz: a.cz, c0: a.c0,
+		dm1: a.dm1, dp1i: a.dp1i, mdt2: a.mdt2,
+		blockX: a.blockX, blockY: a.blockY,
+	}
+	c.U[0] = pool.Get(g.Nx, g.Ny, g.Nz, a.R)
+	c.U[1] = pool.Get(g.Nx, g.Ny, g.Nz, a.R)
+	c.Ops = a.Ops.cloneShared()
+	c.selectKernel()
+	copyKernelSelection(c, &c.ks, &a.ks)
+	return c
+}
+
+// ReleaseGrids returns the clone's wavefields to the pool. The propagator
+// must not be run afterwards. Shared model grids are never released.
+func (a *Acoustic) ReleaseGrids(pool *grid.Pool) {
+	pool.Put(a.U[0])
+	pool.Put(a.U[1])
+	a.U[0], a.U[1] = nil, nil
+}
+
+// CloneShared returns a TTI propagator sharing w's model-derived state with
+// fresh pooled wavefields; see (*Acoustic).CloneShared.
+func (w *TTI) CloneShared(pool *grid.Pool) *TTI {
+	g := w.P.Geom
+	c := &TTI{
+		P: w.P, SO: w.SO, R: w.R,
+		c2x: w.c2x, c2y: w.c2y, c2z: w.c2z,
+		d1x: w.d1x, d1y: w.d1y, d1z: w.d1z,
+		aa: w.aa, bb: w.bb, cc: w.cc, e2: w.e2, sqd: w.sqd,
+		dm1: w.dm1, dp1i: w.dp1i, mdt2: w.mdt2,
+		blockX: w.blockX, blockY: w.blockY,
+	}
+	for i := 0; i < 2; i++ {
+		c.Pw[i] = pool.Get(g.Nx, g.Ny, g.Nz, w.R)
+		c.Qw[i] = pool.Get(g.Nx, g.Ny, g.Nz, w.R)
+	}
+	c.Ops = w.Ops.cloneShared()
+	c.selectKernel()
+	copyKernelSelection(c, &c.ks, &w.ks)
+	return c
+}
+
+// ReleaseGrids returns the clone's wavefields to the pool; see
+// (*Acoustic).ReleaseGrids.
+func (w *TTI) ReleaseGrids(pool *grid.Pool) {
+	for i := 0; i < 2; i++ {
+		pool.Put(w.Pw[i])
+		pool.Put(w.Qw[i])
+		w.Pw[i], w.Qw[i] = nil, nil
+	}
+}
+
+// CloneShared returns an elastic propagator sharing e's model-derived state
+// with fresh pooled wavefields; see (*Acoustic).CloneShared.
+func (e *Elastic) CloneShared(pool *grid.Pool) *Elastic {
+	g := e.P.Geom
+	c := &Elastic{
+		P: e.P, SO: e.SO, R: e.R,
+		bdt: e.bdt, l2mdt: e.l2mdt, lamdt: e.lamdt, mudt: e.mudt, taper: e.taper,
+		cs: e.cs, csx: e.csx, csy: e.csy, csz: e.csz,
+		blockX: e.blockX, blockY: e.blockY,
+	}
+	mk := func() *grid.Grid { return pool.Get(g.Nx, g.Ny, g.Nz, e.R) }
+	c.Vx, c.Vy, c.Vz = mk(), mk(), mk()
+	c.Txx, c.Tyy, c.Tzz = mk(), mk(), mk()
+	c.Txy, c.Txz, c.Tyz = mk(), mk(), mk()
+	c.Ops = e.Ops.cloneShared()
+	c.selectKernel()
+	copyKernelSelection(c, &c.ks, &e.ks)
+	return c
+}
+
+// ReleaseGrids returns the clone's wavefields to the pool; see
+// (*Acoustic).ReleaseGrids.
+func (e *Elastic) ReleaseGrids(pool *grid.Pool) {
+	for _, f := range []**grid.Grid{&e.Vx, &e.Vy, &e.Vz, &e.Txx, &e.Tyy, &e.Tzz, &e.Txy, &e.Txz, &e.Tyz} {
+		pool.Put(*f)
+		*f = nil
+	}
+}

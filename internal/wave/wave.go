@@ -28,6 +28,12 @@ import (
 type SparseOps struct {
 	Nt int
 
+	// Grid dimensions the supports/masks were built for, kept so per-shot
+	// source bundles (PrecomputeSources) are constructed over exactly the
+	// geometry of the owning propagator.
+	nx, ny, nz int
+	hx, hy, hz float64
+
 	// Source side.
 	SrcSup  []sparse.Support
 	SrcWav  [][]float32 // [s][nt] wavelet per source
@@ -70,48 +76,12 @@ func newSparseOps(nx, ny, nz int, hx, hy, hz float64, nt int,
 	src *sparse.Points, srcWav [][]float32, rec *sparse.Points, scale sparse.ScaleFunc,
 	sinc, recSinc bool) (*SparseOps, error) {
 
-	s := &SparseOps{Nt: nt, scale: scale}
-	if src != nil && src.N() > 0 {
-		if len(srcWav) != src.N() {
-			return nil, fmt.Errorf("wave: %d sources but %d wavelets", src.N(), len(srcWav))
-		}
-		var sup []sparse.Support
-		var err error
-		if sinc {
-			var per int
-			sup, per, err = src.SincSupports(nx, ny, nz, hx, hy, hz)
-			if err != nil {
-				return nil, fmt.Errorf("wave: sinc source supports: %w", err)
-			}
-			// Each source expands into `per` weight groups sharing its
-			// wavelet; replicate so the pipeline stays interpolation-blind.
-			wide := make([][]float32, 0, len(sup))
-			for i := range srcWav {
-				for j := 0; j < per; j++ {
-					wide = append(wide, srcWav[i])
-				}
-			}
-			srcWav = wide
-		} else {
-			sup, err = src.Supports(nx, ny, nz, hx, hy, hz)
-			if err != nil {
-				return nil, fmt.Errorf("wave: source supports: %w", err)
-			}
-		}
-		s.SrcSup = sup
-		s.SrcWav = srcWav
-		s.SrcMask = core.BuildMasks(nx, ny, nz, sup)
-		s.SrcD, err = s.SrcMask.DecomposeWavelets(sup, srcWav, nt, scale)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		s.SrcMask = core.BuildMasks(nx, ny, nz, nil)
-		s.SrcD = make([][]float32, nt)
-		for t := range s.SrcD {
-			s.SrcD[t] = nil
-		}
+	s := &SparseOps{Nt: nt, nx: nx, ny: ny, nz: nz, hx: hx, hy: hy, hz: hz, scale: scale}
+	bundle, err := buildSourceBundle(nx, ny, nz, hx, hy, hz, nt, src, srcWav, scale, sinc)
+	if err != nil {
+		return nil, err
 	}
+	s.InstallSources(bundle)
 	if rec != nil && rec.N() > 0 {
 		var sup []sparse.Support
 		var err error
@@ -136,6 +106,120 @@ func newSparseOps(nx, ny, nz int, hx, hy, hz float64, nt int,
 		}
 	}
 	return s, nil
+}
+
+// SourceBundle is one shot's precomputed source-side state: off-the-grid
+// supports, wavelets, the grid-aligned injection masks (SM/SID of the
+// paper) and the decomposed per-timestep injection wavefield src_dcmp.
+// Bundles are immutable after construction and independent of any
+// propagator's wavefields, so a survey driver can precompute all shots up
+// front (in parallel) and install each onto a propagator clone just before
+// its run.
+type SourceBundle struct {
+	Sup  []sparse.Support
+	Wav  [][]float32
+	Mask *core.Masks
+	D    [][]float32 // src_dcmp: [t][id]
+}
+
+// buildSourceBundle is the single construction path for source-side state.
+// Both NewSparseOps and PrecomputeSources go through it, which is what
+// makes a precomputed-then-installed bundle bitwise identical to the one a
+// fresh propagator would build for the same sources: the support order, the
+// deterministic x→y→z mask ID assignment of BuildMasks and the
+// accumulation order of DecomposeWavelets are all shared code.
+func buildSourceBundle(nx, ny, nz int, hx, hy, hz float64, nt int,
+	src *sparse.Points, srcWav [][]float32, scale sparse.ScaleFunc, sinc bool) (*SourceBundle, error) {
+	b := &SourceBundle{}
+	if src == nil || src.N() == 0 {
+		b.Mask = core.BuildMasks(nx, ny, nz, nil)
+		b.D = make([][]float32, nt)
+		return b, nil
+	}
+	if len(srcWav) != src.N() {
+		return nil, fmt.Errorf("wave: %d sources but %d wavelets", src.N(), len(srcWav))
+	}
+	var sup []sparse.Support
+	var err error
+	if sinc {
+		var per int
+		sup, per, err = src.SincSupports(nx, ny, nz, hx, hy, hz)
+		if err != nil {
+			return nil, fmt.Errorf("wave: sinc source supports: %w", err)
+		}
+		// Each source expands into `per` weight groups sharing its
+		// wavelet; replicate so the pipeline stays interpolation-blind.
+		wide := make([][]float32, 0, len(sup))
+		for i := range srcWav {
+			for j := 0; j < per; j++ {
+				wide = append(wide, srcWav[i])
+			}
+		}
+		srcWav = wide
+	} else {
+		sup, err = src.Supports(nx, ny, nz, hx, hy, hz)
+		if err != nil {
+			return nil, fmt.Errorf("wave: source supports: %w", err)
+		}
+	}
+	b.Sup = sup
+	b.Wav = srcWav
+	b.Mask = core.BuildMasks(nx, ny, nz, sup)
+	b.D, err = b.Mask.DecomposeWavelets(sup, srcWav, nt, scale)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// PrecomputeSources builds a shot's source bundle over this bundle's grid
+// geometry and injection scale without touching any live run state, so it
+// is safe to call concurrently (the scale closure only reads immutable
+// factor grids) and ahead of time — the amortized per-shot setup of a
+// multi-shot survey.
+func (s *SparseOps) PrecomputeSources(src *sparse.Points, srcWav [][]float32, sinc bool) (*SourceBundle, error) {
+	return buildSourceBundle(s.nx, s.ny, s.nz, s.hx, s.hy, s.hz, s.Nt, src, srcWav, s.scale, sinc)
+}
+
+// InstallSources swaps the source side of s to the precomputed bundle.
+// Receiver-side state is untouched; per-timestep moving-source supports are
+// cleared (bundles describe static shots). The caller must Reset the owning
+// propagator before the next run, as after any source change.
+func (s *SparseOps) InstallSources(b *SourceBundle) {
+	s.SrcSup = b.Sup
+	s.SrcWav = b.Wav
+	s.SrcMask = b.Mask
+	s.SrcD = b.D
+	s.SrcSupByStep = nil
+}
+
+// cloneShared returns a SparseOps sharing every shot-invariant structure
+// with s — receiver supports, masks and grouping, the injection scale, the
+// grid geometry — while giving the clone its own recording state (sampler
+// data, baseline traces, amplitude scratch) and an empty source side. The
+// clone is what a survey lane runs shots through: InstallSources switches
+// shots, and concurrent lanes never share mutable state.
+func (s *SparseOps) cloneShared() *SparseOps {
+	c := &SparseOps{
+		Nt: s.Nt,
+		nx: s.nx, ny: s.ny, nz: s.nz,
+		hx: s.hx, hy: s.hy, hz: s.hz,
+		scale:     s.scale,
+		recGroups: s.recGroups,
+		RecSup:    s.RecSup,
+		RecMask:   s.RecMask,
+	}
+	// Empty source side until InstallSources.
+	c.SrcMask = core.BuildMasks(s.nx, s.ny, s.nz, nil)
+	c.SrcD = make([][]float32, s.Nt)
+	if s.RecMask != nil && s.Sampler != nil {
+		c.Sampler = core.NewSampler(s.RecMask, s.Nt)
+		c.recDirect = make([][]float32, s.Nt)
+		for t := range c.recDirect {
+			c.recDirect[t] = make([]float32, len(s.RecSup))
+		}
+	}
+	return c
 }
 
 // SetMovingSources switches the sparse-operator bundle to per-timestep

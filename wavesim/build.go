@@ -249,6 +249,16 @@ func (s *Simulation) Steps() int { return s.geom.Nt }
 func (s *Simulation) MinTile() int { return s.prop.MinTile() }
 
 // Reset clears wavefields and recordings so the simulation can be re-run.
+//
+// Reset restores exactly the state a freshly built Simulation starts from:
+// all wavefield buffers are zeroed (halo included) and the sampler /
+// baseline receiver recordings are cleared, while every precomputed
+// structure (model factor grids, FD coefficients, sparse masks and the
+// decomposed source wavefield) is left intact — none of it depends on run
+// state. A run after Reset therefore produces bitwise-identical wavefields
+// and receiver records to the first run under the same schedule; Run calls
+// Reset itself, so consecutive Runs are independent. The batch engine
+// (Survey) leans on this to recycle one propagator across many shots.
 func (s *Simulation) Reset() {
 	switch {
 	case s.acoustic != nil:
@@ -277,28 +287,8 @@ func (s *Simulation) Run(sched Schedule) (*Result, error) {
 	}
 
 	start := time.Now()
-	switch c := sched.(type) {
-	case Spatial:
-		bx, by := c.BlockX, c.BlockY
-		if bx == 0 {
-			bx = 8
-		}
-		if by == 0 {
-			by = 8
-		}
-		tiling.RunSpatial(s.prop, bx, by, !c.Unfused)
-	case WTB:
-		cfg := tiling.Config{TT: c.TimeTile, TileX: c.TileX, TileY: c.TileY, BlockX: c.BlockX, BlockY: c.BlockY}
-		if err := tiling.RunWTB(s.prop, cfg); err != nil {
-			return nil, err
-		}
-	case WTBPipelined:
-		cfg := tiling.Config{TT: c.TimeTile, TileX: c.TileX, TileY: c.TileY, BlockX: c.BlockX, BlockY: c.BlockY}
-		if err := tiling.RunWTBPipelined(s.prop, cfg); err != nil {
-			return nil, err
-		}
-	default:
-		return nil, fmt.Errorf("wavesim: unknown schedule %T", sched)
+	if err := s.execSchedule(sched); err != nil {
+		return nil, err
 	}
 	elapsed := time.Since(start)
 
@@ -319,6 +309,32 @@ func (s *Simulation) Run(sched Schedule) (*Result, error) {
 	}
 	res.Receivers = rec
 	return res, nil
+}
+
+// execSchedule drives the propagator under sched. It is the single
+// schedule dispatch shared by Run and the survey lanes' quiet runs.
+func (s *Simulation) execSchedule(sched Schedule) error {
+	switch c := sched.(type) {
+	case Spatial:
+		bx, by := c.BlockX, c.BlockY
+		if bx == 0 {
+			bx = 8
+		}
+		if by == 0 {
+			by = 8
+		}
+		tiling.RunSpatial(s.prop, bx, by, !c.Unfused)
+		return nil
+	case WTB:
+		cfg := tiling.Config{TT: c.TimeTile, TileX: c.TileX, TileY: c.TileY, BlockX: c.BlockX, BlockY: c.BlockY}
+		return tiling.RunWTB(s.prop, cfg)
+	case WTBPipelined:
+		cfg := tiling.Config{TT: c.TimeTile, TileX: c.TileX, TileY: c.TileY,
+			BlockX: c.BlockX, BlockY: c.BlockY, Workers: s.workers}
+		return tiling.RunWTBPipelined(s.prop, cfg)
+	default:
+		return fmt.Errorf("wavesim: unknown schedule %T", sched)
+	}
 }
 
 // obsRegistry resolves the registry a run reports to: a process-global one

@@ -145,6 +145,14 @@ type Simulation struct {
 	acoustic *wave.Acoustic
 	tti      *wave.TTI
 	elastic  *wave.Elastic
+
+	// workers caps the pipelined task-graph runner's worker count for this
+	// simulation (0 = all of par.Workers). Survey lanes running K shots
+	// concurrently set it to Workers/K so the lanes partition the machine;
+	// results are bitwise identical for any value. The spatial and WTB
+	// schedules parallelize through the shared par pool, whose dynamic
+	// chunk claiming balances concurrent lanes without an explicit cap.
+	workers int
 }
 
 // Spatial is the baseline schedule: per-timestep parallel space blocking,
