@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race-obs race-sched race-survey bench bench-json \
-	bench-smoke bench-regress bench-survey bce-check fmt vet check verify \
-	fuzz-smoke golden generate generate-check
+.PHONY: all build test race-obs race-sched race-survey race-serve bench \
+	bench-json bench-smoke bench-regress bench-survey bce-check fmt vet \
+	check verify fuzz-smoke golden generate generate-check
 
 all: build test
 
@@ -37,6 +37,17 @@ race-sched:
 race-survey:
 	$(GO) test -race ./internal/batch/...
 	$(GO) test -race ./wavesim -run Survey
+
+# Race-detector pass over the simulation service: the HTTP job queue,
+# runner pool, result streaming and checkpoint persistence, including the
+# end-to-end oracle (HTTP results bitwise equal to a direct survey run),
+# the crash/resume fault test, and the concurrent submit/cancel/scrape
+# workout with its /metrics accounting assertions. The wavesim resume
+# oracle rides along — it proves the checkpoint restore the service's
+# resume path is built on.
+race-serve:
+	$(GO) test -race ./internal/serve/...
+	$(GO) test -race ./wavesim -run 'Resum|Checkpoint'
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -142,6 +153,7 @@ fuzz-smoke:
 	$(GO) test ./internal/fd -run=^$$ -fuzz=FuzzStaggeredFirstDeriv -fuzztime=$(FUZZ_TIME)
 	$(GO) test ./internal/grid -run=^$$ -fuzz=FuzzRegion -fuzztime=$(FUZZ_TIME)
 	$(GO) test ./internal/core -run=^$$ -fuzz=FuzzMasks -fuzztime=$(FUZZ_TIME)
+	$(GO) test ./internal/serve -run=^$$ -fuzz=FuzzJobSpec -fuzztime=$(FUZZ_TIME)
 
 # Regenerate the committed golden regression corpus. Only run this when a
 # numerical change is intended and understood; commit the refreshed JSON
@@ -150,4 +162,4 @@ golden:
 	$(GO) test ./internal/verify -run TestGoldenCorpus -golden.update
 	@git -C . status --short internal/verify/testdata/golden || true
 
-check: build vet test race-obs race-sched race-survey generate-check bce-check verify bench-regress
+check: build vet test race-obs race-sched race-survey race-serve generate-check bce-check verify bench-regress

@@ -1,0 +1,99 @@
+// Command waved is the simulation service daemon: a stdlib-net/http
+// front end over wavesim surveys with a bounded priority job queue,
+// streaming NDJSON results, and checkpoint/resume of interrupted jobs.
+//
+//	waved -addr :8080 -runners 2 -queue-cap 32 -ckpt-dir /var/lib/waved
+//
+// Endpoints (see internal/serve):
+//
+//	POST   /v1/jobs               submit a job spec
+//	GET    /v1/jobs/{id}          status
+//	GET    /v1/jobs/{id}/results  NDJSON result stream
+//	DELETE /v1/jobs/{id}          cancel
+//	/metrics, /debug/pprof/...    the obs telemetry routes
+//
+// SIGTERM/SIGINT drains gracefully: admission stops (503), queued and
+// running jobs finish (bounded by -drain-timeout, after which running
+// jobs are checkpointed-and-cancelled), then the process exits. Jobs
+// interrupted by a hard kill resume from their last checkpoint on the
+// next start.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wavetile/internal/obs"
+	"wavetile/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	runners := flag.Int("runners", 1, "concurrent job runners")
+	queueCap := flag.Int("queue-cap", 16, "max queued jobs before 429")
+	ckptDir := flag.String("ckpt-dir", "", "directory for job checkpoints (empty = no persistence)")
+	ckptEvery := flag.Int("ckpt-every", 2, "checkpoint cadence in time tiles (with -ckpt-dir)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound on SIGTERM")
+	flag.Parse()
+
+	if err := run(*addr, *runners, *queueCap, *ckptDir, *ckptEvery, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "waved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, runners, queueCap int, ckptDir string, ckptEvery int, drainTimeout time.Duration) error {
+	obs.SetActive(obs.NewRegistry())
+
+	if ckptDir != "" {
+		if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+			return err
+		}
+	}
+	srv := serve.New(serve.Config{
+		QueueCap:             queueCap,
+		Runners:              runners,
+		CheckpointDir:        ckptDir,
+		CheckpointEveryTiles: ckptEvery,
+	})
+	if n, err := srv.Resume(); err != nil {
+		return fmt.Errorf("resume: %w", err)
+	} else if n > 0 {
+		fmt.Printf("waved: resumed %d interrupted job(s) from %s\n", n, ckptDir)
+	}
+
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	fmt.Printf("waved: serving on %s (runners=%d queue=%d)\n", addr, runners, queueCap)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Println("waved: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Println("waved: drain timed out; interrupted jobs will resume from their checkpoints")
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	return hs.Shutdown(shutCtx)
+}

@@ -14,6 +14,7 @@
 package batch
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -90,11 +91,13 @@ type Result struct {
 
 // engine is the per-run state shared by the dispatch goroutines.
 type engine struct {
+	ctx   context.Context
 	cfg   Config
 	funcs Funcs
 
 	lanes []Lane
 	next  atomic.Int64 // global shot cursor
+	done  atomic.Int64 // shots completed across all phases
 
 	failed  atomic.Bool
 	errOnce sync.Once
@@ -112,6 +115,18 @@ func (e *engine) fail(err error) {
 // Run executes cfg.Shots shots through f. On error the dispatch drains
 // (in-flight shots finish) and the first error is returned.
 func Run(cfg Config, f Funcs) (*Result, error) {
+	return RunContext(context.Background(), cfg, f)
+}
+
+// RunContext is Run with external cancellation: once ctx is done, no new
+// shot is dispatched — lanes finish their in-flight shot and stop, so the
+// run terminates within one shot of the cancellation. The returned error
+// satisfies errors.Is(err, ctx.Err()). Lanes are still closed through
+// Funcs.CloseLane on cancellation, so pooled resources drain symmetrically.
+func RunContext(ctx context.Context, cfg Config, f Funcs) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Shots <= 0 {
 		return nil, fmt.Errorf("batch: no shots (Shots=%d)", cfg.Shots)
 	}
@@ -125,11 +140,14 @@ func Run(cfg Config, f Funcs) (*Result, error) {
 		cfg.ProbeShots = 2
 	}
 
-	e := &engine{cfg: cfg, funcs: f}
+	e := &engine{ctx: ctx, cfg: cfg, funcs: f}
 	reg := obs.Active()
 	if reg != nil {
 		e.cShots = reg.Counter(CounterShotsDone)
 		e.cReused = reg.Counter(CounterPrecomputeReused)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("batch: %w", err)
 	}
 	start := time.Now()
 
@@ -141,6 +159,9 @@ func Run(cfg Config, f Funcs) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("batch: precompute shot %d: %w", i, err)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("batch: %w", err)
 	}
 	precompute := time.Since(start)
 	if reg != nil {
@@ -171,6 +192,13 @@ func Run(cfg Config, f Funcs) (*Result, error) {
 		if _, err := e.runPhase(k, -1); err != nil {
 			return nil, err
 		}
+	}
+
+	// A cancellation that left shots undispatched is an error (wrapped so
+	// errors.Is(err, context.Canceled) holds); a cancellation that raced
+	// the final shot's completion changed nothing and reports success.
+	if err := ctx.Err(); err != nil && int(e.done.Load()) < cfg.Shots {
+		return nil, fmt.Errorf("batch: %w", err)
 	}
 
 	res.Elapsed = time.Since(start)
@@ -216,6 +244,9 @@ func (e *engine) runPhase(k, budget int) (int, error) {
 		go func(l Lane) {
 			defer wg.Done()
 			for !e.failed.Load() {
+				if e.ctx.Err() != nil {
+					return // cancelled: stop dispatching, in-flight shots already finished
+				}
 				if budget >= 0 && taken.Add(1) > int64(budget) {
 					return
 				}
@@ -228,6 +259,7 @@ func (e *engine) runPhase(k, budget int) (int, error) {
 					return
 				}
 				done.Add(1)
+				e.done.Add(1)
 				if e.cShots != nil {
 					e.cShots.Add(1)
 					e.cReused.Add(1)

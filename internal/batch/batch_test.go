@@ -1,6 +1,7 @@
 package batch
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -184,6 +185,61 @@ func TestRunCountsShotsDone(t *testing.T) {
 	}
 	if got := snap.Counters[CounterPrecomputeReused]; got != shots {
 		t.Fatalf("%s = %d, want %d", CounterPrecomputeReused, got, shots)
+	}
+}
+
+// laneFunc adapts a closure to Lane for tests that need to act mid-shot.
+type laneFunc struct{ run func(shot int) error }
+
+func (l laneFunc) RunShot(shot int) error { return l.run(shot) }
+func (l laneFunc) SetWorkers(int)         {}
+
+func TestRunContextCancelStopsDispatchWithinOneShot(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	var closed atomic.Int64
+	_, err := RunContext(ctx, Config{Shots: 50, Concurrency: 1}, Funcs{
+		Precompute: func(int) error { return nil },
+		NewLane: func(int) (Lane, error) {
+			return laneFunc{run: func(shot int) error {
+				ran.Add(1)
+				if shot == 1 {
+					cancel() // cancel while shot 1 is in flight
+				}
+				return nil
+			}}, nil
+		},
+		CloseLane: func(Lane) { closed.Add(1) },
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// K=1 makes the bound exact: shot 1 (in flight at cancellation) must
+	// finish, and no shot after it may be dispatched.
+	if n := ran.Load(); n != 2 {
+		t.Fatalf("%d shots ran after cancel mid-shot-1, want exactly 2", n)
+	}
+	if closed.Load() != 1 {
+		t.Fatalf("CloseLane ran %d times on cancellation, want 1", closed.Load())
+	}
+}
+
+func TestRunContextPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h := newHarness(5)
+	_, err := RunContext(ctx, Config{Shots: 5, Concurrency: 2}, h.funcs())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := h.allShots(); len(got) != 0 {
+		t.Fatalf("shots ran under a pre-cancelled context: %v", got)
+	}
+	for s, n := range h.pre {
+		if n != 0 {
+			t.Fatalf("shot %d precomputed under a pre-cancelled context", s)
+		}
 	}
 }
 

@@ -112,6 +112,22 @@ func (g *Grid) Clone() *Grid {
 	return &c
 }
 
+// CopyFrom overwrites g's whole buffer (halo included) with o's contents,
+// one padded x-plane per parallel work item. It panics on shape mismatch,
+// like MaxAbsDiff: restoring state into a grid of the wrong layout is
+// always a programming error. After CopyFrom the two grids are bitwise
+// identical, which is what checkpoint restore needs — a restored wavefield
+// must be indistinguishable from the one that was snapshotted.
+func (g *Grid) CopyFrom(o *Grid) {
+	if !g.SameShape(o) {
+		panic("grid: CopyFrom on grids of different shape")
+	}
+	px := len(g.Data) / g.SX
+	par.For(px, func(xp int) {
+		copy(g.Data[xp*g.SX:][:g.SX], o.Data[xp*g.SX:][:g.SX])
+	})
+}
+
 // Zero clears the whole buffer, halo included, one padded x-plane per
 // parallel work item.
 func (g *Grid) Zero() {

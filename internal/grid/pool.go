@@ -25,6 +25,7 @@ type Pool struct {
 
 	hits   atomic.Int64 // Gets satisfied by recycling
 	misses atomic.Int64 // Gets that had to allocate
+	puts   atomic.Int64 // grids returned via Put
 }
 
 type poolKey struct {
@@ -67,10 +68,23 @@ func (p *Pool) Put(g *Grid) {
 	if p == nil || g == nil {
 		return
 	}
+	p.puts.Add(1)
 	k := poolKey{g.Nx, g.Ny, g.Nz, g.H}
 	p.mu.Lock()
 	p.free[k] = append(p.free[k], g)
 	p.mu.Unlock()
+}
+
+// Balance reports the cumulative Get and Put counts. A caller that checks
+// the pool out and back in symmetrically — e.g. a survey lane releasing its
+// wavefields on close, even after an error or cancellation — leaves
+// gets == puts; a nonzero difference means grids leaked out of the pool's
+// custody. The simulation service asserts this after cancelling a job.
+func (p *Pool) Balance() (gets, puts int64) {
+	if p == nil {
+		return 0, 0
+	}
+	return p.hits.Load() + p.misses.Load(), p.puts.Load()
 }
 
 // Stats reports the cumulative hit (recycled) and miss (allocated) counts

@@ -32,6 +32,15 @@ var expvarOnce sync.Once
 // answer 503. Exposed separately from ServeDebug so tests can drive the
 // endpoints through net/http/httptest without binding a real listener.
 func DebugHandler() http.Handler {
+	return DebugMux()
+}
+
+// DebugMux returns the debug/telemetry routes as a concrete *ServeMux so
+// callers can mount additional routes beside them — the simulation service
+// hangs its /v1/jobs API off this mux, which is how one scrape of /metrics
+// covers both the schedules' counters and the service's queue series.
+// Every call builds a fresh mux; handlers read process-global state.
+func DebugMux() *http.ServeMux {
 	expvarOnce.Do(func() {
 		expvar.Publish("obs", expvar.Func(func() any {
 			if r := Active(); r != nil {

@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"wavetile/wavesim"
+)
+
+// Job persistence: one file per running job under Config.CheckpointDir.
+//
+// Layout of <id>.job:
+//
+//	line 1  JSON header: id, name, priority, the full job spec, and every
+//	        finished shot's record (receiver rows included)
+//	u32     number of mid-flight shot checkpoints
+//	blobs   each a wavesim.ShotCheckpoint in its binary codec (which wraps
+//	        the verify snapshot format, CRC-protected)
+//
+// Files are written to a temp name and renamed into place, so a crash
+// mid-write leaves the previous consistent file. Receiver floats round-trip
+// the JSON header bitwise (shortest-repr float32 marshalling), and the
+// checkpoint blobs are raw IEEE bits, so a resumed job continues from
+// state indistinguishable from the crashed run's.
+
+const jobFileVersion = 1
+
+type jobFileHeader struct {
+	Version  int          `json:"version"`
+	ID       string       `json:"id"`
+	Name     string       `json:"name,omitempty"`
+	Priority int          `json:"priority"`
+	Spec     *JobSpec     `json:"spec"`
+	Records  []ShotRecord `json:"records"`
+}
+
+// fileSnapshot captures the job's persistable state under its lock.
+func (j *Job) fileSnapshot() (jobFileHeader, []*wavesim.ShotCheckpoint) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	hdr := jobFileHeader{
+		Version:  jobFileVersion,
+		ID:       j.ID,
+		Name:     j.Name,
+		Priority: j.Priority,
+		Spec:     j.Spec,
+		Records:  append([]ShotRecord(nil), j.records...),
+	}
+	cks := make([]*wavesim.ShotCheckpoint, 0, len(j.ckpts))
+	for shot, ck := range j.ckpts {
+		if !j.completed[shot] {
+			cks = append(cks, ck)
+		}
+	}
+	sort.Slice(cks, func(a, b int) bool { return cks[a].Shot < cks[b].Shot })
+	return hdr, cks
+}
+
+func (s *Server) jobFilePath(id string) string {
+	return filepath.Join(s.cfg.CheckpointDir, id+".job")
+}
+
+// persistJob writes the job's current state atomically. Serialized per
+// job (concurrent lanes may checkpoint simultaneously); errors are
+// recorded as a counter rather than failing the run — losing a checkpoint
+// only costs resume granularity, never correctness.
+func (s *Server) persistJob(j *Job) {
+	if s.cfg.CheckpointDir == "" {
+		return
+	}
+	j.persistMu.Lock()
+	defer j.persistMu.Unlock()
+	n, err := s.writeJobFile(j)
+	if err != nil {
+		s.count("serve_checkpoint_errors", 1)
+		return
+	}
+	s.count(MetricCheckpointWrites, 1)
+	s.count(MetricCheckpointBytes, n)
+}
+
+func (s *Server) writeJobFile(j *Job) (int64, error) {
+	hdr, cks := j.fileSnapshot()
+	path := s.jobFilePath(j.ID)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	ok := false
+	defer func() {
+		if !ok {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	hb, err := json.Marshal(hdr)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(append(hb, '\n')); err != nil {
+		return 0, err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(cks))); err != nil {
+		return 0, err
+	}
+	for _, ck := range cks {
+		if err := ck.Encode(w); err != nil {
+			return 0, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return 0, err
+	}
+	size, _ := f.Seek(0, io.SeekCurrent)
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, err
+	}
+	ok = true
+	return size, nil
+}
+
+// removeJobFile deletes the persisted state once a job reaches a clean
+// terminal state.
+func (s *Server) removeJobFile(j *Job) {
+	if s.cfg.CheckpointDir == "" {
+		return
+	}
+	j.persistMu.Lock()
+	defer j.persistMu.Unlock()
+	os.Remove(s.jobFilePath(j.ID))
+}
+
+// loadJobFile reconstructs a job from its persisted state.
+func loadJobFile(path string) (*Job, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("serve: %s: header: %w", path, err)
+	}
+	var hdr jobFileHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return nil, fmt.Errorf("serve: %s: header: %w", path, err)
+	}
+	if hdr.Version != jobFileVersion || hdr.Spec == nil || hdr.ID == "" {
+		return nil, fmt.Errorf("serve: %s: unsupported or incomplete job file", path)
+	}
+	var nck uint32
+	if err := binary.Read(r, binary.LittleEndian, &nck); err != nil {
+		return nil, fmt.Errorf("serve: %s: checkpoint count: %w", path, err)
+	}
+	if nck > 1<<16 {
+		return nil, fmt.Errorf("serve: %s: implausible checkpoint count %d", path, nck)
+	}
+	j := newJob(hdr.ID, hdr.Spec)
+	j.Name = hdr.Name
+	j.Priority = hdr.Priority
+	j.records = hdr.Records
+	for _, rec := range hdr.Records {
+		j.completed[rec.Shot] = true
+	}
+	for i := uint32(0); i < nck; i++ {
+		ck, err := wavesim.DecodeShotCheckpoint(r)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %s: checkpoint %d: %w", path, i, err)
+		}
+		j.ckpts[ck.Shot] = ck
+	}
+	return j, nil
+}
+
+// Resume reloads every persisted job from CheckpointDir and re-queues it:
+// finished shots replay from their records, mid-flight shots restore from
+// their checkpoints, and the completed survey is bitwise identical to one
+// that was never interrupted. Corrupt files are skipped (counted on
+// serve_checkpoint_errors) rather than wedging startup. Returns the number
+// of jobs re-queued.
+func (s *Server) Resume() (int, error) {
+	if s.cfg.CheckpointDir == "" {
+		return 0, nil
+	}
+	paths, err := filepath.Glob(filepath.Join(s.cfg.CheckpointDir, "*.job"))
+	if err != nil {
+		return 0, err
+	}
+	sort.Strings(paths)
+	n := 0
+	for _, path := range paths {
+		j, err := loadJobFile(path)
+		if err != nil {
+			s.count("serve_checkpoint_errors", 1)
+			continue
+		}
+		// Keep fresh submissions from colliding with reloaded IDs.
+		var seq int64
+		if _, err := fmt.Sscanf(j.ID, "job-%d", &seq); err == nil {
+			for {
+				cur := s.nextID.Load()
+				if cur >= seq || s.nextID.CompareAndSwap(cur, seq) {
+					break
+				}
+			}
+		}
+		s.mu.Lock()
+		s.jobs[j.ID] = j
+		s.mu.Unlock()
+		if err := s.queue.push(j, true); err != nil {
+			return n, err
+		}
+		s.count(MetricJobsResumed, 1)
+		n++
+	}
+	s.noteQueueDepth()
+	return n, nil
+}

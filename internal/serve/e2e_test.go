@@ -1,0 +1,412 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wavetile/internal/obs"
+	"wavetile/wavesim"
+)
+
+// testSpec builds a small but physically meaningful job: an off-the-grid
+// source array marching along x, a receiver cable, the paper's layered
+// velocity model. All schedule knobs are pinned so the direct wavesim run
+// and the service resolve to the identical schedule.
+func testSpec(physics, schedKind string, nshots int) *JobSpec {
+	spec := &JobSpec{
+		Name:       "e2e",
+		Physics:    physics,
+		SpaceOrder: 4,
+		Shape:      [3]int{36, 36, 36},
+		Spacing:    [3]float64{10, 10, 10},
+		NBL:        4,
+		Steps:      16,
+		Model:      ModelSpec{Kind: "layered", ZMax: 360, Values: []float64{1500, 2500, 3000}},
+		SourceF0:   25,
+		SourceAmp:  100,
+		Schedule:   ScheduleSpec{Kind: schedKind, TimeTile: 4, TileX: 32, TileY: 32, BlockX: 8, BlockY: 8},
+	}
+	for i := 0; i < 6; i++ {
+		spec.Receivers = append(spec.Receivers, [3]float64{60 + float64(i)*46, 170, 60})
+	}
+	for s := 0; s < nshots; s++ {
+		dx := 12.0 * float64(s)
+		spec.Shots = append(spec.Shots, ShotSpec{Sources: [][3]float64{
+			{120.3 + dx, 150.7, 110.1},
+			{150.9 + dx, 150.7, 110.1},
+			{135.6 + dx, 170.2, 110.1},
+		}})
+	}
+	return spec
+}
+
+// directRecords is the oracle: the same spec run through wavesim.RunSurvey
+// with no HTTP, queue, streaming or checkpointing in the way.
+func directRecords(t *testing.T, spec *JobSpec) [][][]float32 {
+	t.Helper()
+	built, err := spec.Build(Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NewSurvey resolves the same schedule defaults the service applies.
+	_, sched, err := built.NewSurvey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wavesim.RunSurvey(built.Base, built.Shots, sched, wavesim.SurveyOptions{Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][][]float32, len(res.Shots))
+	for i, r := range res.Shots {
+		out[i] = r.Receivers
+	}
+	return out
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	t.Cleanup(obs.Swap(reg))
+	cfg.Registry = reg
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts, reg
+}
+
+// postJob submits a spec and returns the HTTP status plus the job id on 202.
+func postJob(ts *httptest.Server, spec *JobSpec) (int, string, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return 0, "", err
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, "", fmt.Errorf("submit: %d: %s", resp.StatusCode, b)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return resp.StatusCode, "", err
+	}
+	return resp.StatusCode, out.ID, nil
+}
+
+func submitJob(t *testing.T, ts *httptest.Server, spec *JobSpec) string {
+	t.Helper()
+	_, id, err := postJob(ts, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// streamLine decodes both record and trailer lines of the NDJSON stream.
+type streamLine struct {
+	ShotRecord
+	Done  bool   `json:"done"`
+	State string `json:"state"`
+	Error string `json:"error"`
+}
+
+// readResults streams /results to completion, returning the records and the
+// trailer's final state.
+func readResults(ts *httptest.Server, id string) ([]ShotRecord, string, error) {
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/results")
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("results: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		return nil, "", fmt.Errorf("results: content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var recs []ShotRecord
+	state := ""
+	for sc.Scan() {
+		var line streamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return nil, "", fmt.Errorf("bad stream line %q: %w", sc.Text(), err)
+		}
+		if line.Done {
+			state = line.State
+			continue
+		}
+		recs = append(recs, line.ShotRecord)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, "", err
+	}
+	if state == "" {
+		return nil, "", fmt.Errorf("stream ended without a trailer")
+	}
+	return recs, state, nil
+}
+
+func collectResults(t *testing.T, ts *httptest.Server, id string) ([]ShotRecord, string) {
+	t.Helper()
+	recs, state, err := readResults(ts, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, state
+}
+
+// assertBitwise compares two receiver records down to the float32 bits.
+func assertBitwise(t *testing.T, want, got [][]float32, shot int) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("shot %d: %d vs %d trace rows", shot, len(want), len(got))
+	}
+	for ti := range want {
+		if len(want[ti]) != len(got[ti]) {
+			t.Fatalf("shot %d row %d: %d vs %d receivers", shot, ti, len(want[ti]), len(got[ti]))
+		}
+		for r := range want[ti] {
+			if math.Float32bits(want[ti][r]) != math.Float32bits(got[ti][r]) {
+				t.Fatalf("shot %d receiver %d t=%d: direct %x vs served %x",
+					shot, r, ti, math.Float32bits(want[ti][r]), math.Float32bits(got[ti][r]))
+			}
+		}
+	}
+}
+
+func fetchMetrics(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func waitTerminal(t *testing.T, srv *Server, id string, timeout time.Duration) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		j := srv.job(id)
+		if j == nil {
+			t.Fatalf("job %s vanished", id)
+		}
+		st := j.status()
+		if st.State.terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %q", id, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestEndToEndOracle: a job submitted over HTTP, executed through the
+// queue/runner/batch stack and streamed back as NDJSON must be bitwise
+// identical to a direct wavesim.RunSurvey of the same spec — for acoustic,
+// elastic, and the pipelined schedule.
+func TestEndToEndOracle(t *testing.T) {
+	cases := []struct{ physics, sched string }{
+		{"acoustic", "wtb"},
+		{"elastic", "wtb"},
+		{"acoustic", "wtb-pipelined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.physics+"/"+tc.sched, func(t *testing.T) {
+			spec := testSpec(tc.physics, tc.sched, 3)
+			want := directRecords(t, spec)
+
+			_, ts, _ := newTestServer(t, Config{Runners: 1})
+			id := submitJob(t, ts, spec)
+			recs, state := collectResults(t, ts, id)
+			if state != string(StateDone) {
+				t.Fatalf("final state %q", state)
+			}
+			if len(recs) != len(want) {
+				t.Fatalf("%d records streamed, want %d", len(recs), len(want))
+			}
+			for _, rec := range recs {
+				assertBitwise(t, want[rec.Shot], rec.Receivers, rec.Shot)
+			}
+
+			// One scrape of the shared mux carries both the schedule series
+			// and the service's own.
+			m := fetchMetrics(t, ts)
+			for _, series := range []string{
+				"wavetile_serve_jobs_done 1",
+				"wavetile_serve_queue_depth 0",
+				"wavetile_serve_jobs_active 0",
+				"wavetile_survey_shots_done 3",
+			} {
+				if !strings.Contains(m, series) {
+					t.Fatalf("/metrics missing %q:\n%s", series, m)
+				}
+			}
+		})
+	}
+}
+
+// TestStatusEndpoint covers the status projection and 404s.
+func TestStatusEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{Runners: 1})
+	id := submitJob(t, ts, testSpec("acoustic", "spatial", 2))
+	if _, state := collectResults(t, ts, id); state != string(StateDone) {
+		t.Fatalf("state %q", state)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != id || st.State != StateDone || st.ShotsDone != 2 || st.ShotsTotal != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+	resp2, err := http.Get(ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing job: status %d", resp2.StatusCode)
+	}
+}
+
+// TestConcurrentSubmittersAndCanceller is the -race workout: many clients
+// submitting, streaming, and cancelling against a two-runner server while
+// /metrics is scraped. Every accepted job must reach a terminal state,
+// nothing may fail, and the pool must stay balanced.
+func TestConcurrentSubmittersAndCanceller(t *testing.T) {
+	small := func() *JobSpec {
+		s := testSpec("acoustic", "spatial", 1)
+		s.Shape = [3]int{16, 16, 16}
+		s.Steps = 4
+		s.Model = ModelSpec{Kind: "homogeneous", V: 1500}
+		s.Receivers = [][3]float64{{40, 80, 40}, {110, 80, 40}}
+		s.Shots = []ShotSpec{{Sources: [][3]float64{{75.3, 70.7, 50.1}}}}
+		return s
+	}
+
+	srv, ts, reg := newTestServer(t, Config{Runners: 2, QueueCap: 64})
+	const clients, jobsPerClient = 4, 3
+	ids := make(chan string, clients*jobsPerClient)
+	errs := make(chan error, clients*jobsPerClient)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < jobsPerClient; k++ {
+				_, id, err := postJob(ts, small())
+				if err != nil {
+					errs <- err
+					return
+				}
+				ids <- id
+				if k%2 == 0 {
+					// Race a cancel against the run.
+					req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+					if resp, err := http.DefaultClient.Do(req); err == nil {
+						resp.Body.Close()
+					}
+				} else if _, _, err := readResults(ts, id); err != nil {
+					errs <- err
+					return
+				}
+				if resp, err := http.Get(ts.URL + "/metrics"); err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	n := 0
+	for id := range ids {
+		waitTerminal(t, srv, id, 30*time.Second)
+		n++
+	}
+	if n != clients*jobsPerClient {
+		t.Fatalf("only %d jobs accepted, want %d", n, clients*jobsPerClient)
+	}
+	snap := reg.Snapshot()
+	total := snap.Counters[MetricJobsDone] + snap.Counters[MetricJobsCancelled]
+	if total != clients*jobsPerClient {
+		t.Fatalf("terminal counters sum to %d, want %d (done=%d cancelled=%d failed=%d)",
+			total, clients*jobsPerClient,
+			snap.Counters[MetricJobsDone], snap.Counters[MetricJobsCancelled], snap.Counters[MetricJobsFailed])
+	}
+	if snap.Counters[MetricJobsFailed] != 0 {
+		t.Fatalf("%d jobs failed during the race run", snap.Counters[MetricJobsFailed])
+	}
+	if leaks := snap.Counters["serve_pool_leaks"]; leaks != 0 {
+		t.Fatalf("pooled grids leaked: %d", leaks)
+	}
+	if active := snap.Gauges[MetricJobsActive]; active != 0 {
+		t.Fatalf("jobs_active gauge %d after all jobs terminal", active)
+	}
+}
+
+// TestDrainFinishesAcceptedJobs: Drain refuses new work but completes what
+// was admitted.
+func TestDrainFinishesAcceptedJobs(t *testing.T) {
+	srv, ts, _ := newTestServer(t, Config{Runners: 1, QueueCap: 8})
+	var ids []string
+	for i := 0; i < 2; i++ {
+		ids = append(ids, submitJob(t, ts, testSpec("acoustic", "spatial", 1)))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, id := range ids {
+		if st := srv.job(id).status(); st.State != StateDone {
+			t.Fatalf("job %s state %q after drain", id, st.State)
+		}
+	}
+	// Post-drain admission answers 503.
+	body, _ := json.Marshal(testSpec("acoustic", "spatial", 1))
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit: status %d, want 503", resp.StatusCode)
+	}
+}

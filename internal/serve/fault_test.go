@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wavetile/internal/obs"
+)
+
+// TestCrashResumeBitwiseIdentical is the headline fault test: a runner is
+// killed mid-job (after two checkpoint writes, between time-tile boundaries
+// of shot 1), a fresh server over the same checkpoint directory reloads the
+// job file, and the completed survey — finished shots replayed from records,
+// the interrupted shot restored from its wavefield checkpoint — is bitwise
+// identical to a run that was never interrupted.
+func TestCrashResumeBitwiseIdentical(t *testing.T) {
+	spec := testSpec("acoustic", "wtb", 3)
+	want := directRecords(t, spec)
+	dir := t.TempDir()
+
+	// Server 1: crash after the 2nd checkpoint write. With 16 steps, a time
+	// tile of 4 and a cadence of 2 tiles there is exactly one interior
+	// checkpoint per shot (t=8), so the crash lands in shot 1: shot 0 has
+	// completed, shot 1 is mid-flight with persisted wavefields.
+	reg1 := obs.NewRegistry()
+	restore := obs.Swap(reg1)
+	s1 := New(Config{
+		Runners:               1,
+		CheckpointDir:         dir,
+		CheckpointEveryTiles:  2,
+		CrashAfterCheckpoints: 2,
+		Registry:              reg1,
+	})
+	ts1 := httptest.NewServer(s1.Handler())
+	id := submitJob(t, ts1, spec)
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if st := s1.job(id).status(); st.State == StateInterrupted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never interrupted; state %q", s1.job(id).status().State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := s1.job(id).status()
+	if st.ShotsDone == 0 || st.ShotsDone >= len(spec.Shots) {
+		t.Fatalf("crash should land mid-survey; %d/%d shots done", st.ShotsDone, len(spec.Shots))
+	}
+	if st.Checkpoints == 0 {
+		t.Fatal("no checkpoints written before the crash")
+	}
+	ts1.Close()
+	s1.Close()
+	restore()
+	if _, err := os.Stat(filepath.Join(dir, id+".job")); err != nil {
+		t.Fatalf("job file missing after crash: %v", err)
+	}
+
+	// Server 2: same directory, no fault injection. Resume re-queues the
+	// interrupted job under its original ID.
+	s2, ts2, reg2 := newTestServer(t, Config{Runners: 1, CheckpointDir: dir, CheckpointEveryTiles: 2})
+	n, err := s2.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("resumed %d jobs, want 1", n)
+	}
+
+	recs, state := collectResults(t, ts2, id)
+	if state != string(StateDone) {
+		t.Fatalf("resumed job finished in state %q", state)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("%d records after resume, want %d", len(recs), len(want))
+	}
+	seen := map[int]bool{}
+	for _, rec := range recs {
+		if seen[rec.Shot] {
+			t.Fatalf("shot %d streamed twice", rec.Shot)
+		}
+		seen[rec.Shot] = true
+		assertBitwise(t, want[rec.Shot], rec.Receivers, rec.Shot)
+	}
+	snap := reg2.Snapshot()
+	if snap.Counters[MetricJobsResumed] != 1 {
+		t.Fatalf("jobs_resumed = %d", snap.Counters[MetricJobsResumed])
+	}
+	// Clean completion removes the job file.
+	if _, err := os.Stat(filepath.Join(dir, id+".job")); !os.IsNotExist(err) {
+		t.Fatalf("job file still present after clean completion: %v", err)
+	}
+	// The resumed run must not have re-executed the completed shot:
+	// runs_total counts actual propagations, not skipped replays.
+	series := obs.SeriesName("runs_total", "physics", "acoustic", "schedule", "wtb")
+	if got := snap.Counters[series]; got != int64(len(spec.Shots)-st.ShotsDone) {
+		t.Fatalf("resumed run propagated %d shots, want %d", got, len(spec.Shots)-st.ShotsDone)
+	}
+}
+
+// TestResumeSkipsCorruptJobFile: a truncated job file must not wedge
+// startup — it is skipped and counted.
+func TestResumeSkipsCorruptJobFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "job-000042.job"), []byte("not a job file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, _, reg := newTestServer(t, Config{Runners: 1, CheckpointDir: dir})
+	n, err := srv.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("resumed %d jobs from a corrupt file", n)
+	}
+	if c := reg.Snapshot().Counters["serve_checkpoint_errors"]; c != 1 {
+		t.Fatalf("checkpoint_errors = %d, want 1", c)
+	}
+}
+
+// TestQueueSaturation429: with one runner held hostage and a queue of one,
+// the third submission must be rejected with 429 + Retry-After, and the
+// two accepted jobs must still finish once the runner is released.
+func TestQueueSaturation429(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	srv, ts, reg := newTestServer(t, Config{
+		Runners:  1,
+		QueueCap: 1,
+		BeforeJob: func(j *Job) {
+			started <- j.ID
+			<-release
+		},
+	})
+
+	spec := func() *JobSpec { return testSpec("acoustic", "spatial", 1) }
+	idA := submitJob(t, ts, spec())
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("runner never picked up job A")
+	}
+	idB := submitJob(t, ts, spec()) // fills the single queue slot
+
+	body, _ := json.Marshal(spec())
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if c := reg.Snapshot().Counters[MetricAdmissionRejected]; c != 1 {
+		t.Fatalf("admission_rejected = %d, want 1", c)
+	}
+
+	close(release)
+	for _, id := range []string{idA, idB} {
+		if st := waitTerminal(t, srv, id, 60*time.Second); st.State != StateDone {
+			t.Fatalf("job %s finished in state %q", id, st.State)
+		}
+	}
+}
+
+// TestCancelRunningJob: DELETE on a running job terminates it promptly,
+// the stream trailer reports cancelled, and the wavefield pool stays
+// balanced (no leaked grids from the aborted lanes). The BeforeJob hook
+// holds the runner until the cancel has been issued, so the cancellation
+// deterministically races ahead of the survey instead of losing a footrace
+// to a sub-millisecond job.
+func TestCancelRunningJob(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	srv, ts, reg := newTestServer(t, Config{
+		Runners: 1,
+		BeforeJob: func(j *Job) {
+			started <- j.ID
+			<-release
+		},
+	})
+
+	id := submitJob(t, ts, testSpec("acoustic", "wtb", 8))
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("runner never started the job")
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+	close(release)
+
+	if st := waitTerminal(t, srv, id, 60*time.Second); st.State != StateCancelled {
+		t.Fatalf("state %q after cancel, want cancelled", st.State)
+	}
+	if _, state, err := readResults(ts, id); err != nil {
+		t.Fatal(err)
+	} else if state != string(StateCancelled) {
+		t.Fatalf("stream trailer state %q, want cancelled", state)
+	}
+
+	snap := reg.Snapshot()
+	if c := snap.Counters[MetricJobsCancelled]; c != 1 {
+		t.Fatalf("jobs_cancelled = %d, want 1", c)
+	}
+	if leaks := snap.Counters["serve_pool_leaks"]; leaks != 0 {
+		t.Fatalf("pooled grids leaked on cancel: %d", leaks)
+	}
+	if active := snap.Gauges[MetricJobsActive]; active != 0 {
+		t.Fatalf("jobs_active gauge %d after cancel", active)
+	}
+}
+
+// TestCancelQueuedJob: a job cancelled while still queued never runs.
+func TestCancelQueuedJob(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	srv, ts, _ := newTestServer(t, Config{
+		Runners:  1,
+		QueueCap: 4,
+		BeforeJob: func(j *Job) {
+			started <- j.ID
+			<-release
+		},
+	})
+	defer close(release)
+
+	idA := submitJob(t, ts, testSpec("acoustic", "spatial", 1))
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("runner never picked up job A")
+	}
+	idB := submitJob(t, ts, testSpec("acoustic", "spatial", 1))
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+idB, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("queued cancel: status %d, want 200", resp.StatusCode)
+	}
+	if st := srv.job(idB).status(); st.State != StateCancelled {
+		t.Fatalf("queued job state %q after cancel", st.State)
+	}
+	// Job B must never reach a runner.
+	select {
+	case got := <-started:
+		if got == idB {
+			t.Fatal("cancelled queued job was dispatched anyway")
+		}
+	default:
+	}
+	_ = idA
+}

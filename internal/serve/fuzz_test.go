@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzJobSpec drives arbitrary bytes through the full admission-validation
+// path: decode, structural Build checks against tight limits, and the
+// wavesim survey construction itself. The invariant under fuzz is the one
+// the HTTP handler depends on: every failure is a typed *SpecError (a 400),
+// and nothing panics or allocates past the configured budgets — limits are
+// enforced before any grid memory exists.
+func FuzzJobSpec(f *testing.F) {
+	// A valid spec (must survive the whole path) and seeds aimed at each
+	// validation layer.
+	valid, err := json.Marshal(testSpec("acoustic", "wtb", 1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(``))
+	f.Add([]byte(`]]]`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"stepz": 1}`))
+	f.Add([]byte(`{"steps": 1} trailing`))
+	f.Add([]byte(`{"physics":"acoustic","space_order":3}`))
+	f.Add([]byte(`{"physics":"acoustic","space_order":4,"shape":[0,0,0]}`))
+	f.Add([]byte(`{"physics":"acoustic","space_order":4,"shape":[1000000,1000000,1000000],"steps":1}`))
+	f.Add([]byte(`{"physics":"acoustic","space_order":4,"shape":[16,16,16],"spacing":[1e308,10,10],"steps":4}`))
+	f.Add([]byte(`{"physics":"elastic","space_order":4,"shape":[16,16,16],"spacing":[10,10,10],"steps":4,` +
+		`"model":{"kind":"homogeneous","v":1500},"shots":[{"sources":[[1e300,0,0]]}],"schedule":{"kind":"wtb"}}`))
+	f.Add([]byte(`{"physics":"acoustic","space_order":4,"shape":[16,16,16],"spacing":[10,10,10],"steps":4,` +
+		`"model":{"kind":"layered","zmax":160,"values":[1500]},"nbl":-5}`))
+	f.Add([]byte(`{"physics":"tti","space_order":4,"shape":[16,16,16],"spacing":[10,10,10],"steps":4,` +
+		`"model":{"kind":"gradient","v0":1500,"v1":3000,"zmax":160},` +
+		`"shots":[{"sources":[[80,80,80]]}],"schedule":{"kind":"wtb-pipelined","time_tile":-1}}`))
+
+	// Tight limits keep any spec that does pass validation tiny, so the
+	// survey construction the fuzzer occasionally reaches stays cheap.
+	lim := Limits{MaxPoints: 1 << 16, MaxSteps: 32, MaxShots: 4, MaxSources: 4, MaxReceivers: 8, MaxOrder: 8}
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		spec, err := DecodeJobSpec(bytes.NewReader(body))
+		if err != nil {
+			assertSpecError(t, err)
+			return
+		}
+		built, err := spec.Build(lim)
+		if err != nil {
+			assertSpecError(t, err)
+			return
+		}
+		if _, _, err := built.NewSurvey(); err != nil {
+			assertSpecError(t, err)
+		}
+	})
+}
+
+func assertSpecError(t *testing.T, err error) {
+	t.Helper()
+	var se *SpecError
+	if !errors.As(err, &se) {
+		t.Fatalf("validation error is not a *SpecError: %v", err)
+	}
+	if se.Field == "" || se.Msg == "" {
+		t.Fatalf("spec error missing field or message: %+v", se)
+	}
+}

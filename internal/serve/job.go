@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"wavetile/wavesim"
+)
+
+// JobState is the lifecycle of a job. queued → running → one of the
+// terminal states; interrupted is the crash-recovery state a persisted
+// checkpoint reloads into before Resume re-queues it.
+type JobState string
+
+const (
+	StateQueued      JobState = "queued"
+	StateRunning     JobState = "running"
+	StateDone        JobState = "done"
+	StateFailed      JobState = "failed"
+	StateCancelled   JobState = "cancelled"
+	StateInterrupted JobState = "interrupted"
+)
+
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// ShotRecord is one shot's streamed result. Receiver samples are float32
+// and Go marshals them with the shortest representation that round-trips
+// the 32-bit value, so the NDJSON stream preserves records bitwise — the
+// property the end-to-end oracle test leans on.
+type ShotRecord struct {
+	Shot          int         `json:"shot"`
+	ElapsedNS     int64       `json:"elapsed_ns"`
+	GPointsPerSec float64     `json:"gpoints_per_sec"`
+	Receivers     [][]float32 `json:"receivers"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} body.
+type JobStatus struct {
+	ID          string   `json:"id"`
+	Name        string   `json:"name,omitempty"`
+	State       JobState `json:"state"`
+	Priority    int      `json:"priority"`
+	ShotsTotal  int      `json:"shots_total"`
+	ShotsDone   int      `json:"shots_done"`
+	Checkpoints int      `json:"checkpoints"` // checkpoint writes so far
+	Error       string   `json:"error,omitempty"`
+}
+
+// Job is one submitted survey. Its mutable state is guarded by mu; cond
+// broadcasts on every record append and state change so result streamers
+// wake without polling.
+type Job struct {
+	ID       string
+	Name     string
+	Priority int
+	Spec     *JobSpec
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	state JobState
+	errS  string
+
+	records   []ShotRecord // completion order
+	completed map[int]bool // shot → finished (survives crash via the job file)
+	ckpts     map[int]*wavesim.ShotCheckpoint
+	ckptCount int
+
+	cancel context.CancelFunc // set while running
+
+	persistMu sync.Mutex // serializes job-file writes
+}
+
+func newJob(id string, spec *JobSpec) *Job {
+	j := &Job{
+		ID:        id,
+		Name:      spec.Name,
+		Priority:  spec.Priority,
+		Spec:      spec,
+		state:     StateQueued,
+		completed: map[int]bool{},
+		ckpts:     map[int]*wavesim.ShotCheckpoint{},
+	}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// setState transitions the job, recording err on failure, and wakes
+// streamers. Terminal states are sticky: a cancel racing normal completion
+// keeps whichever state landed first.
+func (j *Job) setState(s JobState, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.state = s
+	if err != nil {
+		j.errS = err.Error()
+	}
+	j.cond.Broadcast()
+}
+
+// appendRecord adds a completed shot's result and wakes streamers.
+func (j *Job) appendRecord(rec ShotRecord) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.records = append(j.records, rec)
+	j.completed[rec.Shot] = true
+	j.cond.Broadcast()
+}
+
+// noteCheckpoint stores a mid-flight checkpoint for resume.
+func (j *Job) noteCheckpoint(ck *wavesim.ShotCheckpoint) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.ckpts[ck.Shot] = ck
+	j.ckptCount++
+}
+
+// status snapshots the job for the status endpoint.
+func (j *Job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:          j.ID,
+		Name:        j.Name,
+		State:       j.state,
+		Priority:    j.Priority,
+		ShotsTotal:  len(j.Spec.Shots),
+		ShotsDone:   len(j.records),
+		Checkpoints: j.ckptCount,
+		Error:       j.errS,
+	}
+}
+
+// resumeState snapshots what a restarted run must skip and restore.
+func (j *Job) resumeState() (completed map[int]bool, ckpts map[int]*wavesim.ShotCheckpoint) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	completed = make(map[int]bool, len(j.completed))
+	for s := range j.completed {
+		completed[s] = true
+	}
+	ckpts = make(map[int]*wavesim.ShotCheckpoint, len(j.ckpts))
+	for s, ck := range j.ckpts {
+		if !completed[s] {
+			ckpts[s] = ck
+		}
+	}
+	return completed, ckpts
+}
+
+// stream invokes emit for every record in completion order, blocking for
+// new ones until the job reaches a terminal state or wait returns false
+// (the client went away). It returns the job's final state once all
+// records emitted so far have been delivered.
+func (j *Job) stream(emit func(ShotRecord) bool, wait func() bool) JobState {
+	next := 0
+	for {
+		j.mu.Lock()
+		for next >= len(j.records) && !j.state.terminal() {
+			j.cond.Wait()
+			if !wait() {
+				st := j.state
+				j.mu.Unlock()
+				return st
+			}
+		}
+		var rec ShotRecord
+		have := next < len(j.records)
+		if have {
+			rec = j.records[next]
+			next++
+		}
+		st := j.state
+		j.mu.Unlock()
+		if have {
+			if !emit(rec) {
+				return st
+			}
+			continue
+		}
+		return st
+	}
+}
+
+// wake prods any streamer blocked in stream's cond.Wait — used to notice
+// request-context cancellation promptly.
+func (j *Job) wake() {
+	j.mu.Lock()
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}

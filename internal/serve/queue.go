@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by push when the queue is at capacity — the
+// admission handler maps it to 429 + Retry-After.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// errQueueClosed is returned by pop once the queue is closed and drained.
+var errQueueClosed = errors.New("serve: job queue closed")
+
+// jobQueue is a bounded priority queue: higher Priority pops first, FIFO
+// within a priority level (heap ordered by sequence number). All methods
+// are safe for concurrent use; pop blocks until a job or close.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heap   queueHeap
+	cap    int
+	seq    uint64
+	closed bool
+}
+
+type queueItem struct {
+	job *Job
+	seq uint64
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	q := &jobQueue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues j, refusing at capacity. force bypasses the bound — used
+// when reloading persisted jobs at startup, which must never be dropped
+// by an admission race.
+func (q *jobQueue) push(j *Job, force bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errQueueClosed
+	}
+	if !force && q.heap.Len() >= q.cap {
+		return ErrQueueFull
+	}
+	q.seq++
+	heap.Push(&q.heap, queueItem{job: j, seq: q.seq})
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until a job is available (highest priority first) or the
+// queue is closed and empty.
+func (q *jobQueue) pop() (*Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.heap.Len() == 0 {
+		if q.closed {
+			return nil, errQueueClosed
+		}
+		q.cond.Wait()
+	}
+	return heap.Pop(&q.heap).(queueItem).job, nil
+}
+
+// remove deletes the queued job with the given id, reporting whether it
+// was present (false means it already started running, finished, or never
+// existed).
+func (q *jobQueue) remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, it := range q.heap {
+		if it.job.ID == id {
+			heap.Remove(&q.heap, i)
+			return true
+		}
+	}
+	return false
+}
+
+// depth reports the number of queued jobs.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.heap.Len()
+}
+
+// close marks the queue closed: pending jobs still pop (graceful drain),
+// new pushes fail, and blocked pops return once empty.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// queueHeap orders by priority descending, then sequence ascending.
+type queueHeap []queueItem
+
+func (h queueHeap) Len() int { return len(h) }
+func (h queueHeap) Less(i, j int) bool {
+	if h[i].job.Priority != h[j].job.Priority {
+		return h[i].job.Priority > h[j].job.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h queueHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *queueHeap) Push(x any)   { *h = append(*h, x.(queueItem)) }
+func (h *queueHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = queueItem{}
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func queuedJob(id string, priority int) *Job {
+	j := newJob(id, &JobSpec{Priority: priority})
+	j.Priority = priority
+	return j
+}
+
+func TestQueuePriorityOrder(t *testing.T) {
+	q := newJobQueue(16)
+	for i, p := range []int{0, 5, -3, 5, 1} {
+		if err := q.push(queuedJob(fmt.Sprintf("j%d", i), p), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Priority descending; the two priority-5 jobs keep submission order.
+	want := []string{"j1", "j3", "j4", "j0", "j2"}
+	for _, id := range want {
+		j, err := q.pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.ID != id {
+			t.Fatalf("popped %s, want %s", j.ID, id)
+		}
+	}
+}
+
+func TestQueueFIFOWithinLevel(t *testing.T) {
+	q := newJobQueue(64)
+	for i := 0; i < 32; i++ {
+		if err := q.push(queuedJob(fmt.Sprintf("j%02d", i), 7), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		j, err := q.pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("j%02d", i); j.ID != want {
+			t.Fatalf("popped %s at position %d, want %s", j.ID, i, want)
+		}
+	}
+}
+
+func TestQueueBoundAndForce(t *testing.T) {
+	q := newJobQueue(2)
+	if err := q.push(queuedJob("a", 0), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(queuedJob("b", 0), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(queuedJob("c", 0), false); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull", err)
+	}
+	// Resume pushes bypass the bound: reloaded jobs must never be dropped.
+	if err := q.push(queuedJob("d", 0), true); err != nil {
+		t.Fatalf("forced push: %v", err)
+	}
+	if got := q.depth(); got != 3 {
+		t.Fatalf("depth %d, want 3", got)
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := newJobQueue(8)
+	for _, id := range []string{"a", "b", "c"} {
+		if err := q.push(queuedJob(id, 0), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !q.remove("b") {
+		t.Fatal("remove(b) = false")
+	}
+	if q.remove("b") || q.remove("zzz") {
+		t.Fatal("remove of absent job reported true")
+	}
+	var got []string
+	for i := 0; i < 2; i++ {
+		j, err := q.pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, j.ID)
+	}
+	if got[0] != "a" || got[1] != "c" {
+		t.Fatalf("popped %v after remove, want [a c]", got)
+	}
+}
+
+func TestQueueCloseDrainsThenFails(t *testing.T) {
+	q := newJobQueue(8)
+	if err := q.push(queuedJob("a", 0), false); err != nil {
+		t.Fatal(err)
+	}
+	q.close()
+	// Pending work still pops (graceful drain)...
+	if j, err := q.pop(); err != nil || j.ID != "a" {
+		t.Fatalf("pop after close = %v, %v", j, err)
+	}
+	// ...then pops fail, and pushes (forced or not) are refused.
+	if _, err := q.pop(); !errors.Is(err, errQueueClosed) {
+		t.Fatalf("drained pop: %v", err)
+	}
+	if err := q.push(queuedJob("b", 0), true); !errors.Is(err, errQueueClosed) {
+		t.Fatalf("push after close: %v", err)
+	}
+}
+
+func TestQueueCloseWakesBlockedPop(t *testing.T) {
+	q := newJobQueue(8)
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.pop()
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the pop block
+	q.close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errQueueClosed) {
+			t.Fatalf("blocked pop returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("close did not wake the blocked pop")
+	}
+}

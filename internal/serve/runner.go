@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"wavetile/wavesim"
+)
+
+// ErrCrashInjected marks a fault-injection exit: the runner abandons the
+// job exactly as an evicted process would — no terminal state cleanup, the
+// persisted job file left behind for Resume.
+var ErrCrashInjected = errors.New("serve: injected crash")
+
+func (s *Server) runnerLoop() {
+	defer s.wg.Done()
+	for {
+		j, err := s.queue.pop()
+		if err != nil {
+			return // queue closed and drained
+		}
+		s.noteQueueDepth()
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job through the resumable survey runner, streaming
+// each finished shot into the job's record list and persisting state at
+// every checkpoint boundary.
+func (s *Server) runJob(j *Job) {
+	s.gaugeAdd(MetricJobsActive, 1)
+	defer s.gaugeAdd(MetricJobsActive, -1)
+
+	// The cancel func must be visible before the job can be observed as
+	// running (including by the BeforeJob hook): a DELETE racing this
+	// transition must find something to call, not a nil no-op.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	j.mu.Lock()
+	j.cancel = cancel
+	j.state = StateRunning
+	j.mu.Unlock()
+
+	if s.cfg.BeforeJob != nil {
+		s.cfg.BeforeJob(j)
+	}
+	if err := ctx.Err(); err != nil {
+		// Cancelled while held at the hook (or between pop and start).
+		j.setState(StateCancelled, err)
+		s.count(MetricJobsCancelled, 1)
+		s.removeJobFile(j)
+		return
+	}
+
+	start := time.Now()
+	err := s.executeJob(ctx, j)
+
+	switch {
+	case err == nil:
+		j.setState(StateDone, nil)
+		s.count(MetricJobsDone, 1)
+		s.observeDuration(time.Since(start))
+		s.removeJobFile(j)
+	case errors.Is(err, ErrCrashInjected):
+		// Simulated eviction: leave the job file for Resume. The state is
+		// marked for observability only — a real crash records nothing.
+		j.setState(StateInterrupted, err)
+		s.count(MetricJobsInterrupted, 1)
+	case errors.Is(err, context.Canceled):
+		j.setState(StateCancelled, err)
+		s.count(MetricJobsCancelled, 1)
+		s.removeJobFile(j)
+	default:
+		j.setState(StateFailed, err)
+		s.count(MetricJobsFailed, 1)
+		s.removeJobFile(j)
+	}
+}
+
+// executeJob builds the survey from the job's spec and runs the remaining
+// shots: completed shots are skipped, checkpointed shots restored — the
+// resume path a reloaded job takes after a crash.
+func (s *Server) executeJob(ctx context.Context, j *Job) error {
+	built, err := j.Spec.Build(s.cfg.Limits)
+	if err != nil {
+		return err
+	}
+	sv, sched, err := built.NewSurvey()
+	if err != nil {
+		return err
+	}
+	completed, ckpts := j.resumeState()
+
+	var crashed atomic.Bool
+	ro := wavesim.ResumeOptions{
+		Completed:   completed,
+		Checkpoints: ckpts,
+		EveryTiles:  s.cfg.CheckpointEveryTiles,
+		OnShot: func(shot int, res *wavesim.Result) {
+			j.appendRecord(ShotRecord{
+				Shot:          shot,
+				ElapsedNS:     res.Elapsed.Nanoseconds(),
+				GPointsPerSec: res.GPointsPerSec,
+				Receivers:     res.Receivers,
+			})
+			s.persistJob(j)
+		},
+	}
+	if s.cfg.CheckpointEveryTiles > 0 {
+		ro.OnCheckpoint = func(ck *wavesim.ShotCheckpoint) error {
+			j.noteCheckpoint(ck)
+			s.persistJob(j)
+			if n := s.cfg.CrashAfterCheckpoints; n > 0 && j.checkpointCount() >= n && crashed.CompareAndSwap(false, true) {
+				return ErrCrashInjected
+			}
+			return nil
+		}
+	}
+	_, err = sv.RunResumable(ctx, sched, ro)
+	if gets, puts := sv.PoolBalance(); gets != puts {
+		// Pooled wavefields must come back even on error/cancel paths; a
+		// leak here is a bug worth failing loudly over.
+		s.count("serve_pool_leaks", gets-puts)
+	}
+	return err
+}
+
+// observeDuration folds a finished job's wall time into the Retry-After
+// EWMA (¼ new, ¾ history).
+func (s *Server) observeDuration(d time.Duration) {
+	for {
+		old := s.ewmaNS.Load()
+		next := d.Nanoseconds()
+		if old > 0 {
+			next = (3*old + next) / 4
+		}
+		if s.ewmaNS.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (j *Job) checkpointCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ckptCount
+}

@@ -1,0 +1,320 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wavetile/internal/obs"
+)
+
+// Metric names the service adds to the shared /metrics exposition.
+const (
+	MetricQueueDepth        = "serve_queue_depth"        // gauge: jobs waiting
+	MetricJobsActive        = "serve_jobs_active"        // gauge: jobs running
+	MetricAdmissionRejected = "serve_admission_rejected" // counter: 429s
+	MetricJobsDone          = "serve_jobs_done"
+	MetricJobsFailed        = "serve_jobs_failed"
+	MetricJobsCancelled     = "serve_jobs_cancelled"
+	MetricJobsInterrupted   = "serve_jobs_interrupted" // crash-injected exits
+	MetricJobsResumed       = "serve_jobs_resumed"     // jobs reloaded from disk
+	MetricCheckpointWrites  = "serve_checkpoint_writes"
+	MetricCheckpointBytes   = "serve_checkpoint_bytes"
+)
+
+// Config sizes the service.
+type Config struct {
+	// QueueCap bounds admission (default 16): a full queue answers 429
+	// with a Retry-After estimated from recent job durations.
+	QueueCap int
+	// Runners is the number of concurrent job executors (default 1).
+	Runners int
+	// Limits bound what one job may request (zero fields take defaults).
+	Limits Limits
+	// CheckpointDir, when set, persists running jobs (spec, finished shot
+	// records, mid-flight checkpoints) so a crashed process resumes them
+	// via Resume. Empty disables persistence.
+	CheckpointDir string
+	// CheckpointEveryTiles is the periodic checkpoint cadence in time
+	// tiles (default 2 when CheckpointDir is set, else 0).
+	CheckpointEveryTiles int
+	// Registry receives the serve_* metrics (default obs.Active()).
+	Registry *obs.Registry
+
+	// BeforeJob, when non-nil, runs in the runner goroutine just before a
+	// job executes. Fault-injection tests use it to hold runners hostage
+	// (queue saturation) or to synchronize with a canceller.
+	BeforeJob func(j *Job)
+	// CrashAfterCheckpoints > 0 makes a runner abandon its job — no
+	// cleanup, job file left on disk — after that many checkpoint writes,
+	// simulating an eviction mid-flight for the resume fault tests.
+	CrashAfterCheckpoints int
+}
+
+// Server is the simulation service. Create with New, mount Handler, stop
+// with Drain or Close.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	queue *jobQueue
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+
+	nextID   atomic.Int64
+	draining atomic.Bool
+	ewmaNS   atomic.Int64 // smoothed job duration, for Retry-After
+	wg       sync.WaitGroup
+}
+
+// New starts cfg.Runners runner goroutines and returns the service.
+func New(cfg Config) *Server {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 16
+	}
+	if cfg.Runners <= 0 {
+		cfg.Runners = 1
+	}
+	if cfg.CheckpointDir != "" && cfg.CheckpointEveryTiles == 0 {
+		cfg.CheckpointEveryTiles = 2
+	}
+	cfg.Limits = cfg.Limits.withDefaults()
+	s := &Server{cfg: cfg, reg: cfg.Registry, queue: newJobQueue(cfg.QueueCap), jobs: map[string]*Job{}}
+	if s.reg == nil {
+		s.reg = obs.Active()
+	}
+	for i := 0; i < cfg.Runners; i++ {
+		s.wg.Add(1)
+		go s.runnerLoop()
+	}
+	return s
+}
+
+func (s *Server) count(name string, n int64) {
+	if s.reg != nil {
+		s.reg.Counter(name).Add(n)
+	}
+}
+
+func (s *Server) gaugeAdd(name string, n int64) {
+	if s.reg != nil {
+		s.reg.Gauge(name).Add(n)
+	}
+}
+
+func (s *Server) noteQueueDepth() {
+	if s.reg != nil {
+		s.reg.Gauge(MetricQueueDepth).Set(int64(s.queue.depth()))
+	}
+}
+
+// Handler mounts the job API next to the obs debug/telemetry routes, so
+// one mux (and one scrape of /metrics) covers schedules and service:
+//
+//	POST   /v1/jobs              submit (202 {id}, 400 typed spec error,
+//	                             429 + Retry-After at capacity, 503 draining)
+//	GET    /v1/jobs/{id}         status JSON
+//	GET    /v1/jobs/{id}/results NDJSON stream: one ShotRecord per line as
+//	                             shots finish, then a {"done":true,...} trailer
+//	DELETE /v1/jobs/{id}         cancel (dequeue, or stop a running job)
+func (s *Server) Handler() http.Handler {
+	mux := obs.DebugMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "draining"})
+		return
+	}
+	spec, err := DecodeJobSpec(r.Body)
+	if err == nil {
+		// Full validation — structural limits, then wavesim's own geometry
+		// checks — before the job is allowed near the queue.
+		var built *BuiltJob
+		if built, err = spec.Build(s.cfg.Limits); err == nil {
+			_, _, err = built.NewSurvey()
+		}
+	}
+	if err != nil {
+		var se *SpecError
+		if errors.As(err, &se) {
+			writeJSON(w, http.StatusBadRequest, se)
+		} else {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		}
+		return
+	}
+
+	j := newJob(fmt.Sprintf("job-%06d", s.nextID.Add(1)), spec)
+	if err := s.queue.push(j, false); err != nil {
+		s.count(MetricAdmissionRejected, 1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "queue full"})
+		return
+	}
+	s.mu.Lock()
+	s.jobs[j.ID] = j
+	s.mu.Unlock()
+	s.noteQueueDepth()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.ID})
+}
+
+// retryAfterSeconds estimates when a queue slot frees up: the smoothed
+// job duration times the jobs ahead per runner. Before any job has
+// finished it falls back to a flat 5 seconds.
+func (s *Server) retryAfterSeconds() int {
+	ewma := s.ewmaNS.Load()
+	if ewma <= 0 {
+		return 5
+	}
+	ahead := s.queue.depth() + 1
+	secs := int(time.Duration(ewma).Seconds()*float64(ahead)/float64(s.cfg.Runners)) + 1
+	return min(max(secs, 1), 3600)
+}
+
+func (s *Server) job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	// A streamer blocked waiting for the next shot must notice the client
+	// going away; the watcher turns request-context cancellation into a
+	// cond broadcast.
+	ctx := r.Context()
+	watcherDone := make(chan struct{})
+	defer func() { <-watcherDone }()
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	defer stopWatch()
+	go func() {
+		defer close(watcherDone)
+		<-watchCtx.Done()
+		j.wake()
+	}()
+
+	st := j.stream(func(rec ShotRecord) bool {
+		if err := enc.Encode(rec); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}, func() bool { return ctx.Err() == nil })
+	if ctx.Err() != nil {
+		return
+	}
+	final := j.status()
+	_ = enc.Encode(map[string]any{"done": true, "state": st, "error": final.Error})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+		return
+	}
+	if s.queue.remove(j.ID) {
+		// Never started: cancel is immediate.
+		j.setState(StateCancelled, nil)
+		s.count(MetricJobsCancelled, 1)
+		s.noteQueueDepth()
+		s.removeJobFile(j)
+		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel() // runner maps the context error to StateCancelled
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// Jobs snapshots the known jobs' statuses (tests and tooling).
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.status())
+	}
+	return out
+}
+
+// Drain stops admission (503), lets queued and running jobs finish, and
+// waits for the runners. If ctx expires first, running jobs are cancelled
+// and the wait resumes until the runners exit.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.queue.close()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelRunning()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close cancels everything and waits for the runners.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.queue.close()
+	s.cancelRunning()
+	s.wg.Wait()
+}
+
+func (s *Server) cancelRunning() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}
+}

@@ -1,0 +1,359 @@
+// Package serve is the simulation service: a stdlib-net/http front end
+// over wavesim surveys with a bounded priority queue, a runner pool that
+// executes jobs through the batch engine, streamed NDJSON results, and
+// checkpoint/resume through the verify snapshot codec. Every accepted job
+// produces receiver records bitwise identical to a direct wavesim.RunSurvey
+// of the same spec — interrupted-and-resumed or not — which the end-to-end
+// oracle and fault-injection tests in this package assert.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"wavetile/wavesim"
+)
+
+// SpecError is a client-side validation failure: the job spec, not the
+// service, is wrong. Handlers map it to a typed 400.
+type SpecError struct {
+	Field string `json:"field"` // JSON path of the offending field
+	Msg   string `json:"msg"`
+}
+
+func (e *SpecError) Error() string { return fmt.Sprintf("spec: %s: %s", e.Field, e.Msg) }
+
+func specErrf(field, format string, args ...any) *SpecError {
+	return &SpecError{Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Limits bound what a single job may ask for, enforced *before* any grid
+// or time axis is allocated so a hostile spec cannot OOM the service by
+// being admitted. Zero values take the listed defaults.
+type Limits struct {
+	MaxPoints    int64 // grid points incl. boundary layers (default 64M)
+	MaxSteps     int   // timesteps (default 10k)
+	MaxShots     int   // shots per job (default 256)
+	MaxSources   int   // sources per shot (default 1024)
+	MaxReceivers int   // receivers (default 4096)
+	MaxOrder     int   // space order (default 16)
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxPoints == 0 {
+		l.MaxPoints = 64 << 20
+	}
+	if l.MaxSteps == 0 {
+		l.MaxSteps = 10000
+	}
+	if l.MaxShots == 0 {
+		l.MaxShots = 256
+	}
+	if l.MaxSources == 0 {
+		l.MaxSources = 1024
+	}
+	if l.MaxReceivers == 0 {
+		l.MaxReceivers = 4096
+	}
+	if l.MaxOrder == 0 {
+		l.MaxOrder = 16
+	}
+	return l
+}
+
+// ModelSpec selects one of the earth-model presets. Arbitrary field
+// functions cannot cross a JSON boundary; the presets cover the paper's
+// test models.
+type ModelSpec struct {
+	Kind string `json:"kind"` // "homogeneous" | "layered" | "gradient"
+	// Homogeneous: V. Gradient: V0, V1, ZMax. Layered: Values, ZMax.
+	V      float64   `json:"v,omitempty"`
+	V0     float64   `json:"v0,omitempty"`
+	V1     float64   `json:"v1,omitempty"`
+	ZMax   float64   `json:"zmax,omitempty"`
+	Values []float64 `json:"values,omitempty"`
+}
+
+// ScheduleSpec selects the execution schedule.
+type ScheduleSpec struct {
+	Kind     string `json:"kind"` // "spatial" | "wtb" | "wtb-pipelined"
+	TimeTile int    `json:"time_tile,omitempty"`
+	TileX    int    `json:"tile_x,omitempty"`
+	TileY    int    `json:"tile_y,omitempty"`
+	BlockX   int    `json:"block_x,omitempty"`
+	BlockY   int    `json:"block_y,omitempty"`
+}
+
+// ShotSpec is one source configuration.
+type ShotSpec struct {
+	Sources [][3]float64 `json:"sources"`
+}
+
+// JobSpec is the wire format of POST /v1/jobs.
+type JobSpec struct {
+	Name     string `json:"name,omitempty"`
+	Priority int    `json:"priority,omitempty"` // higher runs first
+
+	Physics    string     `json:"physics"`
+	SpaceOrder int        `json:"space_order"`
+	Shape      [3]int     `json:"shape"`
+	Spacing    [3]float64 `json:"spacing"`
+	NBL        int        `json:"nbl,omitempty"`
+	Steps      int        `json:"steps"`
+
+	Model ModelSpec `json:"model"`
+
+	SourceF0    float64 `json:"source_f0,omitempty"`
+	SourceAmp   float64 `json:"source_amp,omitempty"`
+	SincSources bool    `json:"sinc_sources,omitempty"`
+
+	Shots     []ShotSpec   `json:"shots"`
+	Receivers [][3]float64 `json:"receivers"`
+
+	Schedule    ScheduleSpec `json:"schedule"`
+	Concurrency int          `json:"concurrency,omitempty"` // shot lanes (0 = 1)
+}
+
+// maxSpecBytes bounds the request body; a job spec is coordinates and
+// scalars, so a megabyte is already generous.
+const maxSpecBytes = 1 << 20
+
+// DecodeJobSpec parses a job spec from r, rejecting unknown fields and
+// trailing garbage. All decode failures come back as *SpecError — the
+// decoder is fuzzed on the promise that arbitrary bytes either parse or
+// produce a typed error, never a panic.
+func DecodeJobSpec(r io.Reader) (*JobSpec, error) {
+	dec := json.NewDecoder(io.LimitReader(r, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	spec := &JobSpec{}
+	if err := dec.Decode(spec); err != nil {
+		return nil, specErrf("(body)", "invalid JSON: %v", err)
+	}
+	if dec.More() {
+		return nil, specErrf("(body)", "trailing data after the job object")
+	}
+	return spec, nil
+}
+
+// BuiltJob is a validated spec lowered to wavesim values, ready to run.
+type BuiltJob struct {
+	Spec  *JobSpec
+	Base  wavesim.Options
+	Shots []wavesim.Shot
+	Sched wavesim.Schedule
+}
+
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m ModelSpec) build() (wavesim.FieldFunc, error) {
+	switch m.Kind {
+	case "homogeneous":
+		if !finite(m.V) || m.V <= 0 {
+			return nil, specErrf("model.v", "velocity %g must be positive and finite", m.V)
+		}
+		return wavesim.Homogeneous(m.V), nil
+	case "gradient":
+		if !finite(m.V0, m.V1, m.ZMax) || m.V0 <= 0 || m.V1 <= 0 || m.ZMax <= 0 {
+			return nil, specErrf("model", "gradient needs positive finite v0, v1, zmax")
+		}
+		return wavesim.Gradient(m.V0, m.V1, m.ZMax), nil
+	case "layered":
+		if len(m.Values) == 0 || len(m.Values) > 1024 {
+			return nil, specErrf("model.values", "layered needs 1..1024 velocities, got %d", len(m.Values))
+		}
+		for i, v := range m.Values {
+			if !finite(v) || v <= 0 {
+				return nil, specErrf("model.values", "layer %d velocity %g must be positive and finite", i, v)
+			}
+		}
+		if !finite(m.ZMax) || m.ZMax <= 0 {
+			return nil, specErrf("model.zmax", "layered needs a positive finite zmax, got %g", m.ZMax)
+		}
+		return wavesim.Layered(m.ZMax, m.Values...), nil
+	default:
+		return nil, specErrf("model.kind", "unknown model kind %q", m.Kind)
+	}
+}
+
+func coords(field string, pts [][3]float64) ([]wavesim.Coord, error) {
+	out := make([]wavesim.Coord, len(pts))
+	for i, p := range pts {
+		if !finite(p[0], p[1], p[2]) {
+			return nil, specErrf(field, "point %d has a non-finite coordinate", i)
+		}
+		out[i] = wavesim.Coord(p)
+	}
+	return out, nil
+}
+
+// Build validates the spec against lim and lowers it to wavesim values.
+// Structural and budget checks run before anything is allocated; the
+// final authority on geometry (CFL, placement margins) is wavesim.New,
+// whose ErrInvalidOptions/ErrPlacement also surface as *SpecError.
+func (s *JobSpec) Build(lim Limits) (*BuiltJob, error) {
+	lim = lim.withDefaults()
+
+	var phys wavesim.Physics
+	switch s.Physics {
+	case "acoustic":
+		phys = wavesim.Acoustic
+	case "tti":
+		phys = wavesim.TTI
+	case "elastic":
+		phys = wavesim.Elastic
+	default:
+		return nil, specErrf("physics", "unknown physics %q (want acoustic, tti or elastic)", s.Physics)
+	}
+	if s.SpaceOrder <= 0 || s.SpaceOrder%2 != 0 || s.SpaceOrder > lim.MaxOrder {
+		return nil, specErrf("space_order", "%d must be even, positive and at most %d", s.SpaceOrder, lim.MaxOrder)
+	}
+	points := int64(1)
+	for d, n := range s.Shape {
+		if n < 2*s.SpaceOrder {
+			return nil, specErrf("shape", "shape[%d]=%d too small for space order %d", d, n, s.SpaceOrder)
+		}
+		points *= int64(n) + 2*int64(s.NBL)
+	}
+	if s.NBL < 0 || s.NBL > 1024 {
+		return nil, specErrf("nbl", "%d out of range [0, 1024]", s.NBL)
+	}
+	if points > lim.MaxPoints {
+		return nil, specErrf("shape", "%d grid points (incl. boundary layers) exceed the %d budget", points, lim.MaxPoints)
+	}
+	for d, h := range s.Spacing {
+		if !finite(h) || h <= 0 {
+			return nil, specErrf("spacing", "spacing[%d]=%g must be positive and finite", d, h)
+		}
+	}
+	if s.Steps <= 0 || s.Steps > lim.MaxSteps {
+		return nil, specErrf("steps", "%d out of range [1, %d]", s.Steps, lim.MaxSteps)
+	}
+	if !finite(s.SourceF0, s.SourceAmp) || s.SourceF0 < 0 {
+		return nil, specErrf("source_f0", "wavelet parameters must be finite (f0 ≥ 0)")
+	}
+	if len(s.Shots) == 0 || len(s.Shots) > lim.MaxShots {
+		return nil, specErrf("shots", "%d out of range [1, %d]", len(s.Shots), lim.MaxShots)
+	}
+	if len(s.Receivers) > lim.MaxReceivers {
+		return nil, specErrf("receivers", "%d exceeds the %d budget", len(s.Receivers), lim.MaxReceivers)
+	}
+	if s.Concurrency < 0 || s.Concurrency > 256 {
+		return nil, specErrf("concurrency", "%d out of range [0, 256]", s.Concurrency)
+	}
+
+	vp, err := s.Model.build()
+	if err != nil {
+		return nil, err
+	}
+	rec, err := coords("receivers", s.Receivers)
+	if err != nil {
+		return nil, err
+	}
+	shots := make([]wavesim.Shot, len(s.Shots))
+	for i, sh := range s.Shots {
+		if len(sh.Sources) == 0 || len(sh.Sources) > lim.MaxSources {
+			return nil, specErrf(fmt.Sprintf("shots[%d].sources", i), "%d out of range [1, %d]", len(sh.Sources), lim.MaxSources)
+		}
+		src, err := coords(fmt.Sprintf("shots[%d].sources", i), sh.Sources)
+		if err != nil {
+			return nil, err
+		}
+		shots[i] = wavesim.Shot{Sources: src}
+	}
+
+	sched, err := s.Schedule.build()
+	if err != nil {
+		return nil, err
+	}
+
+	base := wavesim.Options{
+		Physics:     phys,
+		SpaceOrder:  s.SpaceOrder,
+		Shape:       s.Shape,
+		Spacing:     s.Spacing,
+		NBL:         s.NBL,
+		Steps:       s.Steps,
+		Vp:          vp,
+		SourceF0:    s.SourceF0,
+		SourceAmp:   s.SourceAmp,
+		SincSources: s.SincSources,
+		Receivers:   rec,
+	}
+	return &BuiltJob{Spec: s, Base: base, Shots: shots, Sched: sched}, nil
+}
+
+func (c ScheduleSpec) build() (wavesim.Schedule, error) {
+	switch c.Kind {
+	case "spatial":
+		return wavesim.Spatial{BlockX: c.BlockX, BlockY: c.BlockY}, nil
+	case "wtb", "wtb-pipelined":
+		if c.TimeTile < 0 || c.TimeTile > 64 {
+			return nil, specErrf("schedule.time_tile", "%d out of range [0, 64]", c.TimeTile)
+		}
+		if c.TileX < 0 || c.TileY < 0 || c.TileX > 1<<16 || c.TileY > 1<<16 {
+			return nil, specErrf("schedule", "tile extents out of range")
+		}
+		w := wavesim.WTB{TimeTile: c.TimeTile, TileX: c.TileX, TileY: c.TileY, BlockX: c.BlockX, BlockY: c.BlockY}
+		if c.Kind == "wtb" {
+			return w, nil
+		}
+		return wavesim.WTBPipelined(w), nil
+	default:
+		return nil, specErrf("schedule.kind", "unknown schedule %q (want spatial, wtb or wtb-pipelined)", c.Kind)
+	}
+}
+
+// NewSurvey builds the runnable survey for a validated job, defaulting
+// unset schedule knobs to legal values for the built propagator. wavesim's
+// own validation errors (placement, CFL, degenerate geometry) come back as
+// *SpecError: they describe the spec, not the service.
+func (b *BuiltJob) NewSurvey() (*wavesim.Survey, wavesim.Schedule, error) {
+	sv, err := wavesim.NewSurvey(b.Base, b.Shots, wavesim.SurveyOptions{
+		Concurrency: max(1, b.Spec.Concurrency),
+	})
+	if err != nil {
+		// Every input to the survey builder came from the spec, so any
+		// construction failure — tagged (ErrInvalidOptions, ErrPlacement)
+		// or not — describes the spec and maps to a 400.
+		return nil, nil, specErrf("(spec)", "%v", err)
+	}
+	sched := b.Sched
+	mt := sv.MinTile()
+	switch c := sched.(type) {
+	case wavesim.WTB:
+		sched = defaultWTB(c, mt)
+	case wavesim.WTBPipelined:
+		sched = wavesim.WTBPipelined(defaultWTB(wavesim.WTB(c), mt))
+	}
+	return sv, sched, nil
+}
+
+// defaultWTB fills unset WTB knobs: a 4-deep time tile and space tiles of
+// at least the dependency margin.
+func defaultWTB(c wavesim.WTB, minTile int) wavesim.WTB {
+	if c.TimeTile == 0 {
+		c.TimeTile = 4
+	}
+	if c.TileX == 0 {
+		c.TileX = max(minTile, 32)
+	}
+	if c.TileY == 0 {
+		c.TileY = max(minTile, 32)
+	}
+	if c.TileX < minTile {
+		c.TileX = minTile
+	}
+	if c.TileY < minTile {
+		c.TileY = minTile
+	}
+	return c
+}

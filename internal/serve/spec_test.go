@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"wavetile/wavesim"
+)
+
+func mustDecode(t *testing.T, body string) *JobSpec {
+	t.Helper()
+	spec, err := DecodeJobSpec(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestDecodeJobSpecRejections(t *testing.T) {
+	cases := []struct{ name, body string }{
+		{"empty", ""},
+		{"not json", "]]]"},
+		{"wrong type", `{"steps": "ten"}`},
+		{"unknown field", `{"stepz": 10}`},
+		{"trailing data", `{"steps": 10} {"steps": 11}`},
+		{"truncated", `{"steps": 10`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeJobSpec(strings.NewReader(tc.body))
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("got %v, want a *SpecError", err)
+			}
+		})
+	}
+}
+
+func TestDecodeJobSpecBodyCap(t *testing.T) {
+	// A body larger than maxSpecBytes is truncated by the limit reader and
+	// must fail as a typed spec error, not hang or allocate unboundedly.
+	huge := `{"name": "` + strings.Repeat("x", maxSpecBytes) + `"}`
+	_, err := DecodeJobSpec(strings.NewReader(huge))
+	var se *SpecError
+	if !errors.As(err, &se) {
+		t.Fatalf("oversized body: got %v, want a *SpecError", err)
+	}
+}
+
+// TestBuildRejections drives Build through every validation branch and
+// asserts the error is typed and names the offending field.
+func TestBuildRejections(t *testing.T) {
+	valid := func() *JobSpec { return testSpec("acoustic", "wtb", 1) }
+	cases := []struct {
+		name   string
+		mutate func(*JobSpec)
+		field  string
+	}{
+		{"bad physics", func(s *JobSpec) { s.Physics = "quantum" }, "physics"},
+		{"odd order", func(s *JobSpec) { s.SpaceOrder = 3 }, "space_order"},
+		{"order over limit", func(s *JobSpec) { s.SpaceOrder = 64 }, "space_order"},
+		{"shape too small", func(s *JobSpec) { s.Shape = [3]int{4, 36, 36} }, "shape"},
+		{"zero shape", func(s *JobSpec) { s.Shape = [3]int{0, 0, 0} }, "shape"},
+		{"points budget", func(s *JobSpec) { s.Shape = [3]int{2048, 2048, 2048} }, "shape"},
+		{"negative nbl", func(s *JobSpec) { s.NBL = -1 }, "nbl"},
+		{"zero spacing", func(s *JobSpec) { s.Spacing = [3]float64{0, 10, 10} }, "spacing"},
+		{"nan spacing", func(s *JobSpec) { s.Spacing[2] = nan() }, "spacing"},
+		{"zero steps", func(s *JobSpec) { s.Steps = 0 }, "steps"},
+		{"steps over limit", func(s *JobSpec) { s.Steps = 1 << 30 }, "steps"},
+		{"inf f0", func(s *JobSpec) { s.SourceF0 = inf() }, "source_f0"},
+		{"no shots", func(s *JobSpec) { s.Shots = nil }, "shots"},
+		{"no sources", func(s *JobSpec) { s.Shots = []ShotSpec{{}} }, "shots[0].sources"},
+		{"nan source", func(s *JobSpec) { s.Shots[0].Sources[0][1] = nan() }, "shots[0].sources"},
+		{"nan receiver", func(s *JobSpec) { s.Receivers[2][0] = nan() }, "receivers"},
+		{"bad concurrency", func(s *JobSpec) { s.Concurrency = -1 }, "concurrency"},
+		{"bad model kind", func(s *JobSpec) { s.Model.Kind = "salt dome" }, "model.kind"},
+		{"zero velocity", func(s *JobSpec) { s.Model = ModelSpec{Kind: "homogeneous", V: 0} }, "model.v"},
+		{"nan layer", func(s *JobSpec) { s.Model.Values[1] = nan() }, "model.values"},
+		{"no zmax", func(s *JobSpec) { s.Model.ZMax = 0 }, "model.zmax"},
+		{"bad schedule kind", func(s *JobSpec) { s.Schedule.Kind = "diamond" }, "schedule.kind"},
+		{"time tile range", func(s *JobSpec) { s.Schedule.TimeTile = 1000 }, "schedule.time_tile"},
+		{"tile extents", func(s *JobSpec) { s.Schedule.TileX = 1 << 20 }, "schedule"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := valid()
+			tc.mutate(spec)
+			_, err := spec.Build(Limits{})
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("got %v, want a *SpecError", err)
+			}
+			if se.Field != tc.field {
+				t.Fatalf("error names field %q, want %q (%v)", se.Field, tc.field, se)
+			}
+		})
+	}
+}
+
+func nan() float64 { return nanVal }
+func inf() float64 { return infVal }
+
+// Non-constant NaN/Inf so the literals above stay legal Go (a constant
+// expression may not overflow).
+var (
+	nanVal = func() float64 { z := 0.0; return z / z }()
+	infVal = func() float64 { z := 0.0; return 1 / z }()
+)
+
+// TestBuildValid lowers a good spec and checks the wavesim values.
+func TestBuildValid(t *testing.T) {
+	spec := testSpec("elastic", "wtb-pipelined", 2)
+	built, err := spec.Build(Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Base.Steps != 16 || built.Base.SpaceOrder != 4 || built.Base.NBL != 4 {
+		t.Fatalf("base = %+v", built.Base)
+	}
+	if len(built.Shots) != 2 || len(built.Shots[0].Sources) != 3 {
+		t.Fatalf("shots lowered wrong: %+v", built.Shots)
+	}
+	if len(built.Base.Receivers) != 6 {
+		t.Fatalf("%d receivers", len(built.Base.Receivers))
+	}
+	if _, ok := built.Sched.(wavesim.WTBPipelined); !ok {
+		t.Fatalf("schedule lowered to %T, want WTBPipelined", built.Sched)
+	}
+}
+
+// TestNewSurveyMapsGeometryErrorsToSpecError: a structurally fine spec that
+// wavesim rejects (source placed outside the model) must still surface as a
+// typed 400, since the fault lies in the spec.
+func TestNewSurveyMapsGeometryErrorsToSpecError(t *testing.T) {
+	spec := testSpec("acoustic", "wtb", 1)
+	spec.Shots[0].Sources[0] = [3]float64{1e9, 150.7, 110.1}
+	built, err := spec.Build(Limits{})
+	if err != nil {
+		t.Fatalf("Build should pass structural checks: %v", err)
+	}
+	_, _, err = built.NewSurvey()
+	var se *SpecError
+	if !errors.As(err, &se) {
+		t.Fatalf("got %v, want a *SpecError", err)
+	}
+}
+
+// TestNewSurveyDefaultsTiles: unset WTB knobs come back legal for the
+// propagator (tile extents at least the dependency margin).
+func TestNewSurveyDefaultsTiles(t *testing.T) {
+	spec := testSpec("acoustic", "wtb", 1)
+	spec.Schedule = ScheduleSpec{Kind: "wtb"} // everything defaulted
+	built, err := spec.Build(Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, sched, err := built.NewSurvey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wtb, ok := sched.(wavesim.WTB)
+	if !ok {
+		t.Fatalf("schedule type %T", sched)
+	}
+	if wtb.TimeTile == 0 || wtb.TileX < sv.MinTile() || wtb.TileY < sv.MinTile() {
+		t.Fatalf("defaulted schedule still degenerate: %+v (min tile %d)", wtb, sv.MinTile())
+	}
+}

@@ -1,0 +1,167 @@
+package verify
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"wavetile/internal/grid"
+)
+
+// Snapshot codec: a stable binary encoding of a propagator field set
+// (map[string]*grid.Grid), the same state the oracle's checkpoint-replay
+// diagnostics snapshot at time-tile boundaries. The simulation service
+// persists job checkpoints through this codec so that a resumed job
+// restarts from bitwise-identical wavefields: float32 payloads are written
+// as raw IEEE-754 bits (halo included), never through a decimal round
+// trip.
+//
+// Layout (all integers little-endian):
+//
+//	magic   "WVSNAP1\n"
+//	u32     field count
+//	per field, in ascending name order:
+//	  u16   name length, then the name bytes
+//	  4×i32 nx, ny, nz, halo
+//	  u32   IEEE CRC-32 of the payload
+//	  raw   padded float32 buffer, 4 bytes per value
+//
+// The per-field CRC makes a truncated or corrupted checkpoint file a
+// decode error instead of a silently wrong wavefield — the failure mode
+// fault-injection tests force.
+
+const snapMagic = "WVSNAP1\n"
+
+// ErrSnapshotCorrupt tags snapshots whose payload fails its checksum or
+// whose structure cannot be decoded.
+var ErrSnapshotCorrupt = fmt.Errorf("verify: snapshot corrupt")
+
+// WriteSnapshot encodes fields to w in the stable snapshot format. Field
+// order is canonicalized (ascending name), so identical field sets always
+// produce identical bytes.
+func WriteSnapshot(w io.Writer, fields map[string]*grid.Grid) error {
+	if _, err := io.WriteString(w, snapMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(fields))); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*16384)
+	for _, name := range sortedFieldNames(fields) {
+		g := fields[name]
+		if len(name) > math.MaxUint16 {
+			return fmt.Errorf("verify: snapshot field name %q too long", name)
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint16(len(name))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, name); err != nil {
+			return err
+		}
+		for _, v := range [4]int32{int32(g.Nx), int32(g.Ny), int32(g.Nz), int32(g.H)} {
+			if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(w, binary.LittleEndian, payloadCRC(g.Data, buf)); err != nil {
+			return err
+		}
+		if err := writeFloats(w, g.Data, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// payloadCRC computes the IEEE CRC-32 of the float payload as it will be
+// written (little-endian bit patterns).
+func payloadCRC(data []float32, buf []byte) uint32 {
+	crc := crc32.NewIEEE()
+	for off := 0; off < len(data); off += len(buf) / 4 {
+		n := min(len(buf)/4, len(data)-off)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(data[off+i]))
+		}
+		crc.Write(buf[:4*n])
+	}
+	return crc.Sum32()
+}
+
+func writeFloats(w io.Writer, data []float32, buf []byte) error {
+	for off := 0; off < len(data); off += len(buf) / 4 {
+		n := min(len(buf)/4, len(data)-off)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(data[off+i]))
+		}
+		if _, err := w.Write(buf[:4*n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSnapshot decodes a snapshot written by WriteSnapshot, allocating
+// fresh grids. Structural damage and checksum mismatches return errors
+// tagged ErrSnapshotCorrupt.
+func ReadSnapshot(r io.Reader) (map[string]*grid.Grid, error) {
+	var magic [len(snapMagic)]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: magic: %v", ErrSnapshotCorrupt, err)
+	}
+	if string(magic[:]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrSnapshotCorrupt, magic)
+	}
+	var nf uint32
+	if err := binary.Read(r, binary.LittleEndian, &nf); err != nil {
+		return nil, fmt.Errorf("%w: field count: %v", ErrSnapshotCorrupt, err)
+	}
+	if nf > 1024 {
+		return nil, fmt.Errorf("%w: implausible field count %d", ErrSnapshotCorrupt, nf)
+	}
+	out := make(map[string]*grid.Grid, nf)
+	buf := make([]byte, 4*16384)
+	for i := uint32(0); i < nf; i++ {
+		var nameLen uint16
+		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+			return nil, fmt.Errorf("%w: name length: %v", ErrSnapshotCorrupt, err)
+		}
+		nameBytes := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, nameBytes); err != nil {
+			return nil, fmt.Errorf("%w: name: %v", ErrSnapshotCorrupt, err)
+		}
+		var dims [4]int32
+		for d := range dims {
+			if err := binary.Read(r, binary.LittleEndian, &dims[d]); err != nil {
+				return nil, fmt.Errorf("%w: dims: %v", ErrSnapshotCorrupt, err)
+			}
+		}
+		nx, ny, nz, halo := int(dims[0]), int(dims[1]), int(dims[2]), int(dims[3])
+		if nx <= 0 || ny <= 0 || nz <= 0 || halo < 0 ||
+			int64(nx+2*halo)*int64(ny+2*halo)*int64(nz+2*halo) > 1<<33 {
+			return nil, fmt.Errorf("%w: implausible field shape %dx%dx%d halo %d", ErrSnapshotCorrupt, nx, ny, nz, halo)
+		}
+		var wantCRC uint32
+		if err := binary.Read(r, binary.LittleEndian, &wantCRC); err != nil {
+			return nil, fmt.Errorf("%w: checksum: %v", ErrSnapshotCorrupt, err)
+		}
+		g := grid.New(nx, ny, nz, halo)
+		crc := crc32.NewIEEE()
+		for off := 0; off < len(g.Data); off += len(buf) / 4 {
+			n := min(len(buf)/4, len(g.Data)-off)
+			if _, err := io.ReadFull(r, buf[:4*n]); err != nil {
+				return nil, fmt.Errorf("%w: payload: %v", ErrSnapshotCorrupt, err)
+			}
+			crc.Write(buf[:4*n])
+			for j := 0; j < n; j++ {
+				g.Data[off+j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
+			}
+		}
+		if crc.Sum32() != wantCRC {
+			return nil, fmt.Errorf("%w: field %q checksum mismatch", ErrSnapshotCorrupt, string(nameBytes))
+		}
+		out[string(nameBytes)] = g
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package verify
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"wavetile/internal/grid"
+)
+
+func randomFields(rng *rand.Rand) map[string]*grid.Grid {
+	fields := map[string]*grid.Grid{}
+	for _, name := range []string{"u0", "u1", "vx"} {
+		g := grid.New(5+rng.Intn(4), 4+rng.Intn(4), 6+rng.Intn(4), 1+rng.Intn(3))
+		for i := range g.Data {
+			g.Data[i] = float32(rng.NormFloat64())
+		}
+		// Halo values travel too: resume correctness depends on the full
+		// padded buffer, and denormals/negative zero must survive.
+		g.Data[0] = float32(math.Copysign(0, -1))
+		g.Data[1] = math.Float32frombits(1) // smallest denormal
+		fields[name] = g
+	}
+	return fields
+}
+
+func TestSnapshotRoundTripBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fields := randomFields(rng)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, fields); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(fields) {
+		t.Fatalf("decoded %d fields, want %d", len(got), len(fields))
+	}
+	for name, want := range fields {
+		g, ok := got[name]
+		if !ok {
+			t.Fatalf("field %q missing after round trip", name)
+		}
+		if !g.SameShape(want) {
+			t.Fatalf("field %q shape changed", name)
+		}
+		for i := range want.Data {
+			if math.Float32bits(g.Data[i]) != math.Float32bits(want.Data[i]) {
+				t.Fatalf("field %q flat index %d: %x != %x",
+					name, i, math.Float32bits(g.Data[i]), math.Float32bits(want.Data[i]))
+			}
+		}
+	}
+}
+
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	fields := randomFields(rand.New(rand.NewSource(3)))
+	var a, b bytes.Buffer
+	if err := WriteSnapshot(&a, fields); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(&b, fields); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same field set encoded to different bytes")
+	}
+}
+
+func TestSnapshotDetectsCorruptionAndTruncation(t *testing.T) {
+	fields := randomFields(rand.New(rand.NewSource(11)))
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, fields); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+
+	// Flip one payload byte near the end (past all headers).
+	bad := append([]byte(nil), enc...)
+	bad[len(bad)-5] ^= 0x40
+	if _, err := ReadSnapshot(bytes.NewReader(bad)); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("corrupted payload decoded: err = %v", err)
+	}
+
+	// Truncate mid-payload.
+	if _, err := ReadSnapshot(bytes.NewReader(enc[:len(enc)/2])); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("truncated snapshot decoded: err = %v", err)
+	}
+
+	// Wrong magic.
+	bad = append([]byte(nil), enc...)
+	bad[0] = 'X'
+	if _, err := ReadSnapshot(bytes.NewReader(bad)); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("bad magic decoded: err = %v", err)
+	}
+}

@@ -1,0 +1,198 @@
+package wavesim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// resumeSchedules builds one schedule of each kind sized for the survey.
+func resumeSchedules(sv *Survey) []Schedule {
+	mt := sv.template.MinTile()
+	return []Schedule{
+		Spatial{BlockX: 8, BlockY: 8},
+		WTB{TimeTile: 4, TileX: 3 * mt, TileY: 2 * mt, BlockX: 8, BlockY: 8},
+		WTBPipelined{TimeTile: 4, TileX: 3 * mt, TileY: 2 * mt, BlockX: 8, BlockY: 8},
+	}
+}
+
+// TestResumeBitwiseIdentical is the resume oracle: run a survey while
+// capturing checkpoints, then re-run it from each shot's mid-flight
+// checkpoint (after an Encode/Decode round trip, like the service's
+// on-disk path) and assert the resumed receiver records are bitwise
+// identical to the uninterrupted run — for every physics × schedule kind.
+func TestResumeBitwiseIdentical(t *testing.T) {
+	for _, phys := range []Physics{Acoustic, Elastic} {
+		base := surveyBase(phys)
+		shots := surveyShots(2)
+		sv, err := NewSurvey(base, shots, SurveyOptions{Concurrency: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sched := range resumeSchedules(sv) {
+			t.Run(phys.String()+"/"+sched.schedule(), func(t *testing.T) {
+				// Uninterrupted run, capturing one mid-flight checkpoint
+				// per shot along the way.
+				var mu sync.Mutex
+				ckpts := map[int]*ShotCheckpoint{}
+				full, err := sv.RunResumable(context.Background(), sched, ResumeOptions{
+					EveryTiles: 2,
+					OnCheckpoint: func(ck *ShotCheckpoint) error {
+						// Round-trip through the binary codec so the test
+						// covers the exact state a crashed service reloads.
+						var buf bytes.Buffer
+						if err := ck.Encode(&buf); err != nil {
+							return err
+						}
+						dec, err := DecodeShotCheckpoint(bytes.NewReader(buf.Bytes()))
+						if err != nil {
+							return err
+						}
+						mu.Lock()
+						ckpts[dec.Shot] = dec // keep the last boundary seen
+						mu.Unlock()
+						return nil
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(ckpts) != len(shots) {
+					t.Fatalf("captured checkpoints for %d shots, want %d", len(ckpts), len(shots))
+				}
+				// "Crashed" run: every shot restarts from its checkpoint.
+				resumed, err := sv.RunResumable(context.Background(), sched, ResumeOptions{
+					Checkpoints: ckpts,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for s := range shots {
+					if ck := ckpts[s]; ck.T <= 0 || ck.T >= sv.template.Steps() {
+						t.Fatalf("shot %d checkpoint at t=%d is not mid-flight", s, ck.T)
+					}
+					assertRecordsEqual(t, full.Shots[s].Receivers, resumed.Shots[s].Receivers, s)
+				}
+			})
+		}
+	}
+}
+
+// TestRunResumableMatchesRun: with no checkpoints involved, the resumable
+// path must be bitwise identical to the plain survey runner.
+func TestRunResumableMatchesRun(t *testing.T) {
+	base := surveyBase(Acoustic)
+	shots := surveyShots(2)
+	sv, err := NewSurvey(base, shots, SurveyOptions{Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sched := range resumeSchedules(sv) {
+		plain, err := sv.Run(sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sv.RunResumable(context.Background(), sched, ResumeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range shots {
+			assertRecordsEqual(t, plain.Shots[s].Receivers, res.Shots[s].Receivers, s)
+		}
+	}
+}
+
+// TestRunResumableSkipsCompleted: completed shots are not re-run and their
+// result slot stays nil; the rest still run.
+func TestRunResumableSkipsCompleted(t *testing.T) {
+	sv, err := NewSurvey(surveyBase(Acoustic), surveyShots(3), SurveyOptions{Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	ran := map[int]bool{}
+	res, err := sv.RunResumable(context.Background(), Spatial{BlockX: 8, BlockY: 8}, ResumeOptions{
+		Completed: map[int]bool{1: true},
+		OnShot: func(shot int, _ *Result) {
+			mu.Lock()
+			ran[shot] = true
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran[1] || !ran[0] || !ran[2] {
+		t.Fatalf("ran = %v, want shots 0 and 2 only", ran)
+	}
+	if res.Shots[1] != nil {
+		t.Fatal("completed shot 1 got a fresh result")
+	}
+	if res.Shots[0] == nil || res.Shots[2] == nil {
+		t.Fatal("pending shots missing results")
+	}
+}
+
+// TestRunResumableCancelBalancesPool: a cancelled survey still returns
+// every pooled wavefield grid — the property the service's job canceller
+// asserts through /metrics.
+func TestRunResumableCancelBalancesPool(t *testing.T) {
+	sv, err := NewSurvey(surveyBase(Acoustic), surveyShots(4), SurveyOptions{Concurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err = sv.RunResumable(ctx, Spatial{BlockX: 8, BlockY: 8}, ResumeOptions{
+		OnShot: func(int, *Result) { cancel() },
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if gets, puts := sv.PoolBalance(); gets != puts {
+		t.Fatalf("pool unbalanced after cancellation: %d gets, %d puts", gets, puts)
+	}
+}
+
+// TestRestoreCheckpointRejectsMismatch: checkpoints from the wrong
+// schedule phase or the wrong propagator are refused, not silently run.
+func TestRestoreCheckpointRejectsMismatch(t *testing.T) {
+	sv, err := NewSurvey(surveyBase(Acoustic), surveyShots(1), SurveyOptions{Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := WTB{TimeTile: 4, TileX: 3 * sv.MinTile(), TileY: 2 * sv.MinTile(), BlockX: 8, BlockY: 8}
+	var got *ShotCheckpoint
+	_, err = sv.RunResumable(context.Background(), sched, ResumeOptions{
+		EveryTiles: 1,
+		OnCheckpoint: func(ck *ShotCheckpoint) error {
+			if got == nil {
+				got = ck
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Off-boundary T.
+	bad := *got
+	bad.T = got.T + 1
+	if _, err := sv.RunResumable(context.Background(), sched, ResumeOptions{
+		Checkpoints: map[int]*ShotCheckpoint{0: &bad},
+	}); !errors.Is(err, ErrCheckpoint) {
+		t.Fatalf("off-boundary checkpoint accepted: %v", err)
+	}
+	// Wrong physics: an elastic survey rejects an acoustic checkpoint.
+	esv, err := NewSurvey(surveyBase(Elastic), surveyShots(1), SurveyOptions{Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	esched := WTB{TimeTile: 4, TileX: 3 * esv.MinTile(), TileY: 2 * esv.MinTile(), BlockX: 8, BlockY: 8}
+	if _, err := esv.RunResumable(context.Background(), esched, ResumeOptions{
+		Checkpoints: map[int]*ShotCheckpoint{0: got},
+	}); !errors.Is(err, ErrCheckpoint) {
+		t.Fatalf("cross-physics checkpoint accepted: %v", err)
+	}
+}

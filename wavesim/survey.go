@@ -1,6 +1,7 @@
 package wavesim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -260,9 +261,16 @@ func (sv *Survey) release(s *Simulation) {
 // / survey_pool_misses / survey_shots_done counters land on the active obs
 // registry (and thus /metrics).
 func (sv *Survey) Run(sched Schedule) (*SurveyResult, error) {
+	return sv.RunContext(context.Background(), sched)
+}
+
+// RunContext is Run with external cancellation: once ctx is done no new
+// shot is dispatched, in-flight shots finish, lane wavefields return to
+// the pool, and the error satisfies errors.Is(err, ctx.Err()).
+func (sv *Survey) RunContext(ctx context.Context, sched Schedule) (*SurveyResult, error) {
 	hits0, misses0 := sv.pool.Stats()
 	out := make([]*Result, len(sv.shots))
-	bres, err := batch.Run(batch.Config{
+	bres, err := batch.RunContext(ctx, batch.Config{
 		Shots:          len(sv.shots),
 		Concurrency:    sv.opts.Concurrency,
 		MaxConcurrency: sv.opts.MaxConcurrency,
