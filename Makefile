@@ -1,8 +1,9 @@
 GO ?= go
 
 .PHONY: all build test race-obs race-sched race-survey race-serve bench \
-	bench-json bench-smoke bench-regress bench-survey bce-check fmt vet \
-	check verify fuzz-smoke golden generate generate-check
+	bench-json bench-smoke bench-regress bench-survey bench-autotune \
+	bce-check fmt vet check verify fuzz-smoke golden generate \
+	generate-check hostcal hostcal-smoke
 
 all: build test
 
@@ -100,6 +101,49 @@ bench-survey:
 	$(GO) run ./cmd/benchdiff $(BENCH_SURVEY_JSON) $(BENCH_SURVEY_JSON)
 	@echo "wrote $(BENCH_SURVEY_JSON)"
 
+# Full host characterization: STREAM-style bandwidth at every cache
+# boundary, peak FLOP/s, cache geometry — persisted as the schema-versioned
+# fingerprint that `-machine host`/auto attribution and the predictive
+# autotuner consume. Takes a minute or two; run once per host (or after a
+# hardware change), then `roofline -calibrate` to fit the 2-parameter
+# correction.
+HOSTCAL_OUT ?=
+hostcal:
+	$(GO) build -o /tmp/hostcal ./cmd/hostcal
+	/tmp/hostcal $(if $(HOSTCAL_OUT),-o $(HOSTCAL_OUT))
+	$(GO) build -o /tmp/roofline ./cmd/roofline
+	/tmp/roofline -calibrate $(if $(HOSTCAL_OUT),-hostcal $(HOSTCAL_OUT))
+
+# Seconds-fast smoke variant of host characterization: quick measurement to
+# a scratch path, re-loaded through the staleness/host-mismatch checks.
+# Proves the measure→persist→validate loop works on this machine without
+# the cost (or the cache-side-effects) of a full run. Wired into `check`
+# and CI; CI uploads the fingerprint JSON as an artifact.
+HOSTCAL_SMOKE_OUT ?= /tmp/hostcal-smoke.json
+hostcal-smoke:
+	$(GO) build -o /tmp/hostcal ./cmd/hostcal
+	/tmp/hostcal -quick -o $(HOSTCAL_SMOKE_OUT)
+	/tmp/hostcal -check -o $(HOSTCAL_SMOKE_OUT)
+
+# Sweep-vs-predict validation: quick fingerprint + calibration into a
+# scratch path, then the predictive autotuner against the full sweep on the
+# same candidates — tuning wall-clock, winner agreement and regret per
+# scenario, as the committed BENCH_PR10.json artifact. The benchdiff
+# self-diff proves the new report format round-trips through the loader.
+BENCH_AUTOTUNE_JSON ?= BENCH_PR10.json
+BENCH_AUTOTUNE_CAL ?= /tmp/hostcal-bench.json
+bench-autotune:
+	$(GO) build -o /tmp/hostcal ./cmd/hostcal
+	$(GO) build -o /tmp/roofline ./cmd/roofline
+	$(GO) build -o /tmp/autotune ./cmd/autotune
+	/tmp/hostcal -quick -o $(BENCH_AUTOTUNE_CAL)
+	/tmp/roofline -calibrate -hostcal $(BENCH_AUTOTUNE_CAL) -caln 32 -calreps 1
+	/tmp/autotune -n 48 -predict -compare -json -machine host \
+		-hostcal $(BENCH_AUTOTUNE_CAL) -models acoustic,tti -orders 4,8 \
+		-tt 4 -tunesteps 4 -repeats 1 -tracen 32 > $(BENCH_AUTOTUNE_JSON)
+	$(GO) run ./cmd/benchdiff $(BENCH_AUTOTUNE_JSON) $(BENCH_AUTOTUNE_JSON)
+	@echo "wrote $(BENCH_AUTOTUNE_JSON)"
+
 # Regenerate the radius-specialized stencil kernels and the dispatch
 # registry from internal/wave/kerngen. The emitted files are committed;
 # after editing the generator, run this and commit the diff together.
@@ -162,4 +206,4 @@ golden:
 	$(GO) test ./internal/verify -run TestGoldenCorpus -golden.update
 	@git -C . status --short internal/verify/testdata/golden || true
 
-check: build vet test race-obs race-sched race-survey race-serve generate-check bce-check verify bench-regress
+check: build vet test race-obs race-sched race-survey race-serve generate-check bce-check hostcal-smoke verify bench-regress

@@ -2,8 +2,10 @@
 // a paired significance test, whether throughput regressed. It reads any of
 // the repo's bench formats — `wavebench -mode wall -json` output,
 // `wavebench -report` report arrays, single run reports (`propagate
-// -report`) and the committed BENCH_PR*.json trajectory files — pairing
-// series by (model, space order, schedule).
+// -report`), `autotune -predict -compare -json` sweep-vs-predict documents
+// (series "autotune-sweep"/"autotune-predict") and the committed
+// BENCH_PR*.json trajectory files — pairing series by (model, space order,
+// schedule).
 //
 // The verdict is a paired sign-flip permutation test on the log throughput
 // ratios (exact for ≤ 20 pairs), gated by a minimum geometric-mean effect

@@ -1,0 +1,112 @@
+// Command hostcal measures this host's roofline ceilings — STREAM-style
+// sustained bandwidth at every cache boundary, peak sustained FLOP/s, cache
+// geometry — and persists them as a schema-versioned fingerprint that the
+// predictive autotuner, roofline attribution and `roofline -machine host`
+// consume instead of the paper's preset machines.
+//
+// Examples:
+//
+//	hostcal                        # full characterization → ~/.cache/wavesim/hostcal.json
+//	hostcal -quick                 # seconds-fast smoke variant (CI)
+//	hostcal -check                 # validate the stored fingerprint for this host
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"wavetile/internal/hostcal"
+	"wavetile/internal/obs"
+)
+
+func main() {
+	out := flag.String("o", "", "output path (default $WAVETILE_HOSTCAL or ~/.cache/wavesim/hostcal.json)")
+	quick := flag.Bool("quick", false, "fast, lower-accuracy measurement (smaller buffers, one repeat)")
+	check := flag.Bool("check", false, "validate the stored fingerprint against this host and exit")
+	print := flag.Bool("print", false, "print the fingerprint JSON to stdout as well")
+	flag.Parse()
+
+	path := *out
+	if path == "" {
+		path = hostcal.DefaultPath()
+	}
+
+	if *check {
+		f, err := hostcal.LoadChecked(path)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("hostcal: %s OK — %s, %d cache levels, DRAM %.1f GB/s, peak %.1f GFLOP/s",
+			path, f.MachineName(), len(f.Levels), f.BWGBs[len(f.BWGBs)-1], f.PeakGFlops)
+		if f.Calibration != nil {
+			fmt.Printf(", calibrated (BWEff %.3f, %.2f ns/pt)",
+				f.Calibration.BWEff, f.Calibration.OverheadNSPerPoint)
+		}
+		fmt.Println()
+		return
+	}
+
+	f, err := hostcal.Measure(hostcal.Options{Quick: *quick})
+	if err != nil {
+		fatal(err)
+	}
+	if err := f.Save(path); err != nil {
+		fatal(err)
+	}
+	summarize(os.Stderr, f, path)
+	if *print {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func summarize(w *os.File, f *hostcal.Fingerprint, path string) {
+	mode := "full"
+	if f.Quick {
+		mode = "quick"
+	}
+	fmt.Fprintf(w, "hostcal: measured %s (%s) → %s\n", f.MachineName(), mode, path)
+	for i, l := range f.Levels {
+		fmt.Fprintf(w, "  %-4s %8s  assoc %-3d %-7s fill %8.1f GB/s  (%s)\n",
+			l.Name, size(l.SizeBytes), l.Assoc, shared(l.Shared), f.BWGBs[i], l.Source)
+	}
+	fmt.Fprintf(w, "  DRAM stream: copy %.1f / scale %.1f / triad %.1f GB/s\n",
+		f.Stream.CopyGBs, f.Stream.ScaleGBs, f.Stream.TriadGBs)
+	fmt.Fprintf(w, "  flops: %.1f GFLOP/s single-core, %.1f GFLOP/s × %d workers\n",
+		f.CoreGFlops, f.PeakGFlops, workers(f.Host))
+}
+
+func workers(h obs.HostInfo) int {
+	if h.Workers > 0 {
+		return h.Workers
+	}
+	return h.GOMAXPROCS
+}
+
+func size(b int) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fG", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fM", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%dK", b>>10)
+	}
+}
+
+func shared(s bool) string {
+	if s {
+		return "shared"
+	}
+	return "private"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hostcal:", err)
+	os.Exit(1)
+}

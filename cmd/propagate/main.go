@@ -44,7 +44,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the run result as JSON (incl. phase breakdown) instead of the text summary")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the tile schedule to this path")
 	reportPath := flag.String("report", "", "write a roofline-attributed run report (JSON) to this path")
-	machine := flag.String("machine", "Broadwell", "roofline machine model for -report attribution (Broadwell or Skylake)")
+	machine := flag.String("machine", "", `roofline machine for -report attribution: "" auto (measured host fingerprint when available, else the marked broadwell preset), host, broadwell or skylake`)
 	flight := flag.Bool("flight", false, "keep a fixed-size flight recorder of recent schedule spans (served at /debug/obs/flight, dumped to stderr on panic)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/pprof, /debug/vars and /debug/obs on this address")
 	progress := flag.Bool("progress", false, "log structured propagation progress (steps/s, GPts/s, ETA) to stderr")

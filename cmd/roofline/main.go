@@ -1,13 +1,20 @@
 // Command roofline regenerates Figure 11 of the paper: the cache-aware
-// roofline of the isotropic acoustic model on Broadwell, with one point per
-// space order (4, 8, 12) and schedule (spatially-blocked vs WTB). The
-// output table carries per-level arithmetic intensities and the predicted
-// GFLOP/s, i.e. the coordinates of the paper's plot markers plus the
-// ceilings, in reconstructable form.
+// roofline of the isotropic acoustic model, with one point per space order
+// (4, 8, 12) and schedule (spatially-blocked vs WTB). The output table
+// carries per-level arithmetic intensities and the predicted GFLOP/s, i.e.
+// the coordinates of the paper's plot markers plus the ceilings, in
+// reconstructable form.
 //
-// Example:
+// Besides the paper's preset machines, -machine host evaluates the measured
+// fingerprint produced by `hostcal`, and -calibrate fits the two-parameter
+// roofline-v2 correction (bandwidth efficiency, per-point overhead) from
+// measured runs and stores it back into the fingerprint.
+//
+// Examples:
 //
 //	roofline -machine broadwell -orders 4,8,12 -tracen 64
+//	roofline -machine host                  # measured-hardware ceilings
+//	roofline -calibrate -caln 48            # fit BWEff/overhead, update fingerprint
 package main
 
 import (
@@ -16,27 +23,34 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"wavetile/internal/bench"
+	"wavetile/internal/hostcal"
 	"wavetile/internal/roofline"
 )
 
 func main() {
-	machine := flag.String("machine", "broadwell", "broadwell or skylake")
+	machine := flag.String("machine", "broadwell", "broadwell, skylake, or host (measured fingerprint)")
+	hostcalPath := flag.String("hostcal", "", "host fingerprint path (default $WAVETILE_HOSTCAL or ~/.cache/wavesim/hostcal.json)")
 	orders := flag.String("orders", "4,8,12", "space orders")
 	tracen := flag.Int("tracen", 64, "trace grid edge")
 	csv := flag.Bool("csv", false, "emit CSV")
+	calibrate := flag.Bool("calibrate", false, "fit the 2-parameter calibration from measured runs and store it into the fingerprint")
+	caln := flag.Int("caln", 48, "with -calibrate: grid edge of the calibration runs")
+	calreps := flag.Int("calreps", 2, "with -calibrate: repeats per calibration measurement (best-of)")
 	flag.Parse()
 
-	var m roofline.Machine
-	switch strings.ToLower(*machine) {
-	case "broadwell":
-		m = roofline.Broadwell()
-	case "skylake":
-		m = roofline.Skylake()
-	default:
-		fatal(fmt.Errorf("unknown machine %q", *machine))
+	if *calibrate {
+		runCalibrate(*hostcalPath, *caln, *calreps)
+		return
 	}
+
+	cal, err := bench.ResolveMachine(*machine, *hostcalPath)
+	if err != nil {
+		fatal(err)
+	}
+	m := cal.Machine
 
 	var so []int
 	for _, s := range strings.Split(*orders, ",") {
@@ -57,6 +71,44 @@ func main() {
 	} else {
 		table.Fprint(os.Stdout)
 	}
+}
+
+// runCalibrate measures a handful of small runs, pairs each with its exact
+// trace replay, fits (BWEff, overhead) by deterministic least squares and
+// writes the result back into the fingerprint.
+func runCalibrate(path string, caln, reps int) {
+	if path == "" {
+		path = hostcal.DefaultPath()
+	}
+	f, err := hostcal.LoadChecked(path)
+	if err != nil {
+		fatal(fmt.Errorf("calibration needs a valid fingerprint (run hostcal first): %w", err))
+	}
+	m := roofline.MachineFromCal(f)
+	specs := []bench.Spec{
+		{Model: "acoustic", SO: 4, N: caln, Steps: 6},
+		{Model: "acoustic", SO: 8, N: caln, Steps: 6},
+	}
+	samples, err := bench.CalSamples(m, specs, reps)
+	if err != nil {
+		fatal(err)
+	}
+	cal, info, err := roofline.Fit(m, samples)
+	if err != nil {
+		fatal(err)
+	}
+	f.Calibration = &hostcal.Calibration{
+		BWEff:              cal.BWEff,
+		OverheadNSPerPoint: cal.OverheadNSPerPoint,
+		Samples:            info.Samples,
+		RMSRel:             info.RMSRel,
+		FittedUnixMS:       time.Now().UnixMilli(),
+	}
+	if err := f.Save(path); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("roofline: calibrated %s from %d samples: BWEff %.3f, overhead %.2f ns/pt, RMS rel err %.1f%% → %s\n",
+		f.MachineName(), info.Samples, cal.BWEff, cal.OverheadNSPerPoint, 100*info.RMSRel, path)
 }
 
 func fatal(err error) {

@@ -49,7 +49,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit rows as JSON (incl. phase breakdown in wall mode)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the tile schedules to this path")
 	reportPath := flag.String("report", "", "wall mode: write roofline-attributed run reports (JSON array) to this path")
-	machine := flag.String("machine", "Broadwell", "roofline machine model for -report attribution (Broadwell or Skylake)")
+	machine := flag.String("machine", "", `roofline machine for -report attribution: "" auto (measured host fingerprint when available, else the marked broadwell preset), host, broadwell or skylake`)
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/pprof, /debug/vars and /debug/obs on this address")
 	progress := flag.Bool("progress", false, "log structured run progress to stderr")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")

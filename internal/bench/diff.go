@@ -32,7 +32,7 @@ func (k SeriesKey) String() string {
 // BenchFile is one loaded benchmark artifact reduced to GPts/s series.
 type BenchFile struct {
 	Path   string
-	Format string // "wavebench-json", "trajectory", "report", "report-array"
+	Format string // "wavebench-json", "trajectory", "report", "report-array", "autotune-predict"
 	Series map[SeriesKey]float64
 	// Hosts collects host fingerprints seen in the artifact (report formats
 	// only), so the differ can warn when comparing across machines.
@@ -60,7 +60,10 @@ func (f *BenchFile) put(k SeriesKey, v float64) {
 //   - committed BENCH_PR*.json trajectory files (rows with model/so and
 //     *_gpts_after columns — the "after" side is loaded, since that is the
 //     trajectory point the file documents);
-//   - a single obs.Report or a JSON array of them (`wavebench -report`).
+//   - a single obs.Report or a JSON array of them (`wavebench -report`);
+//   - `autotune -predict -compare -json` sweep-vs-predict documents
+//     (kind "wavetile.autotune-predict"; series "autotune-sweep" and
+//     "autotune-predict" carry each winner's measured throughput).
 //
 // The format is sniffed from the document structure, not the filename.
 func LoadBenchFile(path string) (*BenchFile, error) {
@@ -95,6 +98,16 @@ func LoadBenchFile(path string) (*BenchFile, error) {
 			f.Format = "report"
 			f.addReport(rep)
 			return f, nil
+		}
+		if kind, _ := doc["kind"].(string); kind == PredictReportKind {
+			f.Format = "autotune-predict"
+			if host, ok := doc["host"].(map[string]any); ok {
+				if fp, err := json.Marshal(host); err == nil {
+					f.Hosts = appendUnique(f.Hosts, string(fp))
+				}
+			}
+			rows, _ := doc["rows"].([]any)
+			return f, f.addPredictRows(path, rows)
 		}
 		if rows, ok := doc["rows"].([]any); ok {
 			if _, isBench := doc["mode"]; isBench {
@@ -209,6 +222,27 @@ func (f *BenchFile) addTrajectoryRows(path string, rows []any) error {
 		// GPts/s but pair consistently across artifacts of the same shape.
 		f.put(SeriesKey{model, so, "survey-seq"}, num(row["survey_seq_sps_after"]))
 		f.put(SeriesKey{model, so, "survey-batch"}, num(row["survey_batch_sps_after"]))
+	}
+	return nil
+}
+
+// addPredictRows loads PredictBench sweep-vs-predict rows (see predict.go):
+// the sweep winner's and the predicted winner's measured throughput become
+// paired series, so a benchdiff of two predict artifacts tracks both the
+// hardware and the predictor's picking quality across revisions.
+func (f *BenchFile) addPredictRows(path string, rows []any) error {
+	for i, rv := range rows {
+		row, ok := rv.(map[string]any)
+		if !ok {
+			return fmt.Errorf("bench: %s: row %d is not an object", path, i)
+		}
+		model, _ := row["model"].(string)
+		if model == "" {
+			return fmt.Errorf("bench: %s: row %d has no model", path, i)
+		}
+		so := int(num(row["so"]))
+		f.put(SeriesKey{model, so, "autotune-sweep"}, num(row["sweep_gpts"]))
+		f.put(SeriesKey{model, so, "autotune-predict"}, num(row["predict_gpts"]))
 	}
 	return nil
 }

@@ -133,6 +133,59 @@ func TestLoadBenchFileReportFormats(t *testing.T) {
 	}
 }
 
+func TestLoadBenchFileAutotunePredict(t *testing.T) {
+	const doc = `{
+	  "kind": "wavetile.autotune-predict", "version": 1,
+	  "host": {"goarch": "amd64", "cpus": 4},
+	  "machine": "host/amd64-4c", "topk": 1,
+	  "rows": [
+	    {"model": "acoustic", "so": 4, "candidates": 256,
+	     "sweep_ms": 9000, "predict_ms": 400, "measured": 1,
+	     "sweep_winner": "TT=8 tile=32x32 block=8x8",
+	     "predict_winner": "TT=8 tile=32x32 block=8x8", "agree": true,
+	     "sweep_gpts": 0.25, "predict_gpts": 0.25, "regret": 0},
+	    {"model": "tti", "so": 8, "candidates": 128,
+	     "sweep_ms": 30000, "predict_ms": 900, "measured": 1,
+	     "sweep_winner": "TT=8 tile=32x32 block=8x8",
+	     "predict_winner": "TT=8 tile=64x64 block=8x8", "agree": false,
+	     "sweep_gpts": 0.10, "predict_gpts": 0.095, "regret": 0.05}
+	  ]
+	}`
+	f, err := LoadBenchFile(writeTemp(t, "predict.json", doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Format != "autotune-predict" {
+		t.Fatalf("format = %q", f.Format)
+	}
+	want := map[SeriesKey]float64{
+		{"acoustic", 4, "autotune-sweep"}:   0.25,
+		{"acoustic", 4, "autotune-predict"}: 0.25,
+		{"tti", 8, "autotune-sweep"}:        0.10,
+		{"tti", 8, "autotune-predict"}:      0.095,
+	}
+	if len(f.Series) != len(want) {
+		t.Fatalf("series = %v, want %d entries", f.Series, len(want))
+	}
+	for k, v := range want {
+		if f.Series[k] != v {
+			t.Errorf("%s = %g, want %g", k, f.Series[k], v)
+		}
+	}
+	if len(f.Hosts) != 1 {
+		t.Fatalf("host fingerprint not collected: %v", f.Hosts)
+	}
+	// Two predict artifacts diff cleanly against each other.
+	g, err := LoadBenchFile(writeTemp(t, "predict2.json", doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diff(f, g, DiffOptions{})
+	if len(d.Pairs) != 4 || d.Regression || d.Improvement {
+		t.Fatalf("self-diff: %+v", d)
+	}
+}
+
 func TestLoadBenchFileRejectsGarbage(t *testing.T) {
 	if _, err := LoadBenchFile(writeTemp(t, "bad.json", `{"hello": 1}`)); err == nil {
 		t.Fatal("unrecognized document must error")

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"wavetile/internal/cachesim"
+	"wavetile/internal/hostcal"
 	"wavetile/internal/model"
 	"wavetile/internal/obs"
 	"wavetile/internal/roofline"
@@ -15,8 +16,8 @@ import (
 // Roofline attribution: joining a measured run against the cache-simulated
 // prediction for the same (physics, order, schedule, config) point.
 
-// MachineByName resolves a roofline machine model by (case-insensitive)
-// name.
+// MachineByName resolves a *preset* roofline machine model by
+// (case-insensitive) name. ResolveMachine is the host-aware superset.
 func MachineByName(name string) (roofline.Machine, error) {
 	switch strings.ToLower(name) {
 	case "", "broadwell":
@@ -27,14 +28,63 @@ func MachineByName(name string) (roofline.Machine, error) {
 	return roofline.Machine{}, fmt.Errorf("bench: unknown roofline machine %q (want broadwell or skylake)", name)
 }
 
+// PresetMarker prefixes the machine name when attribution falls back to a
+// paper preset because no measured host fingerprint was available — so a
+// report reader can always tell a measured machine ("host/…") from an
+// assumed one ("preset/…").
+const PresetMarker = "preset/"
+
+// ResolveMachine turns a machine selector into a calibrated roofline model:
+//
+//   - "" (auto): the measured host fingerprint when a valid one is found at
+//     calPath (or hostcal.DefaultPath()), with its fitted calibration if
+//     present; otherwise the Broadwell preset renamed "preset/broadwell" so
+//     the fallback is explicit in every report.
+//   - "host": the measured fingerprint, required — a missing, mismatched or
+//     stale fingerprint is a surfaced error, never a silent preset.
+//   - "broadwell" / "skylake": the paper presets, by name.
+//
+// calPath "" means hostcal.DefaultPath().
+func ResolveMachine(name, calPath string) (roofline.Calibrated, error) {
+	if calPath == "" {
+		calPath = hostcal.DefaultPath()
+	}
+	switch strings.ToLower(name) {
+	case "", "auto":
+		if cal, err := hostcal.LoadChecked(calPath); err == nil {
+			return roofline.CalibratedFromCal(cal), nil
+		}
+		m := roofline.Broadwell()
+		m.Name = PresetMarker + "broadwell"
+		return roofline.Calibrated{Machine: m, BWEff: 1}, nil
+	case "host":
+		cal, err := hostcal.LoadChecked(calPath)
+		if err != nil {
+			return roofline.Calibrated{}, fmt.Errorf("bench: -machine host needs a valid fingerprint (run `make hostcal`): %w", err)
+		}
+		return roofline.CalibratedFromCal(cal), nil
+	}
+	m, err := MachineByName(name)
+	if err != nil {
+		return roofline.Calibrated{}, err
+	}
+	return roofline.Calibrated{Machine: m, BWEff: 1}, nil
+}
+
 // AttributeOptions size the attribution replay. The defaults are smaller
 // than SimOptions' figure-grade trace grid: attribution runs inline after a
 // measurement (a -report flag, a post-Run call), so it trades a little
 // traffic-ratio fidelity for a sub-second replay.
 type AttributeOptions struct {
-	Machine string // roofline machine model (default "Broadwell")
-	TraceN  int    // trace grid edge (default 64)
-	TraceNt int    // traced timesteps (default 4)
+	// Machine selects the roofline model: "" (auto: measured host
+	// fingerprint when available, else the marked Broadwell preset),
+	// "host", "broadwell" or "skylake" — see ResolveMachine.
+	Machine string
+	// HostcalPath overrides the fingerprint location ("" →
+	// hostcal.DefaultPath()).
+	HostcalPath string
+	TraceN      int // trace grid edge (default 64)
+	TraceNt     int // traced timesteps (default 4)
 }
 
 func (o *AttributeOptions) defaults() {
@@ -68,10 +118,11 @@ func (o *AttributeOptions) defaults() {
 // runPoints and measuredGPts come from the measurement being attributed.
 func Attribute(spec Spec, schedule string, cfg tiling.Config, measuredGPts float64, runPoints int64, o AttributeOptions) (*obs.RooflineAttribution, error) {
 	o.defaults()
-	m, err := MachineByName(o.Machine)
+	cal, err := ResolveMachine(o.Machine, o.HostcalPath)
 	if err != nil {
 		return nil, err
 	}
+	m := cal.Machine
 
 	sh, err := traceShape(spec, SimOptions{TraceN: o.TraceN, TraceNt: o.TraceNt})
 	if err != nil {
@@ -99,7 +150,7 @@ func Attribute(spec Spec, schedule string, cfg tiling.Config, measuredGPts float
 
 	tracePoints := float64(o.TraceN) * float64(o.TraceN) * float64(o.TraceN) * float64(o.TraceNt)
 	flops := float64(flopsPerPoint(spec.Model, spec.SO)) * tracePoints
-	pred := roofline.Predict(m, flops, tracePoints, traffic)
+	pred := cal.Predict(flops, tracePoints, traffic)
 
 	att := &obs.RooflineAttribution{
 		Machine:            m.Name,
@@ -108,6 +159,14 @@ func Attribute(spec Spec, schedule string, cfg tiling.Config, measuredGPts float
 		PredictedGPointsPS: pred.GPointsPS,
 		PredictedBound:     pred.Bound,
 		MachineDRAMGBs:     m.BWGBs[len(m.BWGBs)-1],
+	}
+	// Record the calibration behind the prediction when it deviates from
+	// the identity model.
+	if cal.BWEff > 0 && cal.BWEff != 1 {
+		att.BWEff = cal.BWEff
+	}
+	if cal.OverheadNSPerPoint > 0 {
+		att.OverheadNSPerPoint = cal.OverheadNSPerPoint
 	}
 	if pred.GPointsPS > 0 {
 		att.AchievedFraction = measuredGPts / pred.GPointsPS

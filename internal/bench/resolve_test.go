@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wavetile/internal/hostcal"
+	"wavetile/internal/obs"
+)
+
+func writeFingerprint(t *testing.T, mutate func(*hostcal.Fingerprint)) string {
+	t.Helper()
+	f := &hostcal.Fingerprint{
+		Version: hostcal.Version, Kind: hostcal.Kind,
+		CreatedUnixMS: time.Now().UnixMilli(),
+		Host:          obs.HostFingerprint(),
+		Levels: []hostcal.CacheLevel{
+			{Name: "L1", SizeBytes: 32 << 10, Assoc: 8, Source: "sysfs"},
+			{Name: "L2", SizeBytes: 1 << 20, Assoc: 16, Source: "sysfs"},
+			{Name: "L3", SizeBytes: 16 << 20, Assoc: 16, Shared: true, Source: "sysfs"},
+		},
+		BWGBs:      []float64{500, 200, 30},
+		PeakGFlops: 80,
+	}
+	if mutate != nil {
+		mutate(f)
+	}
+	path := filepath.Join(t.TempDir(), "hostcal.json")
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestResolveMachineHost(t *testing.T) {
+	path := writeFingerprint(t, func(f *hostcal.Fingerprint) {
+		f.Calibration = &hostcal.Calibration{BWEff: 0.55, OverheadNSPerPoint: 2}
+	})
+	cal, err := ResolveMachine("host", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(cal.Machine.Name, "host/") {
+		t.Fatalf("machine %q not measured", cal.Machine.Name)
+	}
+	if cal.BWEff != 0.55 || cal.OverheadNSPerPoint != 2 {
+		t.Fatalf("calibration not adopted: %+v", cal)
+	}
+	if cal.Machine.PeakGFlops != 80 || cal.Machine.BWGBs[2] != 30 {
+		t.Fatalf("measured ceilings not adopted: %+v", cal.Machine)
+	}
+	// Auto mode prefers the same fingerprint.
+	auto, err := ResolveMachine("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Machine.Name != cal.Machine.Name {
+		t.Fatalf("auto resolved %q, host resolved %q", auto.Machine.Name, cal.Machine.Name)
+	}
+}
+
+func TestResolveMachineHostRequiresValidFingerprint(t *testing.T) {
+	// Missing file.
+	if _, err := ResolveMachine("host", filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing fingerprint must fail -machine host")
+	}
+	// Mismatched host: error must surface the mismatch, not fall back.
+	path := writeFingerprint(t, func(f *hostcal.Fingerprint) {
+		f.Host.CPUs += 13
+	})
+	_, err := ResolveMachine("host", path)
+	if err == nil || !hostcal.IsUnusable(err) {
+		t.Fatalf("mismatched fingerprint must surface a typed error, got %v", err)
+	}
+	// Stale fingerprint likewise.
+	path = writeFingerprint(t, func(f *hostcal.Fingerprint) {
+		f.CreatedUnixMS = time.Now().Add(-365 * 24 * time.Hour).UnixMilli()
+	})
+	if _, err := ResolveMachine("host", path); err == nil || !hostcal.IsUnusable(err) {
+		t.Fatalf("stale fingerprint must surface a typed error, got %v", err)
+	}
+}
+
+func TestResolveMachineAutoFallsBackMarked(t *testing.T) {
+	cal, err := ResolveMachine("", filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Machine.Name != PresetMarker+"broadwell" {
+		t.Fatalf("fallback machine %q must carry the preset marker", cal.Machine.Name)
+	}
+	// Stale/mismatched fingerprints also fall back — marked, never silent.
+	path := writeFingerprint(t, func(f *hostcal.Fingerprint) {
+		f.Host.GOARCH = "riscv64"
+	})
+	cal, err = ResolveMachine("auto", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(cal.Machine.Name, PresetMarker) {
+		t.Fatalf("fallback machine %q unmarked", cal.Machine.Name)
+	}
+}
+
+func TestResolveMachineExplicitPresets(t *testing.T) {
+	for name, want := range map[string]string{"broadwell": "Broadwell", "skylake": "Skylake"} {
+		cal, err := ResolveMachine(name, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cal.Machine.Name != want {
+			t.Fatalf("%s resolved to %q", name, cal.Machine.Name)
+		}
+		if cal.BWEff != 1 || cal.OverheadNSPerPoint != 0 {
+			t.Fatalf("preset must be uncalibrated: %+v", cal)
+		}
+	}
+	if _, err := ResolveMachine("pentium", ""); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}

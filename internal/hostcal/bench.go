@@ -1,0 +1,249 @@
+package hostcal
+
+import (
+	"time"
+
+	"wavetile/internal/par"
+)
+
+// ---------------------------------------------------------------------------
+// STREAM-style sustained bandwidth
+
+// streamKernel runs one pass of a STREAM kernel over every worker's span.
+// Workers own contiguous [lo, hi) element ranges so each streams its own
+// slice of the arrays, the same decomposition the stencil kernels use.
+type streamKernel func(a, b, c []float32, s float32)
+
+func kCopy(a, b, c []float32, s float32) {
+	copy(b, a)
+}
+
+func kScale(a, b, c []float32, s float32) {
+	for i := range b {
+		b[i] = s * a[i]
+	}
+}
+
+func kTriad(a, b, c []float32, s float32) {
+	for i := range a {
+		a[i] = b[i] + s*c[i]
+	}
+}
+
+// timeStream times reps full passes of k over n-element arrays split across
+// workers, returning the best single-pass duration. Arrays are initialized
+// (touched) before timing so page faults stay out of the measurement.
+func timeStream(n, workers, reps int, k streamKernel) time.Duration {
+	a := make([]float32, n)
+	b := make([]float32, n)
+	c := make([]float32, n)
+	for i := range a {
+		a[i] = 1
+		b[i] = 2
+		c[i] = 0.5
+	}
+	span := func(w int) (int, int) {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		return lo, hi
+	}
+	run := func() {
+		par.For(workers, func(w int) {
+			lo, hi := span(w)
+			k(a[lo:hi], b[lo:hi], c[lo:hi], 1.000001)
+		})
+	}
+	run() // warm-up: faults pages, spins the pool up
+	best := time.Duration(0)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		run()
+		el := time.Since(start)
+		if best == 0 || el < best {
+			best = el
+		}
+	}
+	return best
+}
+
+// gbs converts bytes moved in d to GB/s.
+func gbs(bytes float64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return bytes / d.Seconds() / 1e9
+}
+
+// measureStream runs the three STREAM kernels over a working set sized
+// well past the LLC (Options.MinDRAMBuf), so fills come from memory.
+func measureStream(o Options) Stream {
+	// Three arrays of n float32 must cover the DRAM working set.
+	n := o.MinDRAMBuf / (3 * 4)
+	bytesPerPass := float64(n) * 4
+	reps := o.TargetBytes / int(2*bytesPerPass)
+	if reps < 1 {
+		reps = 1
+	}
+	reps *= o.Repeats
+	return Stream{
+		CopyGBs:  gbs(2*bytesPerPass, timeStream(n, o.Workers, reps, kCopy)),
+		ScaleGBs: gbs(2*bytesPerPass, timeStream(n, o.Workers, reps, kScale)),
+		TriadGBs: gbs(3*bytesPerPass, timeStream(n, o.Workers, reps, kTriad)),
+	}
+}
+
+// measureBoundaryBW estimates the sustained bandwidth at each hierarchy
+// boundary: boundary i (fills into level i) is measured with a triad whose
+// working set overflows level i but fits in level i+1, so the streams are
+// served from the next level down. Private levels aggregate across cores
+// (each worker owns its own resident buffers); the shared LLC is split.
+// The last boundary (DRAM) uses a working set past the LLC.
+func measureBoundaryBW(levels []CacheLevel, o Options) []float64 {
+	out := make([]float64, len(levels))
+	for i := range levels {
+		var perWorker int // triad working-set bytes per worker
+		workers := o.Workers
+		if i == len(levels)-1 {
+			// DRAM boundary: overflow the LLC.
+			perWorker = o.MinDRAMBuf / workers
+		} else {
+			src := levels[i+1]
+			budget := src.SizeBytes / 2 // stay clear of other residents
+			if src.Shared {
+				perWorker = budget / workers
+			} else {
+				perWorker = budget
+			}
+			// The set must overflow the level being filled past, or the
+			// probe measures level i instead of the boundary below it.
+			if need := 2 * levels[i].SizeBytes; perWorker < need {
+				perWorker = need
+				if src.Shared && workers > 1 {
+					// Shrink the worker count until the shared source
+					// level still holds every worker's set.
+					workers = budget / perWorker
+					if workers < 1 {
+						workers = 1
+					}
+				}
+			}
+		}
+		n := perWorker / (3 * 4)
+		if n < 1024 {
+			n = 1024
+		}
+		bytesPerPass := float64(n) * 4 * float64(workers)
+		reps := o.TargetBytes / int(3*bytesPerPass)
+		if reps < 1 {
+			reps = 1
+		}
+		reps *= o.Repeats
+		out[i] = gbs(3*bytesPerPass, timeLevelTriad(n, workers, reps))
+	}
+	return out
+}
+
+// timeLevelTriad is timeStream's per-level analogue: every worker owns a
+// private n-element triple sized to be resident in the level under test,
+// and repeats the triad over it. One "pass" is every worker covering its
+// buffers once.
+func timeLevelTriad(n, workers, reps int) time.Duration {
+	bufs := make([][3][]float32, workers)
+	for w := range bufs {
+		bufs[w] = [3][]float32{
+			make([]float32, n), make([]float32, n), make([]float32, n),
+		}
+		for i := 0; i < n; i++ {
+			bufs[w][0][i], bufs[w][1][i], bufs[w][2][i] = 1, 2, 0.5
+		}
+	}
+	run := func(inner int) {
+		par.For(workers, func(w int) {
+			a, b, c := bufs[w][0], bufs[w][1], bufs[w][2]
+			for r := 0; r < inner; r++ {
+				kTriad(a, b, c, 1.000001)
+			}
+		})
+	}
+	run(1)
+	// Time all reps in one parallel region: per-level passes are far too
+	// short (microseconds) to time individually.
+	start := time.Now()
+	run(reps)
+	el := time.Since(start)
+	return el / time.Duration(reps)
+}
+
+// ---------------------------------------------------------------------------
+// Peak-FLOPs microbenchmark
+
+// flopsSink defeats dead-code elimination of the FMA chains.
+var flopsSink float32
+
+// fmaChain runs iters iterations of 8 independent multiply-add chains —
+// FMA-shaped (a·x + c), wide enough to fill the FP pipeline rather than
+// serialize on the dependency latency of a single chain. 16 flops per
+// iteration. The recurrence converges to c/(1−x) ≈ 0.14, so values stay
+// normal (no denormal stalls) for any iteration count.
+func fmaChain(iters int, seed float32) float32 {
+	x := float32(0.999993)
+	c := float32(1e-6)
+	a0 := seed + 0.1
+	a1 := seed + 0.2
+	a2 := seed + 0.3
+	a3 := seed + 0.4
+	a4 := seed + 0.5
+	a5 := seed + 0.6
+	a6 := seed + 0.7
+	a7 := seed + 0.8
+	for i := 0; i < iters; i++ {
+		a0 = a0*x + c
+		a1 = a1*x + c
+		a2 = a2*x + c
+		a3 = a3*x + c
+		a4 = a4*x + c
+		a5 = a5*x + c
+		a6 = a6*x + c
+		a7 = a7*x + c
+	}
+	return a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7
+}
+
+const flopsPerIter = 16
+
+// measureFlops times the chain on one core and on all workers
+// concurrently, returning (single-core, aggregate) sustained GFLOP/s.
+func measureFlops(o Options) (core, aggregate float64) {
+	time1 := func(iters int) time.Duration {
+		start := time.Now()
+		flopsSink += fmaChain(iters, 0.5)
+		return time.Since(start)
+	}
+	timeAll := func(iters int) time.Duration {
+		sinks := make([]float32, o.Workers)
+		start := time.Now()
+		par.For(o.Workers, func(w int) {
+			sinks[w] = fmaChain(iters, 0.3+float32(w)*0.01)
+		})
+		el := time.Since(start)
+		for _, s := range sinks {
+			flopsSink += s
+		}
+		return el
+	}
+	time1(o.FlopIters / 8) // warm-up
+	timeAll(o.FlopIters / 8)
+	bestC, bestA := time.Duration(0), time.Duration(0)
+	for r := 0; r < o.Repeats; r++ {
+		if d := time1(o.FlopIters); bestC == 0 || d < bestC {
+			bestC = d
+		}
+		if d := timeAll(o.FlopIters); bestA == 0 || d < bestA {
+			bestA = d
+		}
+	}
+	fl := float64(o.FlopIters) * flopsPerIter
+	core = fl / bestC.Seconds() / 1e9
+	aggregate = fl * float64(o.Workers) / bestA.Seconds() / 1e9
+	return core, aggregate
+}

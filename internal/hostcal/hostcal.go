@@ -1,0 +1,218 @@
+// Package hostcal characterizes the host this process runs on: sustained
+// memory bandwidth (STREAM-style copy/scale/triad microbenchmarks through
+// internal/par), per-core and aggregate floating-point throughput
+// (FMA-shaped multiply-add chains), and the cache geometry (sysfs on Linux,
+// a latency-probe fallback elsewhere). The result is a schema-versioned
+// JSON fingerprint persisted at ~/.cache/wavesim/hostcal.json.
+//
+// The fingerprint is the measured half of the Roofline-V2 design
+// (SNIPPETS.md): hardware limits are measured once per host instead of
+// hard-coded per paper SKU, and everything downstream —
+// roofline.MachineFromCal, the 2-parameter calibrated predictor, and
+// autotune.TunePredict — is a deterministic function of the fingerprint.
+// Reports and predictions therefore attribute against the machine the run
+// actually executed on, with the paper's Broadwell/Skylake presets demoted
+// to an explicitly marked fallback.
+package hostcal
+
+import (
+	"fmt"
+	"time"
+
+	"wavetile/internal/obs"
+	"wavetile/internal/par"
+)
+
+// Version is the fingerprint schema version; bump on breaking changes.
+const Version = 1
+
+// Kind tags hostcal JSON documents.
+const Kind = "wavetile.hostcal"
+
+// CacheLevel describes one level of the host cache hierarchy.
+type CacheLevel struct {
+	Name      string `json:"name"` // "L1", "L2", "L3"
+	SizeBytes int    `json:"size_bytes"`
+	Assoc     int    `json:"assoc"`
+	// Shared marks a level shared across cores (the LLC); private levels
+	// aggregate bandwidth across cores, shared ones do not.
+	Shared bool `json:"shared"`
+	// Source records how the geometry was obtained: "sysfs", "probe" or
+	// "default".
+	Source string `json:"source"`
+}
+
+// Stream holds the DRAM-scale STREAM results in GB/s. Byte counts follow
+// the STREAM convention (copy/scale move 2 elements, triad 3); the
+// write-allocate read of the store stream is not counted, so the figures
+// are comparable to published STREAM numbers and slightly below the raw
+// bus traffic.
+type Stream struct {
+	CopyGBs  float64 `json:"copy_gb_per_s"`
+	ScaleGBs float64 `json:"scale_gb_per_s"`
+	TriadGBs float64 `json:"triad_gb_per_s"`
+}
+
+// Best returns the highest of the three kernels — the sustained-bandwidth
+// ceiling the roofline model uses.
+func (s Stream) Best() float64 {
+	b := s.CopyGBs
+	if s.ScaleGBs > b {
+		b = s.ScaleGBs
+	}
+	if s.TriadGBs > b {
+		b = s.TriadGBs
+	}
+	return b
+}
+
+// Calibration holds the two fitted model parameters of the Roofline-V2
+// predictor (see roofline.Fit): a bandwidth-efficiency factor applied to
+// every measured ceiling, and a per-point schedule overhead. Exactly these
+// two are fitted; everything else in the fingerprint is measured.
+type Calibration struct {
+	BWEff              float64 `json:"bw_eff"`
+	OverheadNSPerPoint float64 `json:"overhead_ns_per_point"`
+	Samples            int     `json:"samples"`
+	RMSRel             float64 `json:"rms_rel"` // relative RMS error of the fit
+	FittedUnixMS       int64   `json:"fitted_unix_ms"`
+}
+
+// Fingerprint is the persisted host characterization.
+type Fingerprint struct {
+	Version       int          `json:"version"`
+	Kind          string       `json:"kind"`
+	CreatedUnixMS int64        `json:"created_unix_ms"`
+	Host          obs.HostInfo `json:"host"`
+	// Quick marks a reduced-iteration (smoke) measurement; quick
+	// fingerprints position ceilings less precisely and are not meant to
+	// be compared against full ones.
+	Quick bool `json:"quick,omitempty"`
+
+	Levels []CacheLevel `json:"levels"`
+	// BWGBs is the sustained bandwidth at each hierarchy boundary,
+	// innermost first (L2→L1, L3→L2, …, DRAM) — the measured analogue of
+	// roofline.Machine.BWGBs.
+	BWGBs  []float64 `json:"bw_gb_per_s"`
+	Stream Stream    `json:"stream"`
+
+	// PeakGFlops is the measured aggregate sustained FP32 multiply-add
+	// throughput (all cores); CoreGFlops is a single core's.
+	PeakGFlops float64 `json:"peak_gflops"`
+	CoreGFlops float64 `json:"core_gflops"`
+
+	// Calibration is present once `roofline -calibrate` has fitted the
+	// 2-parameter predictor against measured runs on this host.
+	Calibration *Calibration `json:"calibration,omitempty"`
+}
+
+// MachineName is the roofline machine label of a measured host, e.g.
+// "host/amd64-16c". The "host/" prefix is what report consumers key on to
+// distinguish measured machines from the "preset/..." paper models.
+func (f *Fingerprint) MachineName() string {
+	return fmt.Sprintf("host/%s-%dc", f.Host.GOARCH, f.Host.CPUs)
+}
+
+// Options size a measurement run.
+type Options struct {
+	// Quick selects the reduced-iteration smoke profile: smaller buffers
+	// and fewer repetitions, seconds instead of tens of seconds. The
+	// resulting fingerprint is marked Quick.
+	Quick bool
+	// Workers overrides the parallel width (default par.Workers).
+	Workers int
+	// TargetBytes is the approximate number of bytes each bandwidth
+	// timing streams (default 1 GiB full, 96 MiB quick). More bytes
+	// average over more noise.
+	TargetBytes int
+	// MinDRAMBuf floors the DRAM working set (default 4× LLC full,
+	// 1.5× LLC quick — always well past the LLC).
+	MinDRAMBuf int
+	// FlopIters is the FMA-chain trip count per timing (default 6e7 full,
+	// 8e6 quick; 16 flops per iteration).
+	FlopIters int
+	// Repeats is the best-of count per timing (default 3 full, 1 quick).
+	Repeats int
+}
+
+func (o *Options) defaults(llc int) {
+	if o.Workers <= 0 {
+		o.Workers = par.Workers
+	}
+	if o.Repeats <= 0 {
+		o.Repeats = 3
+		if o.Quick {
+			o.Repeats = 1
+		}
+	}
+	if o.TargetBytes <= 0 {
+		o.TargetBytes = 1 << 30
+		if o.Quick {
+			o.TargetBytes = 96 << 20
+		}
+	}
+	if o.MinDRAMBuf <= 0 {
+		factor := 4.0
+		if o.Quick {
+			factor = 1.5
+		}
+		o.MinDRAMBuf = int(factor * float64(llc))
+		if min := 64 << 20; o.MinDRAMBuf < min {
+			o.MinDRAMBuf = min
+		}
+	}
+	if o.FlopIters <= 0 {
+		o.FlopIters = 6e7
+		if o.Quick {
+			o.FlopIters = 8e6
+		}
+	}
+}
+
+// Measure characterizes the current host: cache geometry, per-boundary
+// sustained bandwidth, DRAM-scale STREAM figures, and FP throughput. It is
+// the expensive half of the predictive autotuner — run once per host (make
+// hostcal) and persisted; everything downstream is pure computation on the
+// returned fingerprint.
+func Measure(o Options) (*Fingerprint, error) {
+	levels := DetectCaches()
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("hostcal: no cache levels detected")
+	}
+	llc := levels[len(levels)-1].SizeBytes
+	o.defaults(llc)
+
+	f := &Fingerprint{
+		Version:       Version,
+		Kind:          Kind,
+		CreatedUnixMS: time.Now().UnixMilli(),
+		Host:          obs.HostFingerprint(),
+		Quick:         o.Quick,
+		Levels:        levels,
+	}
+	f.Host.Workers = o.Workers
+
+	f.Stream = measureStream(o)
+	f.BWGBs = measureBoundaryBW(levels, o)
+	// The last boundary is DRAM: prefer the dedicated STREAM figure (it
+	// streams a larger working set than the generic boundary probe).
+	if n := len(f.BWGBs); n > 0 {
+		if best := f.Stream.Best(); best > 0 {
+			f.BWGBs[n-1] = best
+		}
+	}
+
+	core, agg := measureFlops(o)
+	f.CoreGFlops, f.PeakGFlops = core, agg
+
+	for i, bw := range f.BWGBs {
+		if bw <= 0 {
+			return nil, fmt.Errorf("hostcal: degenerate bandwidth %.3g GB/s at boundary %d", bw, i)
+		}
+	}
+	if f.PeakGFlops <= 0 || f.CoreGFlops <= 0 {
+		return nil, fmt.Errorf("hostcal: degenerate flops measurement (%.3g / %.3g GFLOP/s)",
+			f.CoreGFlops, f.PeakGFlops)
+	}
+	return f, nil
+}

@@ -1,0 +1,257 @@
+package hostcal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wavetile/internal/obs"
+)
+
+// writeSysfs builds a fake cpu0/cache tree.
+func writeSysfs(t *testing.T, root string, entries []map[string]string) {
+	t.Helper()
+	for i, e := range entries {
+		dir := filepath.Join(root, "index"+string(rune('0'+i)))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range e {
+			if err := os.WriteFile(filepath.Join(dir, k), []byte(v+"\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestSysfsLevels(t *testing.T) {
+	root := t.TempDir()
+	writeSysfs(t, root, []map[string]string{
+		{"level": "1", "type": "Data", "size": "48K", "ways_of_associativity": "12", "shared_cpu_list": "0"},
+		{"level": "1", "type": "Instruction", "size": "32K", "ways_of_associativity": "8", "shared_cpu_list": "0"},
+		{"level": "2", "type": "Unified", "size": "2048K", "ways_of_associativity": "16", "shared_cpu_list": "0"},
+		{"level": "3", "type": "Unified", "size": "36M", "ways_of_associativity": "11", "shared_cpu_list": "0-15"},
+	})
+	levels, err := sysfsLevels(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 3 {
+		t.Fatalf("got %d levels, want 3 (instruction cache must be skipped): %+v", len(levels), levels)
+	}
+	want := []CacheLevel{
+		{Name: "L1", SizeBytes: 48 << 10, Assoc: 12, Shared: false, Source: "sysfs"},
+		{Name: "L2", SizeBytes: 2048 << 10, Assoc: 16, Shared: false, Source: "sysfs"},
+		{Name: "L3", SizeBytes: 36 << 20, Assoc: 11, Shared: true, Source: "sysfs"},
+	}
+	for i, w := range want {
+		if levels[i] != w {
+			t.Fatalf("level %d = %+v, want %+v", i, levels[i], w)
+		}
+	}
+}
+
+func TestSysfsLevelsMissingWays(t *testing.T) {
+	root := t.TempDir()
+	writeSysfs(t, root, []map[string]string{
+		{"level": "1", "type": "Data", "size": "32K", "shared_cpu_list": "0"},
+	})
+	levels, err := sysfsLevels(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels[0].Assoc != 8 {
+		t.Fatalf("missing ways file must default associativity to 8, got %d", levels[0].Assoc)
+	}
+}
+
+func TestCPUListLen(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+	}{
+		{"", 0}, {"0", 1}, {"0-3", 4}, {"0-3,8-11", 8}, {"0,32", 2},
+	} {
+		if got := cpuListLen(tc.in); got != tc.want {
+			t.Errorf("cpuListLen(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// testOptions keeps measurement runs fast enough for unit tests while
+// still exercising every code path.
+func testOptions() Options {
+	return Options{
+		Quick:       true,
+		TargetBytes: 8 << 20,
+		MinDRAMBuf:  24 << 20,
+		FlopIters:   2e6,
+		Repeats:     1,
+	}
+}
+
+// TestMeasureSane checks the full measurement path produces a structurally
+// valid, physically plausible fingerprint.
+func TestMeasureSane(t *testing.T) {
+	f, err := Measure(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Version != Version || f.Kind != Kind || !f.Quick {
+		t.Fatalf("bad header: %+v", f)
+	}
+	if len(f.Levels) == 0 || len(f.BWGBs) != len(f.Levels) {
+		t.Fatalf("levels/bandwidths mismatch: %d levels, %d bandwidths", len(f.Levels), len(f.BWGBs))
+	}
+	for i, bw := range f.BWGBs {
+		if bw <= 0 || bw > 1e5 {
+			t.Fatalf("implausible bandwidth %.3g GB/s at boundary %d", bw, i)
+		}
+	}
+	if f.Stream.Best() <= 0 {
+		t.Fatalf("no stream result: %+v", f.Stream)
+	}
+	if f.CoreGFlops <= 0 || f.PeakGFlops <= 0 || f.PeakGFlops < f.CoreGFlops/2 {
+		t.Fatalf("implausible flops: core %.3g aggregate %.3g", f.CoreGFlops, f.PeakGFlops)
+	}
+	if f.MachineName() == "" || f.MachineName()[:5] != "host/" {
+		t.Fatalf("machine name %q must carry the host/ prefix", f.MachineName())
+	}
+}
+
+// TestMeasureReproducible is the reproducibility acceptance check at test
+// scale: two back-to-back measurements must agree within a (generous,
+// noise-tolerant) factor — the full-scale equivalent is two `make hostcal`
+// runs agreeing, which average far more iterations.
+func TestMeasureReproducible(t *testing.T) {
+	a, err := Measure(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Measure(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	within := func(name string, x, y, tol float64) {
+		t.Helper()
+		r := x / y
+		if r < 1/tol || r > tol {
+			t.Errorf("%s not reproducible: %.3g vs %.3g (ratio %.2f, tol %.1fx)", name, x, y, r, tol)
+		}
+	}
+	within("DRAM bandwidth", a.BWGBs[len(a.BWGBs)-1], b.BWGBs[len(b.BWGBs)-1], 2.5)
+	within("core GFLOP/s", a.CoreGFlops, b.CoreGFlops, 2.5)
+	within("aggregate GFLOP/s", a.PeakGFlops, b.PeakGFlops, 2.5)
+	if len(a.Levels) != len(b.Levels) {
+		t.Errorf("cache detection not stable: %d vs %d levels", len(a.Levels), len(b.Levels))
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	f, err := Measure(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sub", "hostcal.json")
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CreatedUnixMS != f.CreatedUnixMS || g.PeakGFlops != f.PeakGFlops ||
+		len(g.Levels) != len(f.Levels) || g.BWGBs[0] != f.BWGBs[0] {
+		t.Fatalf("round trip lost data: %+v vs %+v", g, f)
+	}
+	if err := g.Check(obs.HostFingerprint(), 0, time.Now()); err != nil {
+		t.Fatalf("fresh same-host fingerprint must check clean: %v", err)
+	}
+}
+
+// TestCheckSurfacesMismatchAndStaleness: a fingerprint from another host or
+// era must be rejected with a typed, actionable error — never silently used.
+func TestCheckSurfacesMismatchAndStaleness(t *testing.T) {
+	f := &Fingerprint{
+		Version: Version, Kind: Kind,
+		CreatedUnixMS: time.Now().UnixMilli(),
+		Host:          obs.HostFingerprint(),
+		Levels:        defaultLevels(),
+		BWGBs:         []float64{100, 50, 10},
+	}
+	host := obs.HostFingerprint()
+
+	wrongArch := *f
+	wrongArch.Host.GOARCH = "riscv64"
+	if err := wrongArch.Check(host, 0, time.Now()); err == nil || !IsUnusable(err) {
+		t.Fatalf("arch mismatch must surface a typed error, got %v", err)
+	}
+	wrongCPUs := *f
+	wrongCPUs.Host.CPUs = host.CPUs + 7
+	if err := wrongCPUs.Check(host, 0, time.Now()); err == nil || !IsUnusable(err) {
+		t.Fatalf("CPU-count mismatch must surface a typed error, got %v", err)
+	}
+	if err := f.Check(host, time.Hour, time.Now().Add(48*time.Hour)); err == nil || !IsUnusable(err) {
+		t.Fatalf("stale fingerprint must surface a typed error, got %v", err)
+	}
+	if err := f.Check(host, 0, time.Now()); err != nil {
+		t.Fatalf("matching fresh fingerprint must pass: %v", err)
+	}
+}
+
+func TestLoadRejectsBadDocuments(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := Load(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	if _, err := Load(write("garbage.json", "{nope")); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+	if _, err := Load(write("kind.json", `{"version":1,"kind":"wavetile.run-report"}`)); err == nil {
+		t.Fatal("wrong kind must error")
+	}
+	if _, err := Load(write("ver.json", `{"version":99,"kind":"wavetile.hostcal"}`)); err == nil {
+		t.Fatal("future schema version must error")
+	}
+	if _, err := Load(write("shape.json",
+		`{"version":1,"kind":"wavetile.hostcal","levels":[{"name":"L1","size_bytes":32768,"assoc":8}],"bw_gb_per_s":[]}`)); err == nil {
+		t.Fatal("levels/bandwidth length mismatch must error")
+	}
+}
+
+func TestDefaultPathEnvOverride(t *testing.T) {
+	t.Setenv(EnvPath, "/tmp/xyz/hostcal.json")
+	if got := DefaultPath(); got != "/tmp/xyz/hostcal.json" {
+		t.Fatalf("env override ignored: %q", got)
+	}
+	t.Setenv(EnvPath, "")
+	t.Setenv("XDG_CACHE_HOME", "/tmp/xdg")
+	if got := DefaultPath(); got != "/tmp/xdg/wavesim/hostcal.json" {
+		t.Fatalf("XDG path wrong: %q", got)
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+	}{
+		{"32K", 32 << 10}, {"2048K", 2048 << 10}, {"36M", 36 << 20}, {"64", 64},
+	} {
+		got, err := parseSize(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := parseSize(""); err == nil {
+		t.Error("empty size must error")
+	}
+}

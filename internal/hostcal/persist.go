@@ -1,0 +1,153 @@
+package hostcal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"wavetile/internal/obs"
+)
+
+// EnvPath is the environment variable overriding the fingerprint location
+// (tests and CI point it at scratch paths; an empty value is ignored).
+const EnvPath = "WAVETILE_HOSTCAL"
+
+// DefaultMaxAge is how old a fingerprint may grow before Check reports it
+// stale: hardware doesn't drift, but kernels, governors and firmware do.
+const DefaultMaxAge = 90 * 24 * time.Hour
+
+// DefaultPath returns the canonical fingerprint location:
+// $WAVETILE_HOSTCAL if set, else ~/.cache/wavesim/hostcal.json (honoring
+// XDG_CACHE_HOME).
+func DefaultPath() string {
+	if p := os.Getenv(EnvPath); p != "" {
+		return p
+	}
+	cache := os.Getenv("XDG_CACHE_HOME")
+	if cache == "" {
+		home, err := os.UserHomeDir()
+		if err != nil {
+			return "hostcal.json" // last resort: working directory
+		}
+		cache = filepath.Join(home, ".cache")
+	}
+	return filepath.Join(cache, "wavesim", "hostcal.json")
+}
+
+// Save writes the fingerprint as indented JSON via an atomic
+// temp-file+rename, creating parent directories as needed.
+func (f *Fingerprint) Save(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("hostcal: save: %w", err)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("hostcal: save: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("hostcal: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("hostcal: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a fingerprint, validating schema and structural sanity but
+// not host identity — use Check (or LoadChecked) for that.
+func Load(path string) (*Fingerprint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("hostcal: %w", err)
+	}
+	var f Fingerprint
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("hostcal: %s: %w", path, err)
+	}
+	if f.Kind != "" && f.Kind != Kind {
+		return nil, fmt.Errorf("hostcal: %s is a %q document, not a host fingerprint", path, f.Kind)
+	}
+	if f.Version != Version {
+		return nil, fmt.Errorf("hostcal: %s has schema version %d, want %d — re-run `make hostcal`",
+			path, f.Version, Version)
+	}
+	if len(f.Levels) == 0 || len(f.BWGBs) != len(f.Levels) {
+		return nil, fmt.Errorf("hostcal: %s: malformed fingerprint (%d levels, %d bandwidths)",
+			path, len(f.Levels), len(f.BWGBs))
+	}
+	return &f, nil
+}
+
+// MismatchError reports a fingerprint that was measured on a different
+// host than the one asking for it.
+type MismatchError struct {
+	Field      string
+	Have, Want string
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("hostcal: fingerprint %s is %q but this host is %q — re-run `make hostcal`",
+		e.Field, e.Have, e.Want)
+}
+
+// StaleError reports a fingerprint older than the allowed age.
+type StaleError struct {
+	Age    time.Duration
+	MaxAge time.Duration
+}
+
+func (e *StaleError) Error() string {
+	return fmt.Sprintf("hostcal: fingerprint is %.0fd old (max %.0fd) — re-run `make hostcal`",
+		e.Age.Hours()/24, e.MaxAge.Hours()/24)
+}
+
+// Check validates the fingerprint against a host identity (normally
+// obs.HostFingerprint()) and an age limit (0 → DefaultMaxAge). A mismatch
+// or stale fingerprint is surfaced as a typed error, never silently used:
+// callers either refuse (-machine host) or fall back to an explicitly
+// marked preset.
+func (f *Fingerprint) Check(host obs.HostInfo, maxAge time.Duration, now time.Time) error {
+	if f.Host.GOOS != host.GOOS {
+		return &MismatchError{"GOOS", f.Host.GOOS, host.GOOS}
+	}
+	if f.Host.GOARCH != host.GOARCH {
+		return &MismatchError{"GOARCH", f.Host.GOARCH, host.GOARCH}
+	}
+	if f.Host.CPUs != host.CPUs {
+		return &MismatchError{"CPU count", fmt.Sprint(f.Host.CPUs), fmt.Sprint(host.CPUs)}
+	}
+	if maxAge <= 0 {
+		maxAge = DefaultMaxAge
+	}
+	if age := now.Sub(time.UnixMilli(f.CreatedUnixMS)); age > maxAge {
+		return &StaleError{Age: age, MaxAge: maxAge}
+	}
+	return nil
+}
+
+// LoadChecked loads a fingerprint and validates it against the current
+// host and the default age limit.
+func LoadChecked(path string) (*Fingerprint, error) {
+	f, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Check(obs.HostFingerprint(), 0, time.Now()); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// IsUnusable reports whether err marks a fingerprint that exists but must
+// not be used on this host (mismatch or stale) — as opposed to one that
+// simply doesn't exist yet.
+func IsUnusable(err error) bool {
+	var m *MismatchError
+	var s *StaleError
+	return errors.As(err, &m) || errors.As(err, &s)
+}

@@ -64,14 +64,22 @@ type RunInfo struct {
 // that the run achieved. These are the measured-vs-predicted datapoints
 // the roofline-v2 predictive autotuner trains on.
 type RooflineAttribution struct {
-	// Machine is the roofline machine model the prediction used. The
-	// paper's Broadwell/Skylake models are calibrated for the paper's Xeon
-	// SKUs, not this host, so AchievedFraction is a fraction *of that
-	// model* — stable for trend tracking, not a host utilization figure.
+	// Machine is the roofline machine model the prediction used: a measured
+	// host fingerprint ("host/<goarch>-<N>c", from internal/hostcal) when one
+	// is available, else an explicitly marked paper preset
+	// ("preset/broadwell"). With a preset, AchievedFraction is a fraction
+	// *of that model* — stable for trend tracking, not a host utilization
+	// figure; with a measured machine it is a genuine host fraction.
 	Machine string `json:"machine"`
 	// TraceN/TraceNt size the reduced trace grid the prediction replayed.
 	TraceN  int `json:"trace_n"`
 	TraceNt int `json:"trace_nt"`
+
+	// BWEff and OverheadNSPerPoint record the calibrated-roofline parameters
+	// (internal/roofline.Calibrated) behind the prediction; absent when the
+	// prediction is uncalibrated.
+	BWEff              float64 `json:"bw_eff,omitempty"`
+	OverheadNSPerPoint float64 `json:"overhead_ns_per_point,omitempty"`
 
 	PredictedGPointsPS float64 `json:"predicted_gpoints_per_sec"`
 	PredictedBound     string  `json:"predicted_bound"` // "compute", "L2→L1", "L3→L2", "DRAM"

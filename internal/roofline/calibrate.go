@@ -1,0 +1,219 @@
+package roofline
+
+import (
+	"fmt"
+	"math"
+
+	"wavetile/internal/cachesim"
+	"wavetile/internal/hostcal"
+)
+
+// ---------------------------------------------------------------------------
+// Roofline V2: machines built from measurement, and a 2-parameter
+// calibrated predictor.
+//
+// The presets above (Broadwell/Skylake) position ceilings by the paper's
+// nominal SKU figures plus hand-tuned sustained-compute numbers. The V2
+// design replaces those magic numbers with a measured host fingerprint
+// (internal/hostcal) and reduces calibration to exactly two parameters:
+//
+//	time = max( flops/peak, max_i bytes_i/(bw_i · BWEff) ) + points · Overhead
+//
+// BWEff — one bandwidth-efficiency factor. Stencil access streams never
+// reach STREAM bandwidth (strided row sets, write-allocate traffic the
+// STREAM convention doesn't count, TLB pressure); one multiplicative
+// factor on every measured ceiling absorbs that, following the BwEff
+// constant of the Roofline-V2 design in SNIPPETS.md.
+//
+// Overhead — one per-point schedule overhead. Tiling loop nests, source
+// injection, bounds clamping and the parallel runtime all cost time the
+// traffic model cannot see; it scales with points updated, not with bytes
+// moved, so it gets its own linear term.
+//
+// Both are fitted by deterministic least squares from a handful of
+// measured runs (Fit); everything else is measured hardware.
+
+// MachineFromCal constructs a roofline Machine from a measured host
+// fingerprint: cache geometry, per-boundary bandwidths and the
+// floating-point ceiling all come from measurement rather than presets.
+func MachineFromCal(cal *hostcal.Fingerprint) Machine {
+	cfg := cachesim.Config{Name: cal.MachineName()}
+	for _, l := range cal.Levels {
+		assoc := l.Assoc
+		if assoc < 1 {
+			assoc = 1
+		}
+		size := l.SizeBytes
+		if size < cachesim.LineSize*assoc {
+			size = cachesim.LineSize * assoc
+		}
+		cfg.Levels = append(cfg.Levels, cachesim.LevelSpec{
+			Name: l.Name, SizeBytes: size, Assoc: assoc,
+		})
+	}
+	return Machine{
+		Name:       cal.MachineName(),
+		Cache:      cfg,
+		PeakGFlops: cal.PeakGFlops,
+		BWGBs:      append([]float64(nil), cal.BWGBs...),
+	}
+}
+
+// Calibrated is a machine plus the two fitted parameters. The zero values
+// of both parameters select the uncalibrated model: Predict with BWEff ≤ 0
+// (or > 1) treats it as 1, and a non-positive overhead adds nothing, so a
+// Calibrated{Machine: m} behaves exactly like Predict(m, ...).
+type Calibrated struct {
+	Machine            Machine
+	BWEff              float64
+	OverheadNSPerPoint float64
+}
+
+// CalibratedFromCal couples the measured machine with the fingerprint's
+// fitted parameters (identity parameters when the fingerprint has not been
+// calibrated yet).
+func CalibratedFromCal(cal *hostcal.Fingerprint) Calibrated {
+	c := Calibrated{Machine: MachineFromCal(cal), BWEff: 1}
+	if cal.Calibration != nil {
+		c.BWEff = cal.Calibration.BWEff
+		c.OverheadNSPerPoint = cal.Calibration.OverheadNSPerPoint
+	}
+	return c
+}
+
+// effBW returns the clamped bandwidth-efficiency factor.
+func (c Calibrated) effBW() float64 {
+	if c.BWEff <= 0 || c.BWEff > 1 {
+		return 1
+	}
+	return c.BWEff
+}
+
+// Predict evaluates the calibrated roofline for a kernel that executes the
+// given flop and point counts with the simulated traffic. It is Predict
+// with every bandwidth ceiling scaled by BWEff and the per-point overhead
+// added on top; deterministic given (machine, parameters, traffic).
+func (c Calibrated) Predict(flops, points float64, t cachesim.Traffic) Prediction {
+	m := c.Machine
+	eff := c.effBW()
+	scaled := m
+	scaled.BWGBs = make([]float64, len(m.BWGBs))
+	for i, bw := range m.BWGBs {
+		scaled.BWGBs[i] = bw * eff
+	}
+	p := Predict(scaled, flops, points, t)
+	p.Machine = m.Name
+	if c.OverheadNSPerPoint > 0 && points > 0 {
+		p.Seconds += points * c.OverheadNSPerPoint * 1e-9
+		if p.Seconds > 0 {
+			p.GFlops = flops / p.Seconds / 1e9
+			p.GPointsPS = points / p.Seconds / 1e9
+		}
+	}
+	return p
+}
+
+// CalSample is one measured run paired with its simulated traffic — a
+// training point for Fit.
+type CalSample struct {
+	Name            string
+	Flops, Points   float64
+	Traffic         cachesim.Traffic
+	MeasuredSeconds float64
+}
+
+// FitInfo reports the quality of a calibration fit.
+type FitInfo struct {
+	Samples int
+	// RMSRel is the root-mean-square relative error of the fitted model
+	// over the training samples.
+	RMSRel float64
+}
+
+// Fit determines the two calibration parameters by least squares over
+// measured runs: for each candidate BWEff on a fixed grid the optimal
+// overhead has a closed form (the residual model is linear in it), so the
+// search is a deterministic 1-D scan plus a refinement pass — same
+// samples, same fingerprint, same parameters, bit for bit.
+//
+// At least two samples are required (two parameters); more samples over
+// different schedules and orders condition the fit better.
+func Fit(m Machine, samples []CalSample) (Calibrated, FitInfo, error) {
+	if len(samples) < 2 {
+		return Calibrated{}, FitInfo{}, fmt.Errorf("roofline: fit needs ≥ 2 samples, got %d", len(samples))
+	}
+	for _, s := range samples {
+		if s.MeasuredSeconds <= 0 || s.Points <= 0 {
+			return Calibrated{}, FitInfo{}, fmt.Errorf("roofline: fit sample %q is degenerate (%.3gs, %.3g points)",
+				s.Name, s.MeasuredSeconds, s.Points)
+		}
+	}
+
+	// base(e) per sample: model time before overhead at efficiency e.
+	base := func(e float64, s CalSample) float64 {
+		t := 0.0
+		if m.PeakGFlops > 0 {
+			t = s.Flops / (m.PeakGFlops * 1e9)
+		}
+		for i, bw := range m.BWGBs {
+			if bw <= 0 {
+				continue
+			}
+			if sec := float64(s.Traffic.BytesAt(i)) / (bw * e * 1e9); sec > t {
+				t = sec
+			}
+		}
+		return t
+	}
+	// For fixed e, the least-squares overhead (ns/point, clamped ≥ 0) and
+	// the resulting sum of squared errors.
+	sse := func(e float64) (float64, float64) {
+		var num, den float64
+		for _, s := range samples {
+			n := s.Points * 1e-9 // seconds per ns-of-overhead
+			num += n * (s.MeasuredSeconds - base(e, s))
+			den += n * n
+		}
+		ovh := 0.0
+		if den > 0 && num > 0 {
+			ovh = num / den
+		}
+		var err2 float64
+		for _, s := range samples {
+			r := s.MeasuredSeconds - base(e, s) - s.Points*1e-9*ovh
+			err2 += r * r
+		}
+		return ovh, err2
+	}
+
+	bestE, bestOvh, bestErr := 1.0, 0.0, math.Inf(1)
+	scan := func(lo, hi, step float64) {
+		for e := lo; e <= hi+1e-12; e += step {
+			ovh, err2 := sse(e)
+			// Strict < keeps the scan deterministic and, on ties, prefers
+			// the earlier (coarser-grid) candidate.
+			if err2 < bestErr {
+				bestE, bestOvh, bestErr = e, ovh, err2
+			}
+		}
+	}
+	scan(0.02, 1.0, 0.02)
+	lo, hi := bestE-0.019, bestE+0.019
+	if lo < 0.001 {
+		lo = 0.001
+	}
+	if hi > 1.0 {
+		hi = 1.0
+	}
+	scan(lo, hi, 0.001)
+
+	cal := Calibrated{Machine: m, BWEff: bestE, OverheadNSPerPoint: bestOvh}
+	var rel float64
+	for _, s := range samples {
+		pred := base(bestE, s) + s.Points*1e-9*bestOvh
+		r := (pred - s.MeasuredSeconds) / s.MeasuredSeconds
+		rel += r * r
+	}
+	info := FitInfo{Samples: len(samples), RMSRel: math.Sqrt(rel / float64(len(samples)))}
+	return cal, info, nil
+}

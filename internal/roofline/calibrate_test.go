@@ -1,0 +1,318 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+
+	"wavetile/internal/cachesim"
+	"wavetile/internal/hostcal"
+	"wavetile/internal/obs"
+)
+
+// testFingerprint is a hand-built measured-host document — what hostcal
+// would produce, with round numbers for checkable conversions.
+func testFingerprint() *hostcal.Fingerprint {
+	return &hostcal.Fingerprint{
+		Version: hostcal.Version, Kind: hostcal.Kind,
+		Host: obs.HostInfo{GOOS: "linux", GOARCH: "amd64", CPUs: 8},
+		Levels: []hostcal.CacheLevel{
+			{Name: "L1", SizeBytes: 48 << 10, Assoc: 12, Source: "sysfs"},
+			{Name: "L2", SizeBytes: 2 << 20, Assoc: 16, Source: "sysfs"},
+			{Name: "L3", SizeBytes: 32 << 20, Assoc: 16, Shared: true, Source: "sysfs"},
+		},
+		BWGBs:      []float64{800, 400, 40},
+		PeakGFlops: 120,
+	}
+}
+
+func TestMachineFromCal(t *testing.T) {
+	cal := testFingerprint()
+	m := MachineFromCal(cal)
+	if m.Name != "host/amd64-8c" || m.Cache.Name != m.Name {
+		t.Fatalf("machine name %q / cache name %q", m.Name, m.Cache.Name)
+	}
+	if len(m.Cache.Levels) != 3 || len(m.BWGBs) != 3 {
+		t.Fatalf("level/bandwidth counts: %d/%d", len(m.Cache.Levels), len(m.BWGBs))
+	}
+	if m.Cache.Levels[1].SizeBytes != 2<<20 || m.Cache.Levels[1].Assoc != 16 {
+		t.Fatalf("L2 not carried over: %+v", m.Cache.Levels[1])
+	}
+	if m.PeakGFlops != 120 || m.BWGBs[2] != 40 {
+		t.Fatalf("ceilings not carried over: peak %g dram %g", m.PeakGFlops, m.BWGBs[2])
+	}
+	// BWGBs must be a copy, not an alias of the fingerprint slice.
+	m.BWGBs[0] = -1
+	if cal.BWGBs[0] != 800 {
+		t.Fatal("MachineFromCal aliased the fingerprint's bandwidth slice")
+	}
+}
+
+func TestMachineFromCalClampsDegenerateGeometry(t *testing.T) {
+	cal := testFingerprint()
+	cal.Levels = []hostcal.CacheLevel{{Name: "L1", SizeBytes: 100, Assoc: 0, Source: "probe"}}
+	cal.BWGBs = []float64{50}
+	m := MachineFromCal(cal)
+	l := m.Cache.Levels[0]
+	if l.Assoc < 1 || l.SizeBytes < cachesim.LineSize*l.Assoc {
+		t.Fatalf("degenerate geometry not clamped: %+v", l)
+	}
+	// The clamped machine must be simulable.
+	h := cachesim.New(m.Cache)
+	h.Access(0, false)
+	h.Access(cachesim.LineSize, true)
+	if tr := h.Snapshot("t"); tr.Accesses != 2 {
+		t.Fatalf("clamped machine not simulable: %+v", tr)
+	}
+}
+
+// --- Predict edge cases (zero traffic, zero flops, single-level machines) ---
+
+func TestPredictZeroTraffic(t *testing.T) {
+	m := Broadwell()
+	p := Predict(m, 1e9, 1e9, cachesim.Traffic{Boundary: []uint64{0, 0, 0}})
+	if p.Bound != "compute" {
+		t.Fatalf("zero traffic must be compute-bound, got %s", p.Bound)
+	}
+	want := 1e9 / (m.PeakGFlops * 1e9)
+	if math.Abs(p.Seconds-want)/want > 1e-12 {
+		t.Fatalf("seconds %g want %g", p.Seconds, want)
+	}
+	for i, ai := range p.AIs {
+		if ai != 0 {
+			t.Fatalf("AI[%d] = %g for zero traffic", i, ai)
+		}
+	}
+}
+
+func TestPredictZeroFlops(t *testing.T) {
+	m := Broadwell()
+	lines := uint64(1e9 / cachesim.LineSize)
+	p := Predict(m, 0, 1e8, traffic(lines, lines, lines))
+	if p.Bound != "DRAM" {
+		t.Fatalf("bound %s", p.Bound)
+	}
+	if p.GFlops != 0 || p.GPointsPS <= 0 {
+		t.Fatalf("GFlops %g GPts %g", p.GFlops, p.GPointsPS)
+	}
+	if math.IsNaN(p.Seconds) || math.IsInf(p.Seconds, 0) {
+		t.Fatalf("seconds %g", p.Seconds)
+	}
+}
+
+func TestPredictAllZero(t *testing.T) {
+	// Nothing executed: the prediction must be all zeros, never NaN/Inf.
+	p := Predict(Broadwell(), 0, 0, cachesim.Traffic{Boundary: []uint64{0, 0, 0}})
+	if p.Seconds != 0 || p.GFlops != 0 || p.GPointsPS != 0 {
+		t.Fatalf("all-zero kernel: %+v", p)
+	}
+}
+
+func TestPredictSingleLevelMachine(t *testing.T) {
+	m := Machine{
+		Name: "flat",
+		Cache: cachesim.Config{Name: "flat", Levels: []cachesim.LevelSpec{
+			{Name: "L1", SizeBytes: 32 << 10, Assoc: 8},
+		}},
+		PeakGFlops: 100,
+		BWGBs:      []float64{20},
+	}
+	lines := uint64(1e9 / cachesim.LineSize)
+	p := Predict(m, 1e6, 1e6, cachesim.Traffic{Boundary: []uint64{lines}})
+	// A single-level machine has exactly one boundary, and it is DRAM.
+	if p.Bound != "DRAM" {
+		t.Fatalf("bound %s", p.Bound)
+	}
+	want := 1e9 / (20 * 1e9)
+	if math.Abs(p.Seconds-want)/want > 1e-12 {
+		t.Fatalf("seconds %g want %g", p.Seconds, want)
+	}
+	if len(p.AIs) != 1 {
+		t.Fatalf("AIs %v", p.AIs)
+	}
+}
+
+func TestPredictBoundaryNamesFromCacheLevels(t *testing.T) {
+	m := MachineFromCal(testFingerprint())
+	lines := uint64(1e12 / cachesim.LineSize)
+	// Dominant L2→L1 traffic must be labelled with the measured level names.
+	p := Predict(m, 1, 1, cachesim.Traffic{Boundary: []uint64{lines, 1, 1}})
+	if p.Bound != "L2→L1" {
+		t.Fatalf("bound %q", p.Bound)
+	}
+}
+
+// --- Calibrated predictor ---
+
+func TestCalibratedIdentityMatchesPredict(t *testing.T) {
+	m := Broadwell()
+	tr := traffic(5000, 3000, 1000)
+	base := Predict(m, 3e8, 1e8, tr)
+	for _, c := range []Calibrated{
+		{Machine: m},            // zero value: uncalibrated
+		{Machine: m, BWEff: 1},  // explicit identity
+		{Machine: m, BWEff: -2}, // out of range clamps to identity
+	} {
+		got := c.Predict(3e8, 1e8, tr)
+		if got.Seconds != base.Seconds || got.Bound != base.Bound ||
+			got.GFlops != base.GFlops || got.GPointsPS != base.GPointsPS ||
+			got.Machine != base.Machine {
+			t.Fatalf("identity calibration diverged: %+v vs %+v", got, base)
+		}
+	}
+}
+
+func TestCalibratedAppliesParameters(t *testing.T) {
+	m := Broadwell()
+	lines := uint64(10e9 / cachesim.LineSize)
+	tr := traffic(lines, lines, lines)
+	base := Predict(m, 1e9, 1e9, tr) // DRAM-bound
+	c := Calibrated{Machine: m, BWEff: 0.5, OverheadNSPerPoint: 2}
+	got := c.Predict(1e9, 1e9, tr)
+	want := base.Seconds/0.5 + 1e9*2*1e-9
+	if math.Abs(got.Seconds-want)/want > 1e-12 {
+		t.Fatalf("seconds %g want %g", got.Seconds, want)
+	}
+	if got.Machine != m.Name {
+		t.Fatalf("machine renamed to %q", got.Machine)
+	}
+	if wantG := 1e9 / got.Seconds / 1e9; math.Abs(got.GPointsPS-wantG) > 1e-12 {
+		t.Fatalf("GPts %g want %g", got.GPointsPS, wantG)
+	}
+}
+
+func TestCalibratedFromCal(t *testing.T) {
+	cal := testFingerprint()
+	c := CalibratedFromCal(cal)
+	if c.BWEff != 1 || c.OverheadNSPerPoint != 0 {
+		t.Fatalf("uncalibrated fingerprint must yield identity params: %+v", c)
+	}
+	cal.Calibration = &hostcal.Calibration{BWEff: 0.62, OverheadNSPerPoint: 1.5}
+	c = CalibratedFromCal(cal)
+	if c.BWEff != 0.62 || c.OverheadNSPerPoint != 1.5 {
+		t.Fatalf("fitted params not adopted: %+v", c)
+	}
+}
+
+// --- Fit ---
+
+// synthSamples generates measured times from known ground-truth parameters
+// so Fit's recovery can be checked exactly.
+func synthSamples(m Machine, eff, ovhNS float64) []CalSample {
+	// Bytes and points must not be collinear across samples, or the
+	// bandwidth and overhead terms are indistinguishable and the fit is
+	// underdetermined — exactly like real runs mixing schedules whose
+	// traffic-per-point differs.
+	shapes := []struct{ mbytes, points float64 }{
+		{50, 1e6}, {100, 5e7}, {400, 2e6}, {800, 1e8},
+	}
+	var out []CalSample
+	for i, sh := range shapes {
+		lines := uint64(sh.mbytes * 1e6 / cachesim.LineSize)
+		s := CalSample{
+			Name:    "s" + string(rune('0'+i)),
+			Flops:   1e6, // negligible: memory-bound, eff identifiable
+			Points:  sh.points,
+			Traffic: traffic(4*lines, 2*lines, lines),
+		}
+		sec := 0.0
+		if m.PeakGFlops > 0 {
+			sec = s.Flops / (m.PeakGFlops * 1e9)
+		}
+		for j, bw := range m.BWGBs {
+			if t := float64(s.Traffic.BytesAt(j)) / (bw * eff * 1e9); t > sec {
+				sec = t
+			}
+		}
+		s.MeasuredSeconds = sec + s.Points*1e-9*ovhNS
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestFitRecoversKnownParameters(t *testing.T) {
+	m := Broadwell()
+	const trueEff, trueOvh = 0.74, 2.5 // eff on the coarse scan grid
+	samples := synthSamples(m, trueEff, trueOvh)
+	c, info, err := Fit(m, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.BWEff-trueEff) > 1e-9 {
+		t.Fatalf("BWEff %g want %g", c.BWEff, trueEff)
+	}
+	if math.Abs(c.OverheadNSPerPoint-trueOvh)/trueOvh > 1e-6 {
+		t.Fatalf("overhead %g want %g", c.OverheadNSPerPoint, trueOvh)
+	}
+	if info.Samples != len(samples) || info.RMSRel > 1e-6 {
+		t.Fatalf("fit info %+v", info)
+	}
+}
+
+func TestFitOffGridParameter(t *testing.T) {
+	// The refinement pass must land within one fine-grid step (0.001) of an
+	// off-grid ground truth.
+	m := Broadwell()
+	c, _, err := Fit(m, synthSamples(m, 0.7365, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.BWEff-0.7365) > 0.001+1e-9 {
+		t.Fatalf("BWEff %g want ≈0.7365", c.BWEff)
+	}
+}
+
+func TestFitDeterministic(t *testing.T) {
+	// Same machine, same samples → bit-identical parameters, run to run.
+	m := MachineFromCal(testFingerprint())
+	samples := synthSamples(m, 0.58, 3.25)
+	a, ai, err := Fit(m, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, bi, err := Fit(m, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BWEff != b.BWEff || a.OverheadNSPerPoint != b.OverheadNSPerPoint || ai != bi {
+		t.Fatalf("fit not deterministic: %+v/%+v vs %+v/%+v", a, ai, b, bi)
+	}
+	// And the downstream prediction is equally pinned.
+	tr := traffic(1000, 500, 200)
+	if pa, pb := a.Predict(1e8, 1e7, tr), b.Predict(1e8, 1e7, tr); pa.Seconds != pb.Seconds {
+		t.Fatalf("prediction not deterministic: %g vs %g", pa.Seconds, pb.Seconds)
+	}
+}
+
+func TestFitOverheadClampedNonNegative(t *testing.T) {
+	// Measurements faster than the pure roofline (negative residuals) must
+	// clamp the overhead at zero, not go negative.
+	m := Broadwell()
+	samples := synthSamples(m, 1.0, 0)
+	for i := range samples {
+		samples[i].MeasuredSeconds *= 0.5
+	}
+	c, _, err := Fit(m, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OverheadNSPerPoint < 0 {
+		t.Fatalf("negative overhead %g", c.OverheadNSPerPoint)
+	}
+}
+
+func TestFitRejectsDegenerateInput(t *testing.T) {
+	m := Broadwell()
+	if _, _, err := Fit(m, synthSamples(m, 0.8, 1)[:1]); err == nil {
+		t.Fatal("single sample must error")
+	}
+	bad := synthSamples(m, 0.8, 1)
+	bad[1].MeasuredSeconds = 0
+	if _, _, err := Fit(m, bad); err == nil {
+		t.Fatal("zero measured time must error")
+	}
+	bad = synthSamples(m, 0.8, 1)
+	bad[0].Points = 0
+	if _, _, err := Fit(m, bad); err == nil {
+		t.Fatal("zero points must error")
+	}
+}

@@ -11,7 +11,11 @@
 // being reproduced — is driven by the simulated traffic.
 package roofline
 
-import "wavetile/internal/cachesim"
+import (
+	"fmt"
+
+	"wavetile/internal/cachesim"
+)
 
 // Machine couples a cache configuration with compute and bandwidth ceilings.
 type Machine struct {
@@ -68,8 +72,9 @@ type Prediction struct {
 // count and points with the simulated traffic.
 func Predict(m Machine, flops, points float64, t cachesim.Traffic) Prediction {
 	p := Prediction{Machine: m.Name, Bound: "compute"}
-	p.Seconds = flops / (m.PeakGFlops * 1e9)
-	names := []string{"L2→L1", "L3→L2", "DRAM"}
+	if m.PeakGFlops > 0 {
+		p.Seconds = flops / (m.PeakGFlops * 1e9)
+	}
 	for i, bw := range m.BWGBs {
 		bytes := float64(t.BytesAt(i))
 		if bytes > 0 {
@@ -77,10 +82,13 @@ func Predict(m Machine, flops, points float64, t cachesim.Traffic) Prediction {
 		} else {
 			p.AIs = append(p.AIs, 0)
 		}
+		if bw <= 0 {
+			continue
+		}
 		sec := bytes / (bw * 1e9)
 		if sec > p.Seconds {
 			p.Seconds = sec
-			p.Bound = names[i]
+			p.Bound = boundaryName(m, i)
 		}
 	}
 	if p.Seconds > 0 {
@@ -88,4 +96,17 @@ func Predict(m Machine, flops, points float64, t cachesim.Traffic) Prediction {
 		p.GPointsPS = points / p.Seconds / 1e9
 	}
 	return p
+}
+
+// boundaryName labels bandwidth boundary i for any hierarchy depth: fills
+// into level i come from level i+1, and the outermost boundary is DRAM. For
+// the three-level presets this yields the familiar "L2→L1", "L3→L2", "DRAM".
+func boundaryName(m Machine, i int) string {
+	if i == len(m.BWGBs)-1 {
+		return "DRAM"
+	}
+	if i+1 < len(m.Cache.Levels) {
+		return m.Cache.Levels[i+1].Name + "→" + m.Cache.Levels[i].Name
+	}
+	return fmt.Sprintf("boundary%d", i)
 }

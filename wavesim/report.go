@@ -11,9 +11,15 @@ import (
 
 // ReportOptions configure Simulation.Report.
 type ReportOptions struct {
-	// Machine selects the roofline machine model ("Broadwell", the default,
-	// or "Skylake") the report's attribution is computed against.
+	// Machine selects the roofline machine model the attribution is computed
+	// against: "" (auto: the measured host fingerprint when `make hostcal`
+	// has produced a valid one, else the Broadwell preset explicitly marked
+	// "preset/broadwell"), "host" (fingerprint required), "broadwell" or
+	// "skylake".
 	Machine string
+	// HostcalPath overrides the host-fingerprint location ("" →
+	// $WAVETILE_HOSTCAL or ~/.cache/wavesim/hostcal.json).
+	HostcalPath string
 	// TraceN / TraceNt size the reduced cache-simulation replay (defaults
 	// 64 / 4). Larger grids sharpen the traffic estimate at replay cost.
 	TraceN, TraceNt int
@@ -77,7 +83,7 @@ func (s *Simulation) Report(res *Result, o ReportOptions) (*obs.Report, error) {
 		spec.SrcLayout = "dense"
 	}
 	att, err := bench.Attribute(spec, schedule, cfg, res.GPointsPerSec, res.Points,
-		bench.AttributeOptions{Machine: o.Machine, TraceN: o.TraceN, TraceNt: o.TraceNt})
+		bench.AttributeOptions{Machine: o.Machine, HostcalPath: o.HostcalPath, TraceN: o.TraceN, TraceNt: o.TraceNt})
 	if err != nil {
 		return nil, fmt.Errorf("wavesim: roofline attribution: %w", err)
 	}

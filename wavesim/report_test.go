@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"wavetile/internal/obs"
@@ -64,7 +65,13 @@ func TestReportRooflineAttribution(t *testing.T) {
 			if rf == nil {
 				t.Fatalf("SO-%d %s: no roofline attribution", so, res.Schedule)
 			}
-			if rf.Machine != "Broadwell" || rf.TraceN != 24 || rf.TraceNt != 2 {
+			// Auto machine resolution: the measured host fingerprint when one
+			// exists, else the Broadwell preset with an explicit marker —
+			// never an unmarked preset name.
+			if !strings.HasPrefix(rf.Machine, "host/") && rf.Machine != "preset/broadwell" {
+				t.Fatalf("SO-%d: unmarked machine %q", so, rf.Machine)
+			}
+			if rf.TraceN != 24 || rf.TraceNt != 2 {
 				t.Fatalf("SO-%d: attribution provenance: %+v", so, rf)
 			}
 			if rf.PredictedGPointsPS <= 0 || rf.AchievedFraction <= 0 {
